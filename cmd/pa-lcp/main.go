@@ -1,0 +1,33 @@
+// Command pa-lcp regenerates the paper's Figure 3: the distribution of
+// nodes among processors under the exact solution of the load-balance
+// equation (Eqn 10) versus the linear approximation (LCP).
+//
+// Usage:
+//
+//	pa-lcp -n 100000000 -ranks 160
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pagen/internal/bench"
+	"pagen/internal/partition"
+)
+
+func main() {
+	var (
+		n     = flag.Int64("n", 1000000, "number of nodes (paper: 1e8)")
+		ranks = flag.Int("ranks", 160, "number of processors (paper: 160)")
+		b     = flag.Float64("b", partition.DefaultB, "load constant b = 1 + c of Eqn 10")
+	)
+	flag.Parse()
+
+	rows := bench.Fig3(*n, *ranks, *b)
+	fmt.Printf("# Figure 3: exact Eqn-10 solution vs LCP linear approximation (n=%d, P=%d, b=%g)\n", *n, *ranks, *b)
+	if err := bench.WriteFig3(os.Stdout, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "pa-lcp:", err)
+		os.Exit(1)
+	}
+}

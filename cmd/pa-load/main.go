@@ -1,0 +1,42 @@
+// Command pa-load regenerates the paper's Figure 7: per-processor node,
+// outgoing-message, incoming-message and total-load distributions for the
+// UCP, LCP and RRP partitioning schemes (paper: n=1e8, x=10, P=160).
+//
+// Usage:
+//
+//	pa-load -n 100000 -x 10 -ranks 160
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pagen/internal/bench"
+	"pagen/internal/model"
+	"pagen/internal/partition"
+)
+
+func main() {
+	var (
+		n     = flag.Int64("n", 100000, "number of nodes (paper: 1e8)")
+		x     = flag.Int("x", 10, "edges per node (paper: 10)")
+		p     = flag.Float64("p", 0.5, "direct-attachment probability")
+		ranks = flag.Int("ranks", 160, "number of processors (paper: 160)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	pr := model.Params{N: *n, X: *x, P: *p}
+	kinds := []partition.Kind{partition.KindUCP, partition.KindLCP, partition.KindRRP}
+	rows, err := bench.Fig7(pr, kinds, *ranks, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pa-load:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# Figure 7: load distributions (n=%d, x=%d, P=%d)\n", *n, *x, *ranks)
+	if err := bench.WriteFig7(os.Stdout, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "pa-load:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,225 @@
+// Command pa-repro regenerates every figure of the paper's evaluation in
+// one run, writing the TSV series and a summary to an output directory.
+// It is the one-command version of the pa-lcp / pa-dist / pa-scale /
+// pa-load / pa-chain / pa-accuracy tools, at sizes scaled by -scale.
+//
+// Usage:
+//
+//	pa-repro -out results -scale 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pagen/internal/bench"
+	"pagen/internal/model"
+	"pagen/internal/partition"
+	"pagen/internal/svgplot"
+)
+
+var kinds = []partition.Kind{partition.KindUCP, partition.KindLCP, partition.KindRRP}
+
+func main() {
+	var (
+		out   = flag.String("out", "results", "output directory")
+		scale = flag.Float64("scale", 1.0, "size multiplier for every experiment")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	sz := func(base int64) int64 {
+		v := int64(float64(base) * *scale)
+		if v < 1000 {
+			v = 1000
+		}
+		return v
+	}
+	start := time.Now()
+
+	// Figure 3: exact Eqn-10 vs LCP.
+	step("Figure 3 (LCP solver)", func(f *os.File) error {
+		rows := bench.Fig3(sz(1_000_000), 160, partition.DefaultB)
+		exact := svgplot.Series{Name: "exact Eqn 10"}
+		linear := svgplot.Series{Name: "LCP linear"}
+		for _, r := range rows {
+			exact.X = append(exact.X, float64(r.Rank))
+			exact.Y = append(exact.Y, float64(r.ExactSz))
+			linear.X = append(linear.X, float64(r.Rank))
+			linear.Y = append(linear.Y, float64(r.LinearSz))
+		}
+		plot(*out, "fig3.svg", &svgplot.Plot{
+			Title: "Figure 3: nodes per processor", XLabel: "processor rank", YLabel: "nodes",
+			Series: []svgplot.Series{exact, linear},
+		})
+		return bench.WriteFig3(f, rows)
+	}, *out, "fig3.tsv")
+
+	// Figure 4: degree distribution.
+	step("Figure 4 (degree distribution)", func(f *os.File) error {
+		res, err := bench.Fig4(model.Params{N: sz(1_000_000), X: 4, P: 0.5}, partition.KindRRP, 8, *seed)
+		if err != nil {
+			return err
+		}
+		rep := res.Report
+		s := svgplot.Series{Name: "P(degree)"}
+		for _, b := range rep.DegreeHistogram.LogBins(1.5) {
+			s.X = append(s.X, b.Center)
+			s.Y = append(s.Y, b.Density/float64(rep.DegreeHistogram.Total()))
+		}
+		plot(*out, "fig4.svg", &svgplot.Plot{
+			Title:  fmt.Sprintf("Figure 4: degree distribution (gamma=%.2f)", rep.Gamma),
+			XLabel: "degree", YLabel: "probability",
+			LogX: true, LogY: true, Markers: true,
+			Series: []svgplot.Series{s},
+		})
+		fmt.Fprintf(f, "# gamma=%.3f KS=%.4f loglog_slope=%.3f R2=%.4f\n",
+			rep.Gamma, rep.GammaKS, rep.LogLogSlope, rep.LogLogR2)
+		return rep.WriteDistributionTSV(f)
+	}, *out, "fig4.tsv")
+
+	// Figure 5: strong scaling.
+	step("Figure 5 (strong scaling)", func(f *os.File) error {
+		rows, err := bench.StrongScaling(model.Params{N: sz(1_000_000), X: 6, P: 0.5},
+			kinds, []int{1, 2, 4, 8, 16, 32, 64, 128}, *seed)
+		if err != nil {
+			return err
+		}
+		plot(*out, "fig5.svg", scalingPlot("Figure 5: strong scaling (model speedup)",
+			"processors", "speedup", rows, func(r bench.ScalingRow) (float64, float64) {
+				return float64(r.P), r.ModelSpeedup
+			}))
+		return bench.WriteScaling(f, rows)
+	}, *out, "fig5.tsv")
+
+	// Figure 6: weak scaling.
+	step("Figure 6 (weak scaling)", func(f *os.File) error {
+		rows, err := bench.WeakScaling(sz(200_000), 6, 0.5, kinds, []int{2, 4, 8, 16, 32}, *seed)
+		if err != nil {
+			return err
+		}
+		plot(*out, "fig6.svg", scalingPlot("Figure 6: weak scaling (model efficiency)",
+			"processors", "efficiency", rows, func(r bench.ScalingRow) (float64, float64) {
+				return float64(r.P), r.ModelSpeedup / float64(r.P)
+			}))
+		return bench.WriteScaling(f, rows)
+	}, *out, "fig6.tsv")
+
+	// Section 4.5 headline.
+	step("Section 4.5 (headline)", func(f *os.File) error {
+		res, err := bench.Headline(model.Params{N: sz(2_000_000), X: 5, P: 0.5}, 8, *seed)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(f, "n=%d x=%d ranks=%d edges=%d elapsed=%v edges_per_sec=%.4g\n",
+			res.N, res.X, res.P, res.Edges, res.Elapsed, res.EdgesPerSec)
+		return err
+	}, *out, "headline.txt")
+
+	// Figure 7: load distributions.
+	step("Figure 7 (load distributions)", func(f *os.File) error {
+		rows, err := bench.Fig7(model.Params{N: sz(100_000), X: 10, P: 0.5}, kinds, 160, *seed)
+		if err != nil {
+			return err
+		}
+		byScheme := map[string]*svgplot.Series{}
+		var order []string
+		for _, r := range rows {
+			s, ok := byScheme[r.Scheme]
+			if !ok {
+				s = &svgplot.Series{Name: r.Scheme}
+				byScheme[r.Scheme] = s
+				order = append(order, r.Scheme)
+			}
+			s.X = append(s.X, float64(r.Rank))
+			s.Y = append(s.Y, float64(r.Total))
+		}
+		p := &svgplot.Plot{
+			Title: "Figure 7d: total load per processor", XLabel: "processor rank", YLabel: "total load",
+		}
+		for _, name := range order {
+			p.Series = append(p.Series, *byScheme[name])
+		}
+		plot(*out, "fig7.svg", p)
+		return bench.WriteFig7(f, rows)
+	}, *out, "fig7.tsv")
+
+	// Theorem 3.3 chains.
+	step("Theorem 3.3 (dependency chains)", func(f *os.File) error {
+		res, err := bench.Chains(model.Params{N: sz(1_000_000), X: 1, P: 0.5}, *seed)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(f, "n=%d mean=%.4f max=%d ln_n=%.2f 5ln_n=%.2f\n",
+			res.N, res.Mean, res.Max, res.LogN, res.FiveLogN)
+		return err
+	}, *out, "chains.txt")
+
+	fmt.Printf("all experiments regenerated into %s in %v\n", *out, time.Since(start).Round(time.Millisecond))
+}
+
+// scalingPlot builds a per-scheme line chart from scaling rows.
+func scalingPlot(title, xlabel, ylabel string, rows []bench.ScalingRow,
+	point func(bench.ScalingRow) (float64, float64)) *svgplot.Plot {
+	byScheme := map[string]*svgplot.Series{}
+	var order []string
+	for _, r := range rows {
+		s, ok := byScheme[r.Scheme]
+		if !ok {
+			s = &svgplot.Series{Name: r.Scheme}
+			byScheme[r.Scheme] = s
+			order = append(order, r.Scheme)
+		}
+		x, y := point(r)
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	p := &svgplot.Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Markers: true}
+	for _, name := range order {
+		p.Series = append(p.Series, *byScheme[name])
+	}
+	return p
+}
+
+// plot renders an SVG next to the TSVs; plotting failures are fatal like
+// any other step failure.
+func plot(dir, file string, p *svgplot.Plot) {
+	f, err := os.Create(filepath.Join(dir, file))
+	if err != nil {
+		fatal(err)
+	}
+	if err := p.Render(f); err != nil {
+		f.Close()
+		fatal(fmt.Errorf("%s: %w", file, err))
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// step runs one experiment into its output file, reporting progress.
+func step(name string, fn func(*os.File) error, dir, file string) {
+	fmt.Printf("%-36s -> %s\n", name, file)
+	f, err := os.Create(filepath.Join(dir, file))
+	if err != nil {
+		fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pa-repro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command pa-scale regenerates the paper's scaling experiments:
+//
+//	-mode strong   Figure 5 (fixed n, varying P; paper: n=1e9, x=6)
+//	-mode weak     Figure 6 (fixed edges per processor; paper: 1e7/proc)
+//	-mode headline Section 4.5 (largest network, RRP; paper: 50B edges
+//	               in 123 s on 768 processors)
+//
+// Speedups are reported both as measured wall time (bounded by the
+// physical core count of the host) and from the per-rank load model
+// (nodes + messages, the paper's Section 4.6 measure), which reproduces
+// the figures' shape on any host. See DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pagen/internal/bench"
+	"pagen/internal/cliutil"
+	"pagen/internal/model"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "strong", "strong, weak, xsweep or headline")
+		n       = flag.Int64("n", 1000000, "nodes (strong/headline; paper: 1e9)")
+		x       = flag.Int("x", 6, "edges per node (paper: 6 strong, 5 headline)")
+		p       = flag.Float64("p", 0.5, "direct-attachment probability")
+		ps      = flag.String("ranks", "1,2,4,8,16,32,64", "comma-separated rank counts")
+		perRank = flag.Int64("edges-per-rank", 200000, "weak scaling: edges per rank (paper: 1e7)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		schemes = flag.String("schemes", "UCP,LCP,RRP", "comma-separated schemes")
+	)
+	flag.Parse()
+
+	kinds, err := cliutil.ParseKinds(*schemes)
+	if err != nil {
+		fatal(err)
+	}
+	rankList, err := cliutil.ParseInts(*ps)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *mode {
+	case "strong":
+		pr := model.Params{N: *n, X: *x, P: *p}
+		fmt.Printf("# Figure 5: strong scaling (n=%d, x=%d)\n", *n, *x)
+		rows, err := bench.StrongScaling(pr, kinds, rankList, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteScaling(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+	case "weak":
+		fmt.Printf("# Figure 6: weak scaling (%d edges per rank, x=%d)\n", *perRank, *x)
+		rows, err := bench.WeakScaling(*perRank, *x, *p, kinds, rankList, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteScaling(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+	case "xsweep":
+		// The paper's setup (Section 4.1) varies x from 4 to 10.
+		fmt.Printf("# x sweep (n=%d, RRP, %d ranks)\n", *n, rankList[len(rankList)-1])
+		rows, err := bench.XSweep(*n, []int{4, 6, 8, 10}, *p, rankList[len(rankList)-1], *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteXSweep(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+	case "headline":
+		ranks := rankList[len(rankList)-1]
+		pr := model.Params{N: *n, X: *x, P: *p}
+		res, err := bench.Headline(pr, ranks, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# Section 4.5: large-network generation (RRP)\n")
+		fmt.Printf("n=%d x=%d ranks=%d edges=%d elapsed=%v edges_per_sec=%.4g\n",
+			res.N, res.X, res.P, res.Edges, res.Elapsed, res.EdgesPerSec)
+		fmt.Printf("# paper: 50e9 edges on 768 processors in 123 s (4.07e8 edges/s)\n")
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pa-scale:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command pa-tcp runs one rank of the parallel generator as its own OS
+// process over TCP — genuine distributed-memory execution, the role one
+// MPI rank plays in the paper's runs. Start P processes with the same
+// -addrs list and ranks 0..P-1 (on one host or many); each writes its
+// edge shard, and the shards union to the output graph.
+//
+// Usage (2 ranks on localhost):
+//
+//	pa-tcp -rank 0 -addrs 127.0.0.1:9500,127.0.0.1:9501 -n 100000 -x 4 -o shard0.bin &
+//	pa-tcp -rank 1 -addrs 127.0.0.1:9500,127.0.0.1:9501 -n 100000 -x 4 -o shard1.bin
+//
+// See examples/distributed for a driver that spawns the ranks and merges
+// the shards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pagen/internal/coll"
+	"pagen/internal/comm"
+	"pagen/internal/core"
+	"pagen/internal/graph"
+	"pagen/internal/model"
+	"pagen/internal/partition"
+	"pagen/internal/transport"
+)
+
+func main() {
+	var (
+		rank   = flag.Int("rank", 0, "this process's rank")
+		addrs  = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
+		n      = flag.Int64("n", 100000, "number of nodes")
+		x      = flag.Int("x", 4, "edges per new node")
+		p      = flag.Float64("p", 0.5, "direct-attachment probability")
+		scheme = flag.String("scheme", "RRP", "partitioning scheme")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("o", "", "output shard file (binary edge list; default stdout)")
+		stats  = flag.Bool("stats", false, "print rank statistics to stderr")
+	)
+	flag.Parse()
+
+	addrList := strings.Split(*addrs, ",")
+	if len(addrList) < 1 || *addrs == "" {
+		fatal(fmt.Errorf("need -addrs with one address per rank"))
+	}
+	kind, err := partition.ParseKind(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	part, err := partition.New(kind, *n, len(addrList))
+	if err != nil {
+		fatal(err)
+	}
+
+	tr, err := transport.NewTCP(*rank, addrList)
+	if err != nil {
+		fatal(err)
+	}
+	defer tr.Close()
+
+	res, err := core.RunRank(tr, core.Options{
+		Params: model.Params{N: *n, X: *x, P: *p},
+		Part:   part,
+		Seed:   *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		st := res.Stats
+		fmt.Fprintf(os.Stderr, "rank %d: nodes=%d edges=%d reqS=%d reqR=%d wall=%v busy=%v\n",
+			st.Rank, st.Nodes, st.Edges, st.Comm.RequestsSent, st.Comm.RequestsRecv,
+			st.WallTime, st.BusyTime)
+	}
+
+	// Cluster-wide summary: gather per-rank metrics at rank 0 over the
+	// same mesh (the engine protocol has terminated, so the collectives
+	// have the channel to themselves).
+	cm := comm.New(tr, comm.Config{})
+	edges, err := coll.Gather(cm, 1, res.Stats.Edges)
+	if err != nil {
+		fatal(err)
+	}
+	maxLoad, err := coll.AllReduceMax(cm, 2, res.Stats.TotalLoad())
+	if err != nil {
+		fatal(err)
+	}
+	if *rank == 0 {
+		var total int64
+		for _, e := range edges {
+			total += e
+		}
+		fmt.Fprintf(os.Stderr, "cluster: %d edges across %d ranks, max rank load %d\n",
+			total, len(addrList), maxLoad)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	shard := &graph.Graph{N: *n, Edges: res.Edges}
+	if err := graph.WriteBinary(w, shard); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pa-tcp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Model zoo: generate the three classic random-graph families the
+// paper's introduction surveys — Erdős–Rényi, Watts–Strogatz small-world
+// and Barabási–Albert preferential attachment — at matched size and mean
+// degree, and print the structural fingerprints that distinguish them
+// (degree tail, clustering, path length, assortativity).
+//
+//	go run ./examples/modelzoo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pagen"
+)
+
+const (
+	n       = 20_000
+	meanDeg = 6.0
+)
+
+func main() {
+	// PA with x = 3 -> mean degree ~6.
+	pa, err := pagen.Generate(pagen.Config{N: n, X: 3, Ranks: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// WS with k = 3 -> degree exactly 6 before rewiring.
+	ws, err := pagen.SmallWorld(n, 3, 0.05, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ER with p chosen for mean degree 6.
+	er, err := pagen.ErdosRenyiParallel(n, meanDeg/float64(n-1), 8, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model zoo at n=%d, mean degree ~%.0f\n\n", n, meanDeg)
+	fmt.Println("model             edges   max_deg  clustering  assortativity  avg_path")
+	for _, row := range []struct {
+		name string
+		g    *pagen.Graph
+	}{
+		{"preferential-att", pa.Graph},
+		{"small-world (WS)", ws},
+		{"erdos-renyi (ER)", er},
+	} {
+		h := row.g.DegreeHistogram()
+		maxD, _ := h.Max()
+		fmt.Printf("%-17s %7d %8d %11.4f %14.4f %9.2f\n",
+			row.name, row.g.M(), maxD,
+			pagen.AverageLocalClustering(row.g),
+			pagen.DegreeAssortativity(row.g),
+			pagen.AveragePathLength(row.g, 8, 9))
+	}
+
+	rep, err := pagen.Analyze(pa.Graph, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nonly the PA graph is scale-free: gamma = %.2f (KS %.4f)\n", rep.Gamma, rep.GammaKS)
+	fmt.Println("ER's tail is binomial; WS's degrees are nearly uniform around 2k.")
+}

@@ -1,0 +1,81 @@
+// Social-network scenario: generate a scale-free "follower" graph and
+// study the properties that motivate the preferential-attachment model —
+// hub emergence, and the resilience asymmetry of scale-free networks
+// (robust to random failures, fragile to targeted hub attacks; Albert,
+// Jeong & Barabási 2000, reference [1] of the paper).
+//
+//	go run ./examples/socialnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"pagen"
+	"pagen/internal/xrand"
+)
+
+const (
+	nUsers = 200_000
+	x      = 2
+)
+
+func main() {
+	res, err := pagen.Generate(pagen.Config{N: nUsers, X: x, Ranks: 8, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := res.Graph
+	fmt.Printf("social graph: %d users, %d relationships\n\n", g.N, g.M())
+
+	// Hubs: the highest-degree users.
+	degrees := g.Degrees()
+	type hub struct {
+		id  int64
+		deg int64
+	}
+	hubs := make([]hub, g.N)
+	for i, d := range degrees {
+		hubs[i] = hub{int64(i), d}
+	}
+	sort.Slice(hubs, func(i, j int) bool { return hubs[i].deg > hubs[j].deg })
+	fmt.Println("top 10 hubs (user, degree):")
+	for _, h := range hubs[:10] {
+		fmt.Printf("  user %7d: %6d connections\n", h.id, h.deg)
+	}
+	// Scale-free signature: early users dominate the hub list.
+	early := 0
+	for _, h := range hubs[:10] {
+		if h.id < nUsers/100 {
+			early++
+		}
+	}
+	fmt.Printf("%d of the top-10 hubs are among the first 1%% of users (first-mover advantage)\n\n", early)
+
+	// Resilience experiment: remove 15% of users at random versus the
+	// top 15% hubs, and compare the surviving giant component.
+	removeFrac := 0.15
+	k := int(float64(nUsers) * removeFrac)
+
+	csr := g.ToCSR()
+	randomDead := make(map[int64]bool, k)
+	rng := xrand.New(99)
+	for len(randomDead) < k {
+		randomDead[rng.Int64n(nUsers)] = true
+	}
+	giantRandom := csr.GiantComponentSize(func(u int64) bool { return randomDead[u] })
+
+	hubDead := make(map[int64]bool, k)
+	for _, h := range hubs[:k] {
+		hubDead[h.id] = true
+	}
+	giantHubs := csr.GiantComponentSize(func(u int64) bool { return hubDead[u] })
+
+	fmt.Printf("resilience (removing %.0f%% of users):\n", removeFrac*100)
+	fmt.Printf("  random failures : giant component keeps %5.1f%% of users\n",
+		100*float64(giantRandom)/float64(nUsers))
+	fmt.Printf("  targeted attack : giant component keeps %5.1f%% of users\n",
+		100*float64(giantHubs)/float64(nUsers))
+	fmt.Println("scale-free networks survive random failure but fracture under hub attack.")
+}

@@ -1,0 +1,46 @@
+// Web-graph scenario: the copy model was introduced for web graphs
+// (Kumar et al., FOCS'00 — the paper's reference [17]), where the
+// power-law exponent gamma is a tunable: gamma depends on the copy
+// probability 1-p (paper Section 3.1). This example sweeps p and shows
+// the measured exponent moving through the empirically observed web-graph
+// range, demonstrating that the generator covers more than plain BA.
+//
+//	go run ./examples/webgamma
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pagen"
+)
+
+func main() {
+	const n = 150_000
+	fmt.Println("copy-model exponent sweep (n=150K, x=2, 8 ranks)")
+	fmt.Println("p\tgamma\tmax_degree\tnote")
+	for _, p := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		res, err := pagen.Generate(pagen.Config{
+			N: n, X: 2, P: p, Ranks: 8, Seed: 11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := pagen.Analyze(res.Graph, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		switch {
+		case p == 0.5:
+			note = "exact Barabasi-Albert (gamma -> 3)"
+		case p < 0.5:
+			note = "copy-heavy: fatter tail, smaller gamma"
+		default:
+			note = "uniform-heavy: thinner tail, larger gamma"
+		}
+		fmt.Printf("%.2f\t%.2f\t%d\t%s\n", p, rep.Gamma, rep.MaxDeg, note)
+	}
+	fmt.Println("\nsmaller p => heavier tail: the copy model generalises BA,")
+	fmt.Println("which is why the paper builds its parallel algorithm on it.")
+}

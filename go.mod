@@ -1,0 +1,3 @@
+module pagen
+
+go 1.22

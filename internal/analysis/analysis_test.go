@@ -1,0 +1,352 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pagen/internal/model"
+	"pagen/internal/seq"
+	"pagen/internal/stats"
+)
+
+func traceFor(t testing.TB, n int64, x int, p float64, seed uint64) *model.Trace {
+	t.Helper()
+	_, tr, err := seq.CopyModel(model.Params{N: n, X: x, P: p}, seed, seq.CopyModelOptions{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDependencyChainLengthsHandComputed(t *testing.T) {
+	// Build a tiny trace by hand: x = 1, nodes 0..5.
+	pr := model.Params{N: 6, X: 1, P: 0.5}
+	tr := model.NewTrace(pr)
+	tr.RecordBootstrap(1, 0)  // F_1 = 0, chain 0
+	tr.RecordDirect(2, 0, 1)  // direct: chain 0
+	tr.RecordCopy(3, 0, 2, 0) // copies F_2: chain 1
+	tr.RecordCopy(4, 0, 3, 0) // copies F_3: chain 2
+	tr.RecordDirect(5, 0, 4)  // direct: chain 0
+	lengths := DependencyChainLengths(tr)
+	want := []int32{0, 0, 1, 2, 0}
+	for i, w := range want {
+		if lengths[i] != w {
+			t.Fatalf("lengths = %v, want %v", lengths, want)
+		}
+	}
+}
+
+// Theorem 3.3: E[L_t] <= log n and L_max = O(log n) w.h.p. The constant
+// in the theorem's proof is 5; check both bounds empirically.
+func TestTheorem33ChainBounds(t *testing.T) {
+	for _, n := range []int64{10000, 100000} {
+		tr := traceFor(t, n, 1, 0.5, 7)
+		st := SummarizeChains(DependencyChainLengths(tr))
+		logN := math.Log(float64(n))
+		if st.Mean > logN {
+			t.Errorf("n=%d: mean chain %v exceeds ln n = %v", n, st.Mean, logN)
+		}
+		if float64(st.Max) > 5*logN {
+			t.Errorf("n=%d: max chain %d exceeds 5 ln n = %v", n, st.Max, 5*logN)
+		}
+		if st.Max < 2 {
+			t.Errorf("n=%d: max chain %d suspiciously small", n, st.Max)
+		}
+	}
+}
+
+// At p = 1/2 the expected chain length is at most 1/p = 2 on average
+// (Section 3.4: "average length of a dependency chain is ... at most
+// 1/p"). Geometric with success probability p: mean (1-p)/p = 1.
+func TestChainMeanMatchesGeometric(t *testing.T) {
+	tr := traceFor(t, 50000, 1, 0.5, 11)
+	st := SummarizeChains(DependencyChainLengths(tr))
+	// Mean of a geometric number of copy hops is (1-p)/p = 1; truncation
+	// at chain roots (low-label nodes) pulls it slightly below.
+	if st.Mean < 0.7 || st.Mean > 1.1 {
+		t.Fatalf("mean chain = %v, want ~1 at p = 0.5", st.Mean)
+	}
+}
+
+func TestChainsForXGreaterThan1(t *testing.T) {
+	tr := traceFor(t, 20000, 4, 0.5, 13)
+	st := SummarizeChains(DependencyChainLengths(tr))
+	if st.Slots != int((20000-4)*4) {
+		t.Fatalf("slots = %d", st.Slots)
+	}
+	logN := math.Log(20000)
+	if float64(st.Max) > 5*logN {
+		t.Fatalf("max chain %d exceeds 5 ln n", st.Max)
+	}
+}
+
+func TestSummaryAgainstTheorem33(t *testing.T) {
+	st := ChainStats{Mean: 2.0, Max: 10}
+	chk, err := SummaryAgainstTheorem33(100000, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chk.WithinBounds {
+		t.Fatalf("modest chains flagged out of bounds: %+v", chk)
+	}
+	if math.Abs(chk.FiveLogN-5*chk.LogN) > 1e-12 {
+		t.Fatalf("bounds inconsistent: %+v", chk)
+	}
+	// Violating chains are detected.
+	chk, err = SummaryAgainstTheorem33(100, ChainStats{Mean: 100, Max: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.WithinBounds {
+		t.Fatal("violation not detected")
+	}
+	if _, err := SummaryAgainstTheorem33(1, st); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestSummarizeChainsEmpty(t *testing.T) {
+	st := SummarizeChains(nil)
+	if st.Slots != 0 || st.Mean != 0 || st.Max != 0 {
+		t.Fatalf("empty summary = %+v", st)
+	}
+}
+
+func TestSelectionChainStructure(t *testing.T) {
+	tr := traceFor(t, 5000, 1, 0.5, 17)
+	for _, start := range []int64{2, 100, 4999} {
+		chain := SelectionChain(tr, start)
+		if chain[0] != start {
+			t.Fatalf("chain starts at %d", chain[0])
+		}
+		if chain[len(chain)-1] != 1 {
+			t.Fatalf("chain ends at %d, want 1", chain[len(chain)-1])
+		}
+		for i := 1; i < len(chain); i++ {
+			if chain[i] >= chain[i-1] {
+				t.Fatalf("chain not strictly decreasing: %v", chain)
+			}
+		}
+	}
+	// Node 1's chain is just itself.
+	if c := SelectionChain(tr, 1); len(c) != 1 || c[0] != 1 {
+		t.Fatalf("SelectionChain(1) = %v", c)
+	}
+}
+
+func TestSelectionChainPanics(t *testing.T) {
+	trX4 := traceFor(t, 100, 4, 0.5, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("x=4 trace accepted")
+			}
+		}()
+		SelectionChain(trX4, 10)
+	}()
+	tr := traceFor(t, 100, 1, 0.5, 1)
+	for _, bad := range []int64{0, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("node %d accepted", bad)
+				}
+			}()
+			SelectionChain(tr, bad)
+		}()
+	}
+}
+
+// Lemma 3.1: Pr{i in S_t} = 1/i. Estimate over many independent runs of
+// a small instance.
+func TestLemma31SelectionChainMembership(t *testing.T) {
+	const n = 64
+	const trials = 4000
+	target := int64(n - 1) // chains from the last node
+	counts := make(map[int64]int)
+	for trial := 0; trial < trials; trial++ {
+		tr := traceFor(t, n, 1, 0.5, uint64(1000+trial))
+		for _, v := range SelectionChain(tr, target)[1:] {
+			counts[v]++
+		}
+	}
+	for _, i := range []int64{1, 2, 4, 8, 16, 32} {
+		got := float64(counts[i]) / trials
+		want := 1 / float64(i)
+		// Binomial std err at trials=4000 is <= 0.008; use 4 sigma.
+		if math.Abs(got-want) > 0.032 {
+			t.Errorf("P(%d in S_%d) = %.4f, want %.4f", i, target, got, want)
+		}
+	}
+}
+
+// Lemma 3.2: the membership events A_i = {i in S_t} are mutually
+// independent. Spot-check pairwise independence by Monte Carlo:
+// Pr{A_i and A_j} must equal Pr{A_i} Pr{A_j} = 1/(i j) for i < j.
+func TestLemma32MembershipIndependence(t *testing.T) {
+	const n = 64
+	const trials = 6000
+	target := int64(n - 1)
+	pairs := [][2]int64{{2, 8}, {3, 5}, {4, 16}, {2, 31}}
+	joint := make(map[[2]int64]int)
+	for trial := 0; trial < trials; trial++ {
+		tr := traceFor(t, n, 1, 0.5, uint64(50000+trial))
+		in := map[int64]bool{}
+		for _, v := range SelectionChain(tr, target)[1:] {
+			in[v] = true
+		}
+		for _, pr := range pairs {
+			if in[pr[0]] && in[pr[1]] {
+				joint[pr]++
+			}
+		}
+	}
+	for _, pr := range pairs {
+		got := float64(joint[pr]) / trials
+		want := 1 / float64(pr[0]*pr[1])
+		// Bernoulli std err <= sqrt(want/trials); 4 sigma tolerance.
+		tol := 4 * math.Sqrt(want/trials)
+		if math.Abs(got-want) > tol {
+			t.Errorf("Pr{%d,%d in S} = %.4f, want %.4f (tol %.4f)", pr[0], pr[1], got, want, tol)
+		}
+	}
+}
+
+// Lemma 3.4: E[M_k] = (1-p)(H_{n-1} - H_k). Check measured copy-request
+// counts against the closed form, averaging over label bands and over
+// independent seeds (the [1,10) band has only 9 nodes and needs the
+// seed averaging to tame variance).
+func TestLemma34RequestLoad(t *testing.T) {
+	const n = 200000
+	const seeds = 5
+	p := 0.5
+	counts := make([]float64, n)
+	for s := 0; s < seeds; s++ {
+		tr := traceFor(t, n, 1, p, uint64(23+s))
+		for k, c := range RequestCounts(tr) {
+			counts[k] += float64(c) / seeds
+		}
+	}
+	bands := [][2]int64{{1, 10}, {10, 100}, {100, 1000}, {1000, 10000}, {10000, 100000}}
+	for _, b := range bands {
+		var got, want float64
+		for k := b[0]; k < b[1]; k++ {
+			got += counts[k]
+			want += (1 - p) * (stats.Harmonic(n-1) - stats.Harmonic(k))
+		}
+		got /= float64(b[1] - b[0])
+		want /= float64(b[1] - b[0])
+		tol := 0.1
+		if b[1]-b[0] < 50 {
+			tol = 0.25
+		}
+		if want > 0.05 && math.Abs(got-want)/want > tol {
+			t.Errorf("band %v: measured %v, lemma predicts %v", b, got, want)
+		}
+	}
+	// Monotone decreasing on average: first decile vs last decile.
+	var head, tail float64
+	for k := int64(1); k < n/10; k++ {
+		head += counts[k]
+	}
+	for k := n - n/10; k < n; k++ {
+		tail += counts[k]
+	}
+	if head <= tail {
+		t.Errorf("request load not decreasing: head %v tail %v", head, tail)
+	}
+}
+
+func TestAnalyzeDegreesOnBAGraph(t *testing.T) {
+	g, _, err := seq.CopyModel(model.Params{N: 50000, X: 4, P: 0.5}, 29, seq.CopyModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeDegrees(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 50000 || rep.M != g.M() {
+		t.Fatalf("report sizes wrong: %+v", rep)
+	}
+	if rep.MinDeg < 4 {
+		t.Fatalf("min degree %d below x", rep.MinDeg)
+	}
+	if math.Abs(rep.MeanDeg-2*float64(g.M())/50000) > 1e-9 {
+		t.Fatalf("mean degree %v", rep.MeanDeg)
+	}
+	if rep.Gamma < 2.3 || rep.Gamma > 3.6 {
+		t.Fatalf("gamma = %v", rep.Gamma)
+	}
+	// Log-log PMF slope should also be a negative power-law exponent in
+	// the same range.
+	if rep.LogLogSlope > -2 || rep.LogLogSlope < -4 {
+		t.Fatalf("loglog slope = %v", rep.LogLogSlope)
+	}
+	if rep.Components != 1 {
+		t.Fatalf("components = %d", rep.Components)
+	}
+}
+
+func TestWriteDistributionTSV(t *testing.T) {
+	g, _, err := seq.CopyModel(model.Params{N: 2000, X: 2, P: 0.5}, 3, seq.CopyModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeDegrees(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.WriteDistributionTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few distribution rows: %q", sb.String())
+	}
+	for _, ln := range lines {
+		if len(strings.Fields(ln)) != 2 {
+			t.Fatalf("bad row %q", ln)
+		}
+	}
+}
+
+func BenchmarkDependencyChainLengths(b *testing.B) {
+	_, tr, err := seq.CopyModel(model.Params{N: 100000, X: 4, P: 0.5}, 5, seq.CopyModelOptions{RecordTrace: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DependencyChainLengths(tr)
+	}
+}
+
+func TestAnalyzeDegreeSequenceMatchesGraphPath(t *testing.T) {
+	g, _, err := seq.CopyModel(model.Params{N: 20000, X: 4, P: 0.5}, 61, seq.CopyModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := AnalyzeDegrees(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := AnalyzeDegreeSequence(g.Degrees(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.N != full.N || streamed.M != full.M {
+		t.Fatalf("sizes differ: %+v vs %+v", streamed, full)
+	}
+	if math.Abs(streamed.Gamma-full.Gamma) > 1e-12 {
+		t.Fatalf("gamma differs: %v vs %v", streamed.Gamma, full.Gamma)
+	}
+	if streamed.Components != -1 {
+		t.Fatalf("streamed components = %d, want -1 sentinel", streamed.Components)
+	}
+	if _, err := AnalyzeDegreeSequence([]int64{1}, 1); err == nil {
+		t.Fatal("degenerate sequence accepted")
+	}
+}

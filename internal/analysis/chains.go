@@ -1,0 +1,123 @@
+// Package analysis validates the generated networks against the paper's
+// theory: dependency-chain lengths (Section 3.4, Theorem 3.3), selection
+// chains (Lemma 3.1), per-node request load (Lemma 3.4), and power-law
+// degree distributions (Section 4.2, Figure 4).
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"pagen/internal/hist"
+	"pagen/internal/model"
+)
+
+// DependencyChainLengths computes, for every attachment slot, the length
+// of its dependency chain: 0 for a direct (independent) attachment, and
+// 1 + length(source slot) for a copy. This is the paper's L_t (for x = 1,
+// per-node; for x >= 1, per-slot), computable exactly from a decision
+// trace because slot (t, e) depends precisely on slot (K, L) when copied.
+func DependencyChainLengths(tr *model.Trace) []int32 {
+	x := tr.Params.X
+	lengths := make([]int32, tr.Slots())
+	// Slots are ordered by node, and a copied slot's source node K is
+	// strictly smaller than its own node, so a single forward pass
+	// resolves every chain.
+	for i := range lengths {
+		if !tr.Copied[i] {
+			lengths[i] = 0
+			continue
+		}
+		src := tr.Idx(tr.K[i], int(tr.L[i]))
+		lengths[i] = 1 + lengths[src]
+	}
+	_ = x
+	return lengths
+}
+
+// ChainStats summarises dependency-chain lengths.
+type ChainStats struct {
+	Slots int
+	Mean  float64
+	Max   int32
+	Hist  *hist.Int
+}
+
+// SummarizeChains computes chain-length statistics.
+func SummarizeChains(lengths []int32) ChainStats {
+	st := ChainStats{Slots: len(lengths), Hist: hist.NewInt()}
+	if len(lengths) == 0 {
+		return st
+	}
+	var sum int64
+	for _, l := range lengths {
+		if l > st.Max {
+			st.Max = l
+		}
+		sum += int64(l)
+		st.Hist.Add(int64(l))
+	}
+	st.Mean = float64(sum) / float64(len(lengths))
+	return st
+}
+
+// SelectionChain returns the selection chain S_t for an x = 1 trace: the
+// node sequence t, k_t, k_{k_t}, ..., 1 (Section 3.4). It panics for
+// traces with x != 1 (selection chains are defined on the x = 1 draw
+// process) or t out of range.
+func SelectionChain(tr *model.Trace, t int64) []int64 {
+	if tr.Params.X != 1 {
+		panic(fmt.Sprintf("analysis: selection chains need x = 1 traces, got x = %d", tr.Params.X))
+	}
+	if t < 1 || t >= tr.Params.N {
+		panic(fmt.Sprintf("analysis: node %d outside [1,%d)", t, tr.Params.N))
+	}
+	chain := []int64{t}
+	for cur := t; cur > 1; {
+		k := tr.K[tr.Idx(cur, 0)]
+		if k < 0 { // bootstrap node (t = 1): chain ends
+			break
+		}
+		chain = append(chain, k)
+		cur = k
+	}
+	return chain
+}
+
+// Theorem33Check reports chain statistics against the Theorem 3.3
+// bounds.
+type Theorem33Check struct {
+	LogN         float64
+	FiveLogN     float64
+	WithinBounds bool
+}
+
+// SummaryAgainstTheorem33 evaluates chain statistics against the
+// theorem's E[L] <= ln n and L_max <= 5 ln n bounds for an n-node run.
+func SummaryAgainstTheorem33(n int64, st ChainStats) (Theorem33Check, error) {
+	if n < 2 {
+		return Theorem33Check{}, fmt.Errorf("analysis: n = %d too small", n)
+	}
+	ln := math.Log(float64(n))
+	return Theorem33Check{
+		LogN:         ln,
+		FiveLogN:     5 * ln,
+		WithinBounds: st.Mean <= ln && float64(st.Max) <= 5*ln,
+	}, nil
+}
+
+// RequestCounts returns, for an x = 1 trace, the number of copy requests
+// "received" by each node in the model sense of Lemma 3.4: node k is
+// queried once for every node t that drew k and took the copy branch.
+func RequestCounts(tr *model.Trace) []int64 {
+	if tr.Params.X != 1 {
+		panic("analysis: RequestCounts needs x = 1 traces")
+	}
+	counts := make([]int64, tr.Params.N)
+	for i := range tr.K {
+		if tr.Copied[i] {
+			counts[tr.K[i]]++
+		}
+	}
+	return counts
+}

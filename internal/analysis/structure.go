@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"math"
+
+	"pagen/internal/graph"
+)
+
+// GlobalClustering returns the global clustering coefficient (transitivity)
+// of the graph: 3 * triangles / connected triples. Scale-free PA networks
+// have low but non-zero clustering; small-world networks have high
+// clustering — the contrast the paper's Section 1 survey draws.
+func GlobalClustering(c *graph.CSR) float64 {
+	var triangles, triples int64
+	for u := int64(0); u < c.N; u++ {
+		d := c.Degree(u)
+		triples += d * (d - 1) / 2
+		nb := c.Neighbors(u)
+		// Count edges among neighbours (each triangle counted once per
+		// corner, i.e. 3 times in total over all u).
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				if c.HasEdge(nb[i], nb[j]) {
+					triangles++
+				}
+			}
+		}
+	}
+	if triples == 0 {
+		return 0
+	}
+	// triangles already counts each triangle exactly 3 times (once per
+	// corner), which is the numerator of the transitivity formula.
+	return float64(triangles) / float64(triples)
+}
+
+// AverageLocalClustering returns the mean of per-node local clustering
+// coefficients (Watts–Strogatz definition); nodes of degree < 2
+// contribute 0.
+func AverageLocalClustering(c *graph.CSR) float64 {
+	if c.N == 0 {
+		return 0
+	}
+	sum := 0.0
+	for u := int64(0); u < c.N; u++ {
+		d := c.Degree(u)
+		if d < 2 {
+			continue
+		}
+		nb := c.Neighbors(u)
+		var links int64
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				if c.HasEdge(nb[i], nb[j]) {
+					links++
+				}
+			}
+		}
+		sum += 2 * float64(links) / float64(d*(d-1))
+	}
+	return sum / float64(c.N)
+}
+
+// DegreeAssortativity returns the Pearson correlation of degrees across
+// edges (Newman's assortativity coefficient r). BA-style PA networks are
+// weakly disassortative for finite n (r slightly below 0).
+func DegreeAssortativity(g *graph.Graph) float64 {
+	if g.M() == 0 {
+		return math.NaN()
+	}
+	deg := g.Degrees()
+	// Per Newman: over edges, with j, k the endpoint degrees:
+	// r = [M^-1 Σ j k − (M^-1 Σ (j+k)/2)^2] / [M^-1 Σ (j²+k²)/2 − (M^-1 Σ (j+k)/2)^2]
+	var sJK, sHalf, sSq float64
+	m := float64(g.M())
+	for _, e := range g.Edges {
+		j := float64(deg[e.U])
+		k := float64(deg[e.V])
+		sJK += j * k
+		sHalf += (j + k) / 2
+		sSq += (j*j + k*k) / 2
+	}
+	num := sJK/m - (sHalf/m)*(sHalf/m)
+	den := sSq/m - (sHalf/m)*(sHalf/m)
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// KCores returns the core number of every node: the largest k such that
+// the node belongs to a subgraph in which every node has degree >= k.
+// Standard O(n + m) peeling with bucketed degrees (Batagelj–Zaveršnik).
+// Core structure is a common lens on scale-free networks: PA graphs with
+// parameter x have maximum core number close to x.
+func KCores(c *graph.CSR) []int64 {
+	n := c.N
+	core := make([]int64, n)
+	if n == 0 {
+		return core
+	}
+	deg := make([]int64, n)
+	maxDeg := int64(0)
+	for u := int64(0); u < n; u++ {
+		deg[u] = c.Degree(u)
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket sort nodes by degree.
+	binStart := make([]int64, maxDeg+2)
+	for _, d := range deg {
+		binStart[d+1]++
+	}
+	for d := int64(1); d <= maxDeg+1; d++ {
+		binStart[d] += binStart[d-1]
+	}
+	pos := make([]int64, n)  // position of node in vert
+	vert := make([]int64, n) // nodes sorted by current degree
+	cursor := make([]int64, maxDeg+1)
+	copy(cursor, binStart[:maxDeg+1])
+	for u := int64(0); u < n; u++ {
+		pos[u] = cursor[deg[u]]
+		vert[pos[u]] = u
+		cursor[deg[u]]++
+	}
+	bin := make([]int64, maxDeg+1)
+	copy(bin, binStart[:maxDeg+1])
+
+	for i := int64(0); i < n; i++ {
+		u := vert[i]
+		core[u] = deg[u]
+		for _, v := range c.Neighbors(u) {
+			if deg[v] > deg[u] {
+				// Move v to the front of its degree bucket, then
+				// shrink its degree.
+				dv := deg[v]
+				pv, pw := pos[v], bin[dv]
+				w := vert[pw]
+				if v != w {
+					vert[pv], vert[pw] = w, v
+					pos[v], pos[w] = pw, pv
+				}
+				bin[dv]++
+				deg[v]--
+			}
+		}
+	}
+	return core
+}
+
+// MaxCore returns the largest core number (the degeneracy of the graph).
+func MaxCore(c *graph.CSR) int64 {
+	var max int64
+	for _, k := range KCores(c) {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// AverageShortestPathSample estimates the average shortest-path length
+// by BFS from a sample of source nodes (exact all-pairs is O(nm)).
+// Unreachable pairs are skipped. sources <= 0 selects 16.
+func AverageShortestPathSample(c *graph.CSR, sources int, pick func(n int64) int64) float64 {
+	if sources <= 0 {
+		sources = 16
+	}
+	if c.N == 0 {
+		return math.NaN()
+	}
+	dist := make([]int64, c.N)
+	queue := make([]int64, 0, 1024)
+	var sum, count float64
+	for s := 0; s < sources; s++ {
+		src := pick(c.N)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = append(queue[:0], src)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range c.Neighbors(u) {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for _, d := range dist {
+			if d > 0 {
+				sum += float64(d)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return sum / count
+}

@@ -1,0 +1,148 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"pagen/internal/model"
+	"pagen/internal/seq"
+	"pagen/internal/stats"
+	"pagen/internal/xrand"
+)
+
+func TestStructuralInvariants(t *testing.T) {
+	cases := []struct {
+		pr       model.Params
+		ranks    int
+		interval int64
+	}{
+		{model.Params{N: 500, X: 1, P: 0.5}, 1, 1},
+		{model.Params{N: 500, X: 4, P: 0.5}, 4, 64},
+		{model.Params{N: 2000, X: 3, P: 0.5}, 8, 500},
+		{model.Params{N: 100, X: 5, P: 0.5}, 2, 1 << 30}, // one giant block
+	}
+	for _, c := range cases {
+		g, err := Generate(c.pr, Options{Ranks: c.ranks, SyncInterval: c.interval, Seed: 1})
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if g.M() != c.pr.M() {
+			t.Fatalf("%+v: m = %d, want %d", c, g.M(), c.pr.M())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if comp := g.ToCSR().ConnectedComponents(); comp != 1 {
+			t.Fatalf("%+v: %d components", c, comp)
+		}
+	}
+}
+
+func TestRejectsInvalidParams(t *testing.T) {
+	if _, err := Generate(model.Params{N: 4, X: 4, P: 0.5}, Options{}); err == nil {
+		t.Fatal("n == x accepted")
+	}
+}
+
+func TestDeterministicPerConfig(t *testing.T) {
+	pr := model.Params{N: 1000, X: 3, P: 0.5}
+	opt := Options{Ranks: 4, SyncInterval: 128, Seed: 9}
+	a, err := Generate(pr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(pr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+// With SyncInterval = 1 the approximation is exact BA: its degree PMF
+// must match Batagelj–Brandes closely.
+func TestIntervalOneIsExact(t *testing.T) {
+	pr := model.Params{N: 20000, X: 4, P: 0.5}
+	ga, err := Generate(pr, Options{Ranks: 1, SyncInterval: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := seq.BatageljBrandes(pr, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, hb := ga.DegreeHistogram(), gb.DegreeHistogram()
+	for d := int64(4); d <= 10; d++ {
+		pa := float64(ha.Count(d)) / float64(pr.N)
+		pb := float64(hb.Count(d)) / float64(pr.N)
+		if math.Abs(pa-pb) > 0.015 {
+			t.Errorf("P(deg=%d): approx %.4f vs BB %.4f", d, pa, pb)
+		}
+	}
+}
+
+// The paper's criticism quantified: accuracy degrades as the sync
+// interval grows. A huge interval freezes the early degree table, so
+// late nodes attach as if the network were still young — hubs grow far
+// beyond what exact PA produces (early mass is over-weighted for the
+// whole run).
+func TestAccuracyDegradesWithInterval(t *testing.T) {
+	pr := model.Params{N: 30000, X: 4, P: 0.5}
+	exact, err := seq.BatageljBrandes(pr, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactGamma := fitGamma(t, exact.Degrees())
+
+	tight, err := Generate(pr, Options{Ranks: 4, SyncInterval: 16, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightGamma := fitGamma(t, tight.Degrees())
+
+	loose, err := Generate(pr, Options{Ranks: 4, SyncInterval: pr.N, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	looseGamma := fitGamma(t, loose.Degrees())
+
+	if math.Abs(tightGamma-exactGamma) > 0.15 {
+		t.Errorf("tight interval gamma %v far from exact %v", tightGamma, exactGamma)
+	}
+	if math.Abs(looseGamma-exactGamma) <= math.Abs(tightGamma-exactGamma) {
+		t.Errorf("loose interval (%v) not worse than tight (%v) vs exact %v",
+			looseGamma, tightGamma, exactGamma)
+	}
+}
+
+func fitGamma(t *testing.T, degrees []int64) float64 {
+	t.Helper()
+	fit, err := stats.PowerLawMLE(degrees, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fit.Gamma
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	pr := model.Params{N: 3000, X: 2, P: 0.5}
+	g, err := Generate(pr, Options{}) // ranks and interval default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != pr.M() {
+		t.Fatalf("m = %d", g.M())
+	}
+}
+
+func BenchmarkApprox(b *testing.B) {
+	pr := model.Params{N: 100000, X: 4, P: 0.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(pr, Options{Ranks: 8, SyncInterval: 4096, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

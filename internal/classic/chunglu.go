@@ -1,0 +1,105 @@
+package classic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pagen/internal/graph"
+	"pagen/internal/xrand"
+)
+
+// ChungLu generates a random graph with given expected degrees (the
+// Chung–Lu model, paper reference [23], using the efficient algorithm of
+// Miller & Hagberg): edge (i, j) appears independently with probability
+// min(1, w_i w_j / S) where S = sum of weights. Runtime is O(n + m)
+// expected, achieved by processing nodes in non-increasing weight order
+// and geometric skipping within each row.
+//
+// The returned graph's node u corresponds to weights[u] (the internal
+// sort is undone before returning).
+func ChungLu(weights []float64, rng *xrand.Rand) (*graph.Graph, error) {
+	n := int64(len(weights))
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("classic: weight[%d] = %v invalid", i, w)
+		}
+		total += w
+	}
+	g := graph.New(n)
+	if n < 2 || total == 0 {
+		return g, nil
+	}
+
+	// Sort indices by weight, descending; work on the sorted view.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	w := make([]float64, n)
+	for pos, idx := range order {
+		w[pos] = weights[idx]
+	}
+
+	// Miller–Hagberg: for each row i, walk j > i with geometric skips
+	// under the bounding probability q = min(1, w_i w_j / S) evaluated
+	// at the current j (weights are non-increasing, so p is too); accept
+	// each candidate with p/q where q is the probability the skip was
+	// drawn under.
+	for i := int64(0); i < n-1 && w[i] > 0; i++ {
+		j := i + 1
+		p := math.Min(1, w[i]*w[j]/total)
+		for j < n && p > 0 {
+			if p < 1 {
+				skip := int64(math.Log(1-rng.Float64()) / math.Log1p(-p))
+				j += skip
+			}
+			if j >= n {
+				break
+			}
+			q := math.Min(1, w[i]*w[j]/total)
+			if rng.Float64() < q/p {
+				g.AddEdge(j, i) // store higher index first, as elsewhere
+			}
+			p = q
+			j++
+		}
+	}
+
+	// Undo the sort: map positions back to original labels.
+	inv := make([]int64, n)
+	for pos, idx := range order {
+		inv[pos] = int64(idx)
+	}
+	for k, e := range g.Edges {
+		u, v := inv[e.U], inv[e.V]
+		if u < v {
+			u, v = v, u
+		}
+		g.Edges[k] = graph.Edge{U: u, V: v}
+	}
+	return g, nil
+}
+
+// PowerLawWeights returns n weights following w_i ~ (i+1)^{-1/(gamma-1)}
+// scaled to the given mean — the standard recipe for a Chung–Lu graph
+// with a power-law expected-degree sequence of exponent gamma.
+func PowerLawWeights(n int64, gamma, mean float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	exp := -1 / (gamma - 1)
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), exp)
+		sum += w[i]
+	}
+	scale := mean * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	return w
+}

@@ -1,0 +1,331 @@
+package classic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pagen/internal/graph"
+	"pagen/internal/xrand"
+)
+
+func TestGNPEdgeCountMatchesExpectation(t *testing.T) {
+	n := int64(2000)
+	p := 0.01
+	rng := xrand.New(1)
+	g, err := GNP(n, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := float64(n*(n-1)/2) * p
+	got := float64(g.M())
+	// Binomial std ~ sqrt(expected); allow 5 sigma.
+	if math.Abs(got-expected) > 5*math.Sqrt(expected) {
+		t.Fatalf("m = %v, expected ~%v", got, expected)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGNPExtremes(t *testing.T) {
+	rng := xrand.New(2)
+	g, err := GNP(100, 0, rng)
+	if err != nil || g.M() != 0 {
+		t.Fatalf("p=0: %v m=%d", err, g.M())
+	}
+	g, err = GNP(50, 1, rng)
+	if err != nil || g.M() != 50*49/2 {
+		t.Fatalf("p=1: %v m=%d", err, g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err = GNP(0, 0.5, rng)
+	if err != nil || g.M() != 0 {
+		t.Fatalf("n=0: %v m=%d", err, g.M())
+	}
+	g, err = GNP(1, 0.5, rng)
+	if err != nil || g.M() != 0 {
+		t.Fatalf("n=1: %v m=%d", err, g.M())
+	}
+}
+
+func TestGNPRejectsBadArgs(t *testing.T) {
+	rng := xrand.New(3)
+	if _, err := GNP(-1, 0.5, rng); err == nil {
+		t.Error("n=-1 accepted")
+	}
+	if _, err := GNP(10, -0.1, rng); err == nil {
+		t.Error("p=-0.1 accepted")
+	}
+	if _, err := GNP(10, 1.1, rng); err == nil {
+		t.Error("p=1.1 accepted")
+	}
+}
+
+func TestGNPDegreeDistributionBinomial(t *testing.T) {
+	// Mean degree of G(n,p) is (n-1)p; spot-check.
+	n := int64(5000)
+	p := 0.004
+	g, err := GNP(n, p, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 2 * float64(g.M()) / float64(n)
+	want := float64(n-1) * p
+	if math.Abs(mean-want) > 0.1*want {
+		t.Fatalf("mean degree %v, want ~%v", mean, want)
+	}
+}
+
+func TestPosToPair(t *testing.T) {
+	// Enumerate the first rows explicitly.
+	wantPairs := [][2]int64{{1, 0}, {2, 0}, {2, 1}, {3, 0}, {3, 1}, {3, 2}, {4, 0}}
+	for pos, want := range wantPairs {
+		v, w := posToPair(int64(pos))
+		if v != want[0] || w != want[1] {
+			t.Fatalf("posToPair(%d) = (%d,%d), want %v", pos, v, w, want)
+		}
+	}
+}
+
+// Property: posToPair is the inverse of pair-to-position for random
+// positions, including very large ones.
+func TestPosToPairProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		pos := int64(raw % (1 << 45))
+		v, w := posToPair(pos)
+		return w >= 0 && w < v && v*(v-1)/2+w == pos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGNPEdgeRangeTilesFullRun(t *testing.T) {
+	// The union of disjoint ranges with per-range streams has the same
+	// distribution as a full run; and with the SAME stream positions it
+	// must reproduce a single-range run exactly.
+	n := int64(300)
+	p := 0.05
+	total := n * (n - 1) / 2
+	rng := xrand.New(9)
+	full := GNPEdgeRange(n, p, 0, total, rng)
+	for _, e := range full {
+		if e.V >= e.U || e.U >= n {
+			t.Fatalf("bad edge %v", e)
+		}
+	}
+	// Positions strictly increase, so no duplicates.
+	g := graph.Merge(n, full)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGNPEdgeRangeEmpty(t *testing.T) {
+	if edges := GNPEdgeRange(100, 0.5, 10, 10, xrand.New(1)); edges != nil {
+		t.Fatalf("empty range produced %v", edges)
+	}
+	if edges := GNPEdgeRange(100, 0, 0, 100, xrand.New(1)); edges != nil {
+		t.Fatalf("p=0 produced %v", edges)
+	}
+}
+
+func TestGNPEdgeRangeFullP(t *testing.T) {
+	edges := GNPEdgeRange(10, 1, 3, 7, xrand.New(1))
+	if len(edges) != 4 {
+		t.Fatalf("%d edges, want 4", len(edges))
+	}
+}
+
+func TestParallelGNPMatchesExpectation(t *testing.T) {
+	n := int64(3000)
+	p := 0.005
+	g, err := ParallelGNP(n, p, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	expected := float64(n*(n-1)/2) * p
+	if math.Abs(float64(g.M())-expected) > 5*math.Sqrt(expected) {
+		t.Fatalf("m = %d, expected ~%v", g.M(), expected)
+	}
+}
+
+func TestParallelGNPDeterministicPerConfig(t *testing.T) {
+	a, err := ParallelGNP(500, 0.02, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParallelGNP(500, 0.02, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatalf("edge counts differ: %d vs %d", a.M(), b.M())
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestParallelGNPErrors(t *testing.T) {
+	if _, err := ParallelGNP(100, 0.5, 0, 1); err == nil {
+		t.Error("ranks=0 accepted")
+	}
+	if _, err := ParallelGNP(-5, 0.5, 2, 1); err == nil {
+		t.Error("n=-5 accepted")
+	}
+	if _, err := ParallelGNP(10, 2, 2, 1); err == nil {
+		t.Error("p=2 accepted")
+	}
+}
+
+func TestSmallWorldLattice(t *testing.T) {
+	// beta = 0: pure ring lattice, every node has degree exactly 2k.
+	g, err := SmallWorld(100, 3, 0, xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 300 {
+		t.Fatalf("m = %d, want 300", g.M())
+	}
+	for u, d := range g.Degrees() {
+		if d != 6 {
+			t.Fatalf("node %d degree %d, want 6", u, d)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallWorldRewired(t *testing.T) {
+	g, err := SmallWorld(2000, 2, 0.1, xrand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4000 {
+		t.Fatalf("m = %d (rewiring must preserve edge count)", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Some edges must now be long-range.
+	long := 0
+	for _, e := range g.Edges {
+		d := e.U - e.V
+		if d < 0 {
+			d = -d
+		}
+		if d > 2 && d < 1998 {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Fatal("no long-range edges after rewiring")
+	}
+	// Roughly beta fraction rewired.
+	frac := float64(long) / 4000
+	if frac < 0.05 || frac > 0.15 {
+		t.Fatalf("rewired fraction %v, want ~0.1", frac)
+	}
+}
+
+func TestSmallWorldFullRewire(t *testing.T) {
+	g, err := SmallWorld(500, 2, 1.0, xrand.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1000 {
+		t.Fatalf("m = %d", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallWorldShortensPaths(t *testing.T) {
+	// The small-world effect: a little rewiring collapses the average
+	// path length of the ring lattice. Compare BFS eccentricity from
+	// node 0 on beta=0 vs beta=0.1.
+	avgDist := func(beta float64) float64 {
+		g, err := SmallWorld(1000, 2, beta, xrand.New(23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		csr := g.ToCSR()
+		dist := make([]int64, g.N)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[0] = 0
+		queue := []int64{0}
+		var sum, cnt float64
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			sum += float64(dist[u])
+			cnt++
+			for _, v := range csr.Neighbors(u) {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		return sum / cnt
+	}
+	lattice := avgDist(0)
+	rewired := avgDist(0.1)
+	if rewired >= lattice/2 {
+		t.Fatalf("rewiring did not shorten paths: %v -> %v", lattice, rewired)
+	}
+}
+
+func TestSmallWorldErrors(t *testing.T) {
+	rng := xrand.New(1)
+	if _, err := SmallWorld(4, 2, 0.1, rng); err == nil {
+		t.Error("n <= 2k accepted")
+	}
+	if _, err := SmallWorld(100, 0, 0.1, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := SmallWorld(100, 2, -0.1, rng); err == nil {
+		t.Error("beta=-0.1 accepted")
+	}
+	if _, err := SmallWorld(100, 2, 1.1, rng); err == nil {
+		t.Error("beta=1.1 accepted")
+	}
+}
+
+func BenchmarkGNP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GNP(100000, 0.0002, xrand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelGNP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelGNP(100000, 0.0002, 8, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSmallWorld(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := SmallWorld(100000, 2, 0.1, xrand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package classic
+
+import (
+	"math"
+	"testing"
+
+	"pagen/internal/stats"
+	"pagen/internal/xrand"
+)
+
+func TestChungLuExpectedDegrees(t *testing.T) {
+	// Uniform weights w: expected degree of every node is ~w^2*n/S = w.
+	n := int64(4000)
+	mean := 8.0
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = mean
+	}
+	g, err := ChungLu(weights, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := 2 * float64(g.M()) / float64(n)
+	if math.Abs(got-mean) > 0.5 {
+		t.Fatalf("mean degree %v, want ~%v", got, mean)
+	}
+}
+
+func TestChungLuHeterogeneousWeights(t *testing.T) {
+	// Per-node expected degree equals its weight (for small w_i w_j / S):
+	// check the highest-weight node's degree tracks its weight.
+	n := int64(20000)
+	weights := PowerLawWeights(n, 2.5, 6)
+	g, err := ChungLu(weights, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := g.Degrees()
+	// Node 0 has the largest weight.
+	if float64(deg[0]) < weights[0]/3 || float64(deg[0]) > weights[0]*3 {
+		t.Fatalf("hub degree %d far from expected %v", deg[0], weights[0])
+	}
+	// Overall mean degree ~6.
+	got := 2 * float64(g.M()) / float64(n)
+	if math.Abs(got-6) > 1.0 {
+		t.Fatalf("mean degree %v, want ~6", got)
+	}
+	// Power-law weights give a heavy-tailed degree sequence.
+	fit, err := stats.PowerLawMLE(deg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Gamma < 2.0 || fit.Gamma > 3.2 {
+		t.Fatalf("gamma %v, want ~2.5", fit.Gamma)
+	}
+}
+
+func TestChungLuEdgeCases(t *testing.T) {
+	g, err := ChungLu(nil, xrand.New(3))
+	if err != nil || g.M() != 0 {
+		t.Fatalf("empty: %v %d", err, g.M())
+	}
+	g, err = ChungLu([]float64{0, 0, 0}, xrand.New(3))
+	if err != nil || g.M() != 0 {
+		t.Fatalf("zero weights: %v %d", err, g.M())
+	}
+	if _, err := ChungLu([]float64{1, -2}, xrand.New(3)); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := ChungLu([]float64{1, math.NaN()}, xrand.New(3)); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := ChungLu([]float64{1, math.Inf(1)}, xrand.New(3)); err == nil {
+		t.Error("Inf weight accepted")
+	}
+}
+
+func TestChungLuLabelsPreserved(t *testing.T) {
+	// With one dominant weight at a non-zero index, that node must be
+	// the hub in the returned labelling (sort must be undone).
+	weights := []float64{1, 1, 1, 1, 1, 1, 1, 200, 1, 1}
+	// Clamp: w_i w_j / S can exceed 1 for the hub; fine for the test.
+	g, err := ChungLu(weights, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := g.Degrees()
+	hub := 0
+	for i, d := range deg {
+		if d > deg[hub] {
+			hub = i
+		}
+	}
+	if hub != 7 {
+		t.Fatalf("hub at %d, want 7 (degrees %v)", hub, deg)
+	}
+}
+
+func TestPowerLawWeights(t *testing.T) {
+	w := PowerLawWeights(1000, 2.5, 8)
+	if len(w) != 1000 {
+		t.Fatalf("len %d", len(w))
+	}
+	var sum float64
+	for i, v := range w {
+		if v <= 0 {
+			t.Fatalf("weight %d = %v", i, v)
+		}
+		if i > 0 && v > w[i-1] {
+			t.Fatal("weights not non-increasing")
+		}
+		sum += v
+	}
+	if math.Abs(sum/1000-8) > 1e-9 {
+		t.Fatalf("mean weight %v, want 8", sum/1000)
+	}
+	if PowerLawWeights(0, 2.5, 8) != nil {
+		t.Fatal("n=0 weights not nil")
+	}
+}
+
+func TestRMATCounts(t *testing.T) {
+	p := Graph500(10, 8) // n=1024, m=8192
+	g, err := RMAT(p, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 || g.M() != 8192 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	for _, e := range g.Edges {
+		if e.U < e.V {
+			t.Fatalf("edge %v not canonical", e)
+		}
+		if e.U >= g.N || e.V < 0 {
+			t.Fatalf("edge %v out of range", e)
+		}
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// Graph500 parameters concentrate edges on low-index nodes: the
+	// first 1/8 of nodes must carry well over 1/8 of the endpoints.
+	p := Graph500(12, 16)
+	g, err := RMAT(p, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := g.Degrees()
+	cut := g.N / 8
+	var head, total int64
+	for i, d := range deg {
+		if int64(i) < cut {
+			head += d
+		}
+		total += d
+	}
+	if float64(head) < 0.3*float64(total) {
+		t.Fatalf("head mass %d of %d — R-MAT skew missing", head, total)
+	}
+	// Uniform parameters (a=b=c=d) produce no skew.
+	uniform := RMATParams{A: 0.25, B: 0.25, C: 0.25, D: 0.25, Scale: 12, EdgeFactor: 16}
+	gu, err := RMAT(uniform, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	degU := gu.Degrees()
+	var headU, totalU int64
+	for i, d := range degU {
+		if int64(i) < cut {
+			headU += d
+		}
+		totalU += d
+	}
+	if frac := float64(headU) / float64(totalU); frac < 0.10 || frac > 0.16 {
+		t.Fatalf("uniform R-MAT head mass %v, want ~1/8", frac)
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	bad := []RMATParams{
+		{A: 0.5, B: 0.5, C: 0.5, D: 0.5, Scale: 5, EdgeFactor: 4}, // sum 2
+		{A: 1, Scale: 0, EdgeFactor: 4},                           // scale
+		{A: 1, Scale: 5, EdgeFactor: 0},                           // edge factor
+		{A: -0.5, B: 0.5, C: 0.5, D: 0.5, Scale: 5, EdgeFactor: 4},
+	}
+	for _, p := range bad {
+		if _, err := RMAT(p, xrand.New(1)); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func BenchmarkChungLu(b *testing.B) {
+	weights := PowerLawWeights(100000, 2.5, 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := ChungLu(weights, xrand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRMAT(b *testing.B) {
+	p := Graph500(17, 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := RMAT(p, xrand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

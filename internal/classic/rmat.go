@@ -1,0 +1,86 @@
+package classic
+
+import (
+	"fmt"
+
+	"pagen/internal/graph"
+	"pagen/internal/xrand"
+)
+
+// RMATParams are the quadrant probabilities of the recursive matrix
+// model (R-MAT, paper reference [7]). They must be non-negative and sum
+// to 1; a+d > b+c skews mass to the diagonal. The classic "Graph500"
+// setting is a=0.57, b=0.19, c=0.19, d=0.05.
+type RMATParams struct {
+	A, B, C, D float64
+	// Scale is log2 of the node count: n = 2^Scale.
+	Scale int
+	// EdgeFactor is edges per node: m = EdgeFactor * n.
+	EdgeFactor int
+}
+
+// Validate checks the parameters.
+func (p RMATParams) Validate() error {
+	if p.Scale < 1 || p.Scale > 40 {
+		return fmt.Errorf("classic: rmat scale %d outside [1,40]", p.Scale)
+	}
+	if p.EdgeFactor < 1 {
+		return fmt.Errorf("classic: rmat edge factor %d, want >= 1", p.EdgeFactor)
+	}
+	for _, v := range []float64{p.A, p.B, p.C, p.D} {
+		if v < 0 {
+			return fmt.Errorf("classic: rmat probability %v negative", v)
+		}
+	}
+	sum := p.A + p.B + p.C + p.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("classic: rmat probabilities sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Graph500 returns the standard Graph500 R-MAT parameterisation at the
+// given scale and edge factor.
+func Graph500(scale, edgeFactor int) RMATParams {
+	return RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: scale, EdgeFactor: edgeFactor}
+}
+
+// RMAT generates an R-MAT graph by dropping each edge through Scale
+// recursive quadrant choices. Self-loops and duplicate edges are kept,
+// as in the original model (use Graph.Validate-driven dedup externally
+// if simple graphs are required); direction is canonicalised to the
+// lower-triangular form used across this module.
+func RMAT(p RMATParams, rng *xrand.Rand) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := int64(1) << uint(p.Scale)
+	m := n * int64(p.EdgeFactor)
+	g := graph.New(n)
+	g.Edges = make([]graph.Edge, 0, m)
+
+	ab := p.A + p.B
+	abc := ab + p.C
+	for e := int64(0); e < m; e++ {
+		var u, v int64
+		for bit := p.Scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+				// top-left: no bits set
+			case r < ab:
+				v |= 1 << uint(bit)
+			case r < abc:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		if u < v {
+			u, v = v, u
+		}
+		g.AddEdge(u, v)
+	}
+	return g, nil
+}

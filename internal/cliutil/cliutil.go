@@ -1,0 +1,46 @@
+// Package cliutil holds the small flag-parsing helpers shared by the
+// pa-* command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pagen/internal/partition"
+)
+
+// ParseKinds parses a comma-separated list of partition scheme names.
+func ParseKinds(s string) ([]partition.Kind, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cliutil: empty scheme list")
+	}
+	var out []partition.Kind
+	for _, name := range strings.Split(s, ",") {
+		k, err := partition.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// ParseInts parses a comma-separated list of positive integers.
+func ParseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cliutil: empty integer list")
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("cliutil: value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

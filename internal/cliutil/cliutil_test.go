@@ -1,0 +1,43 @@
+package cliutil
+
+import (
+	"testing"
+
+	"pagen/internal/partition"
+)
+
+func TestParseKinds(t *testing.T) {
+	ks, err := ParseKinds("UCP, LCP,RRP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []partition.Kind{partition.KindUCP, partition.KindLCP, partition.KindRRP}
+	if len(ks) != len(want) {
+		t.Fatalf("ks = %v", ks)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("ks = %v", ks)
+		}
+	}
+	for _, bad := range []string{"", "UCP,,RRP", "bogus"} {
+		if _, err := ParseKinds(bad); err == nil {
+			t.Errorf("ParseKinds(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	vs, err := ParseInts("1, 2,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || vs[0] != 1 || vs[1] != 2 || vs[2] != 16 {
+		t.Fatalf("vs = %v", vs)
+	}
+	for _, bad := range []string{"", "a", "1,-2", "0", "1,,3"} {
+		if _, err := ParseInts(bad); err == nil {
+			t.Errorf("ParseInts(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package coll provides the collective operations an MPI replacement
+// owes its users — Barrier, Broadcast, AllReduce, Gather — implemented
+// over the buffered communicator with coordinator-based algorithms.
+// The generator's own termination protocol does not need them, but
+// distributed tools do (cmd/pa-tcp gathers per-rank statistics at rank 0
+// with Gather before printing a cluster-wide summary).
+//
+// Contract: collectives are synchronising operations. Every rank must
+// call the same collective in the same order, and no point-to-point
+// engine traffic may be in flight when one starts (call them before the
+// generation run, or after it has terminated). Each collective carries a
+// caller-supplied tag so that mismatched calls fail loudly instead of
+// mixing payloads.
+package coll
+
+import (
+	"fmt"
+
+	"pagen/internal/comm"
+	"pagen/internal/msg"
+)
+
+// recvColl blocks until the next collective message arrives, failing on
+// any non-collective traffic (which would mean the contract was broken)
+// and on tag mismatches.
+func recvColl(cm *comm.Comm, wantTag int64) (from int, payload int64, err error) {
+	for {
+		ms, err := cm.Wait()
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, m := range ms {
+			if m.Kind != msg.KindColl {
+				return 0, 0, fmt.Errorf("coll: unexpected %v message during collective", m.Kind)
+			}
+			if m.K != wantTag {
+				return 0, 0, fmt.Errorf("coll: tag mismatch: got %d, want %d", m.K, wantTag)
+			}
+			return int(m.T), m.V, nil
+		}
+	}
+}
+
+// recvCollN receives exactly n collective messages, returning payloads
+// indexed by sender rank.
+func recvCollN(cm *comm.Comm, wantTag int64, n int) (map[int]int64, error) {
+	out := make(map[int]int64, n)
+	for len(out) < n {
+		ms, err := cm.Wait()
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			if m.Kind != msg.KindColl {
+				return nil, fmt.Errorf("coll: unexpected %v message during collective", m.Kind)
+			}
+			if m.K != wantTag {
+				return nil, fmt.Errorf("coll: tag mismatch: got %d, want %d", m.K, wantTag)
+			}
+			if _, dup := out[int(m.T)]; dup {
+				return nil, fmt.Errorf("coll: duplicate contribution from rank %d", m.T)
+			}
+			out[int(m.T)] = m.V
+		}
+	}
+	return out, nil
+}
+
+// Barrier blocks until every rank has entered it.
+func Barrier(cm *comm.Comm, tag int64) error {
+	p, rank := cm.Size(), cm.Rank()
+	if p == 1 {
+		return nil
+	}
+	if rank == 0 {
+		if _, err := recvCollN(cm, tag, p-1); err != nil {
+			return err
+		}
+		for r := 1; r < p; r++ {
+			if err := cm.SendNow(r, msg.Coll(0, tag, 0)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := cm.SendNow(0, msg.Coll(rank, tag, 0)); err != nil {
+		return err
+	}
+	_, _, err := recvColl(cm, tag)
+	return err
+}
+
+// Broadcast distributes value from rank 0 to every rank; each rank
+// returns the broadcast value.
+func Broadcast(cm *comm.Comm, tag int64, value int64) (int64, error) {
+	p, rank := cm.Size(), cm.Rank()
+	if p == 1 {
+		return value, nil
+	}
+	if rank == 0 {
+		for r := 1; r < p; r++ {
+			if err := cm.SendNow(r, msg.Coll(0, tag, value)); err != nil {
+				return 0, err
+			}
+		}
+		return value, nil
+	}
+	_, v, err := recvColl(cm, tag)
+	return v, err
+}
+
+// AllReduceSum returns the sum of every rank's value on every rank.
+func AllReduceSum(cm *comm.Comm, tag int64, value int64) (int64, error) {
+	p, rank := cm.Size(), cm.Rank()
+	if p == 1 {
+		return value, nil
+	}
+	if rank == 0 {
+		contribs, err := recvCollN(cm, tag, p-1)
+		if err != nil {
+			return 0, err
+		}
+		sum := value
+		for _, v := range contribs {
+			sum += v
+		}
+		return Broadcast(cm, tag, sum)
+	}
+	if err := cm.SendNow(0, msg.Coll(rank, tag, value)); err != nil {
+		return 0, err
+	}
+	return Broadcast(cm, tag, 0)
+}
+
+// AllReduceMax returns the maximum of every rank's value on every rank.
+func AllReduceMax(cm *comm.Comm, tag int64, value int64) (int64, error) {
+	p, rank := cm.Size(), cm.Rank()
+	if p == 1 {
+		return value, nil
+	}
+	if rank == 0 {
+		contribs, err := recvCollN(cm, tag, p-1)
+		if err != nil {
+			return 0, err
+		}
+		max := value
+		for _, v := range contribs {
+			if v > max {
+				max = v
+			}
+		}
+		return Broadcast(cm, tag, max)
+	}
+	if err := cm.SendNow(0, msg.Coll(rank, tag, value)); err != nil {
+		return 0, err
+	}
+	return Broadcast(cm, tag, 0)
+}
+
+// Gather collects every rank's value at rank 0, which receives the full
+// slice indexed by rank; other ranks receive nil.
+func Gather(cm *comm.Comm, tag int64, value int64) ([]int64, error) {
+	p, rank := cm.Size(), cm.Rank()
+	if rank == 0 {
+		out := make([]int64, p)
+		out[0] = value
+		if p > 1 {
+			contribs, err := recvCollN(cm, tag, p-1)
+			if err != nil {
+				return nil, err
+			}
+			for r, v := range contribs {
+				out[r] = v
+			}
+		}
+		return out, nil
+	}
+	return nil, cm.SendNow(0, msg.Coll(rank, tag, value))
+}

@@ -1,0 +1,234 @@
+package coll
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pagen/internal/comm"
+	"pagen/internal/msg"
+	"pagen/internal/transport"
+)
+
+// runAll executes fn concurrently on every rank of a fresh local mesh and
+// returns per-rank errors.
+func runAll(t *testing.T, p int, fn func(cm *comm.Comm, rank int) error) []error {
+	t.Helper()
+	group, err := transport.NewLocalGroup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(comm.New(group.Endpoint(r), comm.Config{}), r)
+		}(r)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("collective hung")
+	}
+	return errs
+}
+
+func noErrors(t *testing.T, errs []error) {
+	t.Helper()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestBarrierReleasesEveryone(t *testing.T) {
+	for _, p := range []int{1, 2, 5} {
+		var passed int32
+		var mu sync.Mutex
+		errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
+			if err := Barrier(cm, 1); err != nil {
+				return err
+			}
+			mu.Lock()
+			passed++
+			mu.Unlock()
+			return nil
+		})
+		noErrors(t, errs)
+		if int(passed) != p {
+			t.Fatalf("p=%d: %d ranks passed the barrier", p, passed)
+		}
+	}
+}
+
+func TestBarrierOrdersPhases(t *testing.T) {
+	// No rank may enter phase 2 before all ranks finished phase 1.
+	const p = 4
+	var mu sync.Mutex
+	phase1 := 0
+	violated := false
+	errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
+		mu.Lock()
+		phase1++
+		mu.Unlock()
+		if err := Barrier(cm, 7); err != nil {
+			return err
+		}
+		mu.Lock()
+		if phase1 != p {
+			violated = true
+		}
+		mu.Unlock()
+		return nil
+	})
+	noErrors(t, errs)
+	if violated {
+		t.Fatal("a rank passed the barrier before all entered")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, p := range []int{1, 3, 6} {
+		got := make([]int64, p)
+		errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
+			v, err := Broadcast(cm, 2, int64(42+rank)) // only rank 0's 42 matters
+			got[rank] = v
+			return err
+		})
+		noErrors(t, errs)
+		for r, v := range got {
+			if v != 42 {
+				t.Fatalf("p=%d rank %d got %d", p, r, v)
+			}
+		}
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 7} {
+		want := int64(p * (p + 1) / 2)
+		got := make([]int64, p)
+		errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
+			v, err := AllReduceSum(cm, 3, int64(rank+1))
+			got[rank] = v
+			return err
+		})
+		noErrors(t, errs)
+		for r, v := range got {
+			if v != want {
+				t.Fatalf("p=%d rank %d sum %d, want %d", p, r, v, want)
+			}
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	const p = 5
+	got := make([]int64, p)
+	errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
+		v, err := AllReduceMax(cm, 4, int64((rank*7)%13))
+		got[rank] = v
+		return err
+	})
+	noErrors(t, errs)
+	want := int64(0)
+	for r := 0; r < p; r++ {
+		if v := int64((r * 7) % 13); v > want {
+			want = v
+		}
+	}
+	for r, v := range got {
+		if v != want {
+			t.Fatalf("rank %d max %d, want %d", r, v, want)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		var root []int64
+		errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
+			vs, err := Gather(cm, 5, int64(rank*rank))
+			if rank == 0 {
+				root = vs
+			} else if vs != nil {
+				t.Errorf("rank %d got non-nil gather %v", rank, vs)
+			}
+			return err
+		})
+		noErrors(t, errs)
+		if len(root) != p {
+			t.Fatalf("p=%d: gathered %d values", p, len(root))
+		}
+		for r, v := range root {
+			if v != int64(r*r) {
+				t.Fatalf("p=%d: root[%d] = %d", p, r, v)
+			}
+		}
+	}
+}
+
+func TestSequencedCollectives(t *testing.T) {
+	// A realistic tool sequence: barrier, reduce, gather, broadcast —
+	// distinct tags, same order everywhere.
+	const p = 4
+	errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
+		if err := Barrier(cm, 10); err != nil {
+			return err
+		}
+		sum, err := AllReduceSum(cm, 11, 1)
+		if err != nil {
+			return err
+		}
+		if sum != p {
+			t.Errorf("rank %d: sum %d", rank, sum)
+		}
+		if _, err := Gather(cm, 12, int64(rank)); err != nil {
+			return err
+		}
+		v, err := Broadcast(cm, 13, sum*2)
+		if err != nil {
+			return err
+		}
+		if v != 2*p {
+			t.Errorf("rank %d: broadcast %d", rank, v)
+		}
+		return nil
+	})
+	noErrors(t, errs)
+}
+
+func TestCollectiveRejectsForeignTraffic(t *testing.T) {
+	group, err := transport.NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm0 := comm.New(group.Endpoint(0), comm.Config{})
+	cm1 := comm.New(group.Endpoint(1), comm.Config{})
+	// Rank 1 sends a stray data message, then its collective part.
+	if err := cm1.SendNow(0, msg.Request(5, 0, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	go cm1.SendNow(0, msg.Coll(1, 9, 1))
+	if _, err := AllReduceSum(cm0, 9, 1); err == nil {
+		t.Fatal("stray data message not rejected")
+	}
+}
+
+func TestCollectiveRejectsTagMismatch(t *testing.T) {
+	group, err := transport.NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm0 := comm.New(group.Endpoint(0), comm.Config{})
+	cm1 := comm.New(group.Endpoint(1), comm.Config{})
+	go cm1.SendNow(0, msg.Coll(1, 99, 1)) // wrong tag
+	if _, err := Gather(cm0, 42, 0); err == nil {
+		t.Fatal("tag mismatch not rejected")
+	}
+}

@@ -1,0 +1,240 @@
+// Package comm implements the communicator of the parallel generator: the
+// layer between the engine (internal/core) and the raw transport. It
+// provides what the paper's MPI usage provides — buffered sends that
+// combine multiple messages to the same destination into one transport
+// operation (Section 3.5.1 "Message Buffering"), message counters for the
+// load analysis of Section 4.6, and batch-oriented receive.
+//
+// Flush discipline (engine responsibility, supported here): the paper's
+// Section 3.5.2 deadlock rule — resolved messages must leave the buffer
+// after processing every received group — maps to calling FlushAll before
+// every blocking Wait. The unbounded-mailbox transport cannot deadlock on
+// full buffers, but an unflushed buffer would still stall the protocol
+// forever, so the rule is as load-bearing here as under MPI.
+package comm
+
+import (
+	"fmt"
+
+	"pagen/internal/msg"
+	"pagen/internal/transport"
+)
+
+// Config controls buffering.
+type Config struct {
+	// BufferCap is the number of messages a per-destination buffer holds
+	// before an automatic flush. 1 disables buffering (every message is
+	// its own transport frame) — the unbuffered ablation. 0 selects
+	// DefaultBufferCap.
+	BufferCap int
+}
+
+// DefaultBufferCap is the default per-destination buffer capacity.
+const DefaultBufferCap = 256
+
+// Counters tallies protocol traffic for one rank. RequestsSent etc. count
+// logical messages; FramesSent/FramesRecv count transport frames, so
+// RequestsSent+ResolvedSent+ControlSent versus FramesSent measures how
+// much buffering coalesced (the Figure 7 message-distribution inputs are
+// the logical counts).
+type Counters struct {
+	RequestsSent int64
+	RequestsRecv int64
+	ResolvedSent int64
+	ResolvedRecv int64
+	ControlSent  int64
+	ControlRecv  int64
+	FramesSent   int64
+	FramesRecv   int64
+	BytesSent    int64
+	BytesRecv    int64
+}
+
+// MessagesSent returns the total logical messages sent.
+func (c Counters) MessagesSent() int64 {
+	return c.RequestsSent + c.ResolvedSent + c.ControlSent
+}
+
+// MessagesRecv returns the total logical messages received.
+func (c Counters) MessagesRecv() int64 {
+	return c.RequestsRecv + c.ResolvedRecv + c.ControlRecv
+}
+
+// Comm is a buffering communicator bound to one transport endpoint. It is
+// not safe for concurrent use: each rank's engine owns its Comm.
+type Comm struct {
+	tr         transport.Transport
+	cap        int
+	bufs       [][]msg.Message
+	counters   Counters
+	requestsTo []int64
+	scratch    []msg.Message
+}
+
+// New wraps a transport endpoint.
+func New(tr transport.Transport, cfg Config) *Comm {
+	capacity := cfg.BufferCap
+	if capacity <= 0 {
+		capacity = DefaultBufferCap
+	}
+	return &Comm{
+		tr:         tr,
+		cap:        capacity,
+		bufs:       make([][]msg.Message, tr.Size()),
+		requestsTo: make([]int64, tr.Size()),
+	}
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.tr.Rank() }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.tr.Size() }
+
+// Counters returns a snapshot of the traffic counters.
+func (c *Comm) Counters() Counters { return c.counters }
+
+// RequestsTo returns a copy of the per-destination request counts — one
+// row of the cluster's request-traffic matrix. Under consecutive
+// partitioning the matrix is strictly lower-triangular (Section 4.6.2:
+// processor i requests only from processors 0..i-1).
+func (c *Comm) RequestsTo() []int64 {
+	return append([]int64(nil), c.requestsTo...)
+}
+
+// Send buffers m for destination to, flushing automatically when the
+// buffer reaches capacity.
+func (c *Comm) Send(to int, m msg.Message) error {
+	if to < 0 || to >= len(c.bufs) {
+		return fmt.Errorf("comm: send to rank %d outside [0,%d)", to, len(c.bufs))
+	}
+	switch m.Kind {
+	case msg.KindRequest:
+		c.counters.RequestsSent++
+		c.requestsTo[to]++
+	case msg.KindResolved:
+		c.counters.ResolvedSent++
+	default:
+		c.counters.ControlSent++
+	}
+	c.bufs[to] = append(c.bufs[to], m)
+	if len(c.bufs[to]) >= c.cap {
+		return c.Flush(to)
+	}
+	return nil
+}
+
+// SendNow sends m immediately, flushing anything already buffered for the
+// destination first so per-pair ordering is preserved. Used for control
+// messages that must not linger in a buffer.
+func (c *Comm) SendNow(to int, m msg.Message) error {
+	if err := c.Send(to, m); err != nil {
+		return err
+	}
+	return c.Flush(to)
+}
+
+// Flush transmits the buffered messages for rank to, if any, as one frame.
+func (c *Comm) Flush(to int) error {
+	if to < 0 || to >= len(c.bufs) {
+		return fmt.Errorf("comm: flush rank %d outside [0,%d)", to, len(c.bufs))
+	}
+	if len(c.bufs[to]) == 0 {
+		return nil
+	}
+	frame := msg.EncodeBatch(c.bufs[to])
+	c.bufs[to] = c.bufs[to][:0]
+	c.counters.FramesSent++
+	c.counters.BytesSent += int64(len(frame))
+	return c.tr.Send(to, frame)
+}
+
+// FlushAll transmits every non-empty buffer.
+func (c *Comm) FlushAll() error {
+	for to := range c.bufs {
+		if err := c.Flush(to); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Buffered returns the number of messages currently buffered for to.
+func (c *Comm) Buffered(to int) int { return len(c.bufs[to]) }
+
+// decode appends the decoded messages of f to dst, updating counters.
+func (c *Comm) decode(dst []msg.Message, f transport.Frame) ([]msg.Message, error) {
+	before := len(dst)
+	dst, err := msg.DecodeBatch(dst, f.Data)
+	if err != nil {
+		return dst, fmt.Errorf("comm: frame from rank %d: %w", f.From, err)
+	}
+	c.counters.FramesRecv++
+	c.counters.BytesRecv += int64(len(f.Data))
+	for _, m := range dst[before:] {
+		switch m.Kind {
+		case msg.KindRequest:
+			c.counters.RequestsRecv++
+		case msg.KindResolved:
+			c.counters.ResolvedRecv++
+		default:
+			c.counters.ControlRecv++
+		}
+	}
+	return dst, nil
+}
+
+// Poll drains every frame that is immediately available, returning the
+// decoded messages (nil if none). The returned slice is reused by the
+// next Poll/Wait call.
+func (c *Comm) Poll() ([]msg.Message, error) {
+	c.scratch = c.scratch[:0]
+	for {
+		f, ok, err := c.tr.TryRecv()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		c.scratch, err = c.decode(c.scratch, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(c.scratch) == 0 {
+		return nil, nil
+	}
+	return c.scratch, nil
+}
+
+// Wait blocks for at least one frame, then also drains whatever else is
+// immediately available, returning the decoded messages. The returned
+// slice is reused by the next Poll/Wait call.
+func (c *Comm) Wait() ([]msg.Message, error) {
+	f, err := c.tr.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.scratch = c.scratch[:0]
+	c.scratch, err = c.decode(c.scratch, f)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		f, ok, err := c.tr.TryRecv()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return c.scratch, nil
+		}
+		c.scratch, err = c.decode(c.scratch, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close closes the underlying transport.
+func (c *Comm) Close() error { return c.tr.Close() }

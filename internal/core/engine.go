@@ -1,0 +1,519 @@
+// Package core implements the paper's contribution: the distributed-memory
+// parallel preferential-attachment generator (Algorithms 3.1 and 3.2).
+//
+// Each processor rank owns a partition of the node set and computes the
+// attachments F_t(e) for its nodes with the copy model. Direct
+// attachments resolve immediately; copy attachments whose source node
+// lives on another rank travel as <request, t, e, k, l> messages and come
+// back as <resolved, t, e, v>. Requests for still-unknown attachments
+// wait in per-slot queues (the paper's Q_{k,l}) and are answered the
+// moment the slot resolves. Duplicate edges are rejected at both decision
+// points the paper identifies (Algorithm 3.2 lines 7 and 22) by
+// re-running the attachment step.
+//
+// Termination uses the monotonicity of the unresolved-slot count: a
+// rank's count never increases once its generation loop has initiated
+// every local slot, so when it hits zero the rank reports done to rank 0,
+// and rank 0 broadcasts stop once every rank (itself included) has
+// reported. At that instant no request or resolved message can be in
+// flight (see the package tests for the argument exercised empirically).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pagen/internal/comm"
+	"pagen/internal/graph"
+	"pagen/internal/model"
+	"pagen/internal/msg"
+	"pagen/internal/partition"
+	"pagen/internal/transport"
+	"pagen/internal/xrand"
+)
+
+// Options configures a parallel generation run.
+type Options struct {
+	// Params are the copy-model parameters.
+	Params model.Params
+	// Part assigns nodes to ranks. Its P() fixes the number of ranks.
+	Part partition.Scheme
+	// Seed seeds the per-rank independent random streams.
+	Seed uint64
+	// BufferCap is the per-destination message-buffer capacity
+	// (comm.DefaultBufferCap if zero; 1 disables buffering).
+	BufferCap int
+	// PollEvery is the number of local nodes processed between inbox
+	// polls during the generation loop (DefaultPollEvery if zero).
+	// Polling too rarely lets request queues grow; the ablation
+	// benchmark sweeps this.
+	PollEvery int
+	// Trace, when non-nil, receives the per-slot attachment decisions.
+	// Slot ranges written by different ranks are disjoint, so a single
+	// shared trace is written without locking.
+	Trace *model.Trace
+	// Sink, when non-nil, receives every edge as it is finalised
+	// instead of the engine accumulating edges in memory — the paper's
+	// Section 3.5 "generate networks on the fly and analyze without
+	// performing disk I/O" mode. It is called concurrently from rank
+	// goroutines (the rank argument identifies the caller), so it must
+	// be safe for concurrent use or dispatch on rank.
+	Sink func(rank int, e graph.Edge)
+}
+
+// DefaultPollEvery is the default generation-loop polling interval.
+const DefaultPollEvery = 64
+
+// RankStats are one rank's load and traffic statistics — the measurements
+// behind Figures 5-7.
+type RankStats struct {
+	Rank  int
+	Nodes int64
+	Edges int64
+	// Comm is the traffic snapshot (logical messages and frames).
+	Comm comm.Counters
+	// Retries counts duplicate-edge retries (both decision points).
+	Retries int64
+	// QueuedWaits counts requests that arrived before their slot
+	// resolved and had to wait in a Q_{k,l} queue.
+	QueuedWaits int64
+	// LocalWaits counts copy attachments whose source was local but
+	// unresolved (same-rank dependency-chain waits).
+	LocalWaits int64
+	// RequestsTo is the per-destination request count — this rank's row
+	// of the request-traffic matrix (strictly lower-triangular under
+	// consecutive partitioning, Section 4.6.2).
+	RequestsTo []int64
+	// MaxPendingSlots is the largest number of local slots that were
+	// simultaneously waiting on resolutions — the empirical counterpart
+	// of the Section 3.4 claim that waiting never idles a processor.
+	MaxPendingSlots int64
+	// BusyTime is wall time minus time spent blocked in Wait.
+	BusyTime time.Duration
+	// WallTime is the rank's total engine time.
+	WallTime time.Duration
+}
+
+// TotalLoad returns the paper's Section 4.6 load measure for the rank:
+// nodes plus incoming plus outgoing data messages.
+func (s RankStats) TotalLoad() int64 {
+	return s.Nodes +
+		s.Comm.RequestsSent + s.Comm.ResolvedSent +
+		s.Comm.RequestsRecv + s.Comm.ResolvedRecv
+}
+
+// RankResult is one rank's output.
+type RankResult struct {
+	Stats RankStats
+	// Edges are the edges whose lower... higher endpoint (the attaching
+	// node) is owned by this rank; the union over ranks is the graph.
+	Edges []graph.Edge
+}
+
+// waiter identifies a slot waiting for a resolution: the paper's queue
+// entries <t', e'>.
+type waiter struct {
+	t int64
+	e uint16
+}
+
+// engine is the per-rank state machine.
+type engine struct {
+	opts Options
+	rank int
+	p    int
+	x    int
+	x64  int64
+	part partition.Scheme
+	cm   *comm.Comm
+	// retryRng drives the re-drawn steps of deferred duplicate retries
+	// (Algorithm 3.2 lines 27-28). Generation-time draws use per-node
+	// streams instead — see place — so that the output graph does not
+	// depend on the partitioning for x = 1, and single-rank runs
+	// reproduce the sequential copy model exactly.
+	retryRng *xrand.Rand
+	trace    *model.Trace
+
+	// f holds F_t(e) at f[part.Index(rank,t)*x + e]; -1 = NILL.
+	f []int64
+	// queues[slot] holds waiters for the slot's resolution (Q_{k,l}).
+	queues map[int64][]waiter
+	// pendingWaiters tracks the current and maximum number of queued
+	// waiter entries across all local queues.
+	pendingWaiters    int64
+	maxPendingWaiters int64
+	// unresolved counts local slots still NILL. Monotone non-increasing
+	// after the generation loop has initiated every slot.
+	unresolved int64
+
+	edges     []graph.Edge
+	edgeCount int64
+	stats     RankStats
+	blocked   time.Duration
+
+	// doneFlag records that this rank already reported done.
+	doneFlag bool
+	// sendErr latches the first send failure from the resolution
+	// cascade, whose call sites cannot return errors directly.
+	sendErr error
+	// coordinator state (rank 0 only)
+	doneRanks int
+	stopped   bool
+}
+
+// RunRank executes one rank of the parallel algorithm over the given
+// transport endpoint. All ranks of the mesh must run concurrently. It is
+// the building block Run composes for in-process execution and cmd/pa-tcp
+// uses for genuine multi-process runs.
+func RunRank(tr transport.Transport, opts Options) (*RankResult, error) {
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Part == nil {
+		return nil, fmt.Errorf("core: nil partition scheme")
+	}
+	if opts.Part.N() != opts.Params.N {
+		return nil, fmt.Errorf("core: partition over %d nodes but params have n = %d", opts.Part.N(), opts.Params.N)
+	}
+	if opts.Part.P() != tr.Size() {
+		return nil, fmt.Errorf("core: partition has %d ranks but transport has %d", opts.Part.P(), tr.Size())
+	}
+	if opts.PollEvery <= 0 {
+		opts.PollEvery = DefaultPollEvery
+	}
+
+	e := &engine{
+		opts: opts,
+		rank: tr.Rank(),
+		p:    tr.Size(),
+		x:    opts.Params.X,
+		x64:  int64(opts.Params.X),
+		part: opts.Part,
+		cm:   comm.New(tr, comm.Config{BufferCap: opts.BufferCap}),
+		// Stream ids >= n are reserved for rank-level streams; ids
+		// < n are the per-node generation streams.
+		retryRng: xrand.NewStream(opts.Seed, uint64(opts.Params.N)+uint64(tr.Rank())),
+		trace:    opts.Trace,
+		queues:   make(map[int64][]waiter),
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	e.stats.Rank = e.rank
+	e.stats.Nodes = e.part.Size(e.rank)
+	e.stats.Edges = e.edgeCount
+	e.stats.Comm = e.cm.Counters()
+	e.stats.RequestsTo = e.cm.RequestsTo()
+	e.stats.MaxPendingSlots = e.maxPendingWaiters
+	return &RankResult{Stats: e.stats, Edges: e.edges}, nil
+}
+
+// emit finalises one edge: streamed to the sink when configured,
+// accumulated otherwise.
+func (e *engine) emit(ed graph.Edge) {
+	e.edgeCount++
+	if e.opts.Sink != nil {
+		e.opts.Sink(e.rank, ed)
+		return
+	}
+	e.edges = append(e.edges, ed)
+}
+
+// trackPending adjusts the queued-waiter gauge and its high-water mark.
+func (e *engine) trackPending(delta int64) {
+	e.pendingWaiters += delta
+	if e.pendingWaiters > e.maxPendingWaiters {
+		e.maxPendingWaiters = e.pendingWaiters
+	}
+}
+
+func (e *engine) slot(t int64, edge int) int64 {
+	return e.part.Index(e.rank, t)*e.x64 + int64(edge)
+}
+
+func (e *engine) run() error {
+	start := time.Now()
+	defer func() {
+		e.stats.WallTime = time.Since(start)
+		e.stats.BusyTime = e.stats.WallTime - e.blocked
+	}()
+
+	e.bootstrap()
+
+	// Generation loop: initiate every local slot, polling the inbox
+	// periodically so queued requests from other ranks are answered
+	// while we still generate (the MPI program's interleaving).
+	sincePoll := 0
+	var loopErr error
+	var rng xrand.Rand // reused across nodes; re-seeded per node
+	e.part.ForEach(e.rank, func(t int64) {
+		if loopErr != nil || t <= e.x64 {
+			return // clique and bootstrap nodes were handled above
+		}
+		rng.SeedStream(e.opts.Seed, uint64(t))
+		for edge := 0; edge < e.x; edge++ {
+			if err := e.place(t, edge, &rng); err != nil {
+				loopErr = err
+				return
+			}
+		}
+		sincePoll++
+		if sincePoll >= e.opts.PollEvery {
+			sincePoll = 0
+			if err := e.drain(false); err != nil {
+				loopErr = err
+			}
+		}
+	})
+	if loopErr != nil {
+		return loopErr
+	}
+
+	// All local slots initiated. From here unresolved is monotone.
+	if err := e.maybeReportDone(); err != nil {
+		return err
+	}
+	for !e.stopped {
+		if err := e.drain(true); err != nil {
+			return err
+		}
+		if err := e.maybeReportDone(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bootstrap emits clique edges for locally-owned clique nodes and fixes
+// node x's attachments if x is local.
+func (e *engine) bootstrap() {
+	// Pre-size the F table.
+	e.f = make([]int64, e.part.Size(e.rank)*e.x64)
+	for i := range e.f {
+		e.f[i] = -1
+	}
+	e.part.ForEach(e.rank, func(t int64) {
+		switch {
+		case t < e.x64:
+			// Clique node: emit its backward clique edges; it has no
+			// attachment slots (mark them resolved so they never count).
+			for j := int64(0); j < t; j++ {
+				e.emit(graph.Edge{U: t, V: j})
+			}
+			base := e.slot(t, 0)
+			for edge := 0; edge < e.x; edge++ {
+				e.f[base+int64(edge)] = t // self-marker; never queried
+			}
+		case t == e.x64:
+			for edge := 0; edge < e.x; edge++ {
+				v, _ := e.opts.Params.BootstrapF(t, edge)
+				e.f[e.slot(t, edge)] = v
+				e.emit(graph.Edge{U: t, V: v})
+				if e.trace != nil {
+					e.trace.RecordBootstrap(t, edge)
+				}
+			}
+		default:
+			e.unresolved += e.x64
+		}
+	})
+}
+
+// isDup reports whether v already appears among t's attachments.
+func (e *engine) isDup(t int64, v int64) bool {
+	base := e.slot(t, 0)
+	for i := 0; i < e.x; i++ {
+		if e.f[base+int64(i)] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// place runs one attachment step for local slot (t, edge): Algorithm 3.2
+// lines 4-14. It either resolves the slot immediately (direct branch, or
+// copy from an already-resolved source) or parks it (request message /
+// local queue) to be finished by onResolved. rng is the node's own
+// stream at generation time and the rank's retry stream for deferred
+// duplicate retries.
+func (e *engine) place(t int64, edge int, rng *xrand.Rand) error {
+	lo, hi := e.opts.Params.KRange(t)
+	span := uint64(hi - lo)
+	for {
+		k := lo + int64(rng.Uint64n(span))
+		if rng.Float64() < e.opts.Params.P {
+			// Direct branch (lines 6-10).
+			if e.isDup(t, k) {
+				e.stats.Retries++
+				continue
+			}
+			e.resolveSlot(t, edge, k)
+			if e.trace != nil {
+				e.trace.RecordDirect(t, edge, k)
+			}
+			return nil
+		}
+		// Copy branch (lines 11-14).
+		l := int(rng.Uint64n(uint64(e.x)))
+		if e.trace != nil {
+			e.trace.RecordCopy(t, edge, k, l)
+		}
+		owner := e.part.Owner(k)
+		if owner == e.rank {
+			v := e.f[e.slot(k, l)]
+			if v < 0 {
+				// Local dependency chain: wait on our own queue.
+				e.stats.LocalWaits++
+				qslot := e.slot(k, l)
+				e.queues[qslot] = append(e.queues[qslot], waiter{t: t, e: uint16(edge)})
+				e.trackPending(1)
+				return nil
+			}
+			if e.isDup(t, v) {
+				e.stats.Retries++
+				continue
+			}
+			e.resolveSlot(t, edge, v)
+			return nil
+		}
+		return e.cm.Send(owner, msg.Request(t, edge, k, l))
+	}
+}
+
+// resolveSlot finalises F_t(edge) = v for a local slot: records the edge,
+// decrements the unresolved count, and answers every waiter of this slot
+// (Algorithm 3.1 lines 16-19 / Algorithm 3.2 lines 21-25).
+func (e *engine) resolveSlot(t int64, edge int, v int64) {
+	s := e.slot(t, edge)
+	e.f[s] = v
+	e.unresolved--
+	e.emit(graph.Edge{U: t, V: v})
+
+	waiters := e.queues[s]
+	if len(waiters) == 0 {
+		return
+	}
+	delete(e.queues, s)
+	e.trackPending(-int64(len(waiters)))
+	for _, w := range waiters {
+		e.deliverResolved(w.t, int(w.e), v)
+	}
+}
+
+// deliverResolved routes a resolution to the owner of the waiting slot —
+// locally by direct call, remotely as a resolved message.
+func (e *engine) deliverResolved(t int64, edge int, v int64) {
+	owner := e.part.Owner(t)
+	if owner == e.rank {
+		e.onResolved(t, edge, v)
+		return
+	}
+	if err := e.cm.Send(owner, msg.Resolved(t, edge, v)); err != nil && e.sendErr == nil {
+		e.sendErr = err
+	}
+}
+
+// onResolved handles <resolved, t, e, v> for a local slot: the duplicate
+// check of Algorithm 3.2 line 22, retrying the whole step on conflict
+// (see DESIGN.md for why the retry re-runs the coin).
+func (e *engine) onResolved(t int64, edge int, v int64) {
+	if e.isDup(t, v) {
+		e.stats.Retries++
+		if err := e.place(t, edge, e.retryRng); err != nil && e.sendErr == nil {
+			e.sendErr = err
+		}
+		return
+	}
+	e.resolveSlot(t, edge, v)
+}
+
+// onRequest handles <request, t', e', k', l'> for a locally-owned k'
+// (Algorithm 3.2 lines 16-20).
+func (e *engine) onRequest(m msg.Message) {
+	s := e.slot(m.K, int(m.L))
+	v := e.f[s]
+	if v < 0 {
+		e.stats.QueuedWaits++
+		e.queues[s] = append(e.queues[s], waiter{t: m.T, e: m.E})
+		e.trackPending(1)
+		return
+	}
+	e.deliverResolved(m.T, int(m.E), v)
+}
+
+// drain processes incoming messages: all immediately available ones, or —
+// when block is set — at least one batch. Before blocking it flushes all
+// send buffers (the Section 3.5.2 rule generalised: nothing may linger
+// while we sleep).
+func (e *engine) drain(block bool) error {
+	var ms []msg.Message
+	var err error
+	if block {
+		if err = e.cm.FlushAll(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		ms, err = e.cm.Wait()
+		e.blocked += time.Since(t0)
+	} else {
+		ms, err = e.cm.Poll()
+	}
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
+		switch m.Kind {
+		case msg.KindRequest:
+			e.onRequest(m)
+		case msg.KindResolved:
+			e.onResolved(m.T, int(m.E), m.V)
+		case msg.KindDone:
+			if e.rank != 0 {
+				return fmt.Errorf("core: rank %d received done message", e.rank)
+			}
+			e.doneRanks++
+			if err := e.maybeBroadcastStop(); err != nil {
+				return err
+			}
+		case msg.KindStop:
+			e.stopped = true
+		default:
+			return fmt.Errorf("core: unexpected message kind %v", m.Kind)
+		}
+	}
+	if e.sendErr != nil {
+		return e.sendErr
+	}
+	// Answers generated while processing this batch must not wait for
+	// the next blocking point (paper rule: resolved messages are sent
+	// out after processing every group).
+	return e.cm.FlushAll()
+}
+
+// maybeReportDone sends the rank's done report once all local slots are
+// resolved. Safe to call repeatedly; reports once.
+func (e *engine) maybeReportDone() error {
+	if e.unresolved != 0 || e.doneFlag {
+		return nil
+	}
+	e.doneFlag = true
+	if e.rank == 0 {
+		e.doneRanks++
+		return e.maybeBroadcastStop()
+	}
+	return e.cm.SendNow(0, msg.Done(e.rank))
+}
+
+// maybeBroadcastStop (rank 0) broadcasts stop once every rank reported.
+func (e *engine) maybeBroadcastStop() error {
+	if e.doneRanks < e.p {
+		return nil
+	}
+	for r := 1; r < e.p; r++ {
+		if err := e.cm.SendNow(r, msg.Stop()); err != nil {
+			return err
+		}
+	}
+	e.stopped = true
+	return nil
+}

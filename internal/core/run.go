@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pagen/internal/graph"
+	"pagen/internal/model"
+	"pagen/internal/transport"
+)
+
+// Result is the output of an in-process parallel run.
+type Result struct {
+	// Graph is the merged output graph (nil when Options.Sink streams
+	// the edges instead).
+	Graph *graph.Graph
+	// Ranks holds per-rank statistics, indexed by rank.
+	Ranks []RankStats
+	// Trace is the decision trace when Options.Trace was requested via
+	// Run's recordTrace flag (nil otherwise).
+	Trace *model.Trace
+	// Elapsed is the wall time of the parallel section (rank launch to
+	// last rank finish), the T_p of the paper's speedup measurements.
+	Elapsed time.Duration
+}
+
+// Run executes the parallel algorithm with every rank as a goroutine over
+// the in-process transport, then gathers shards into one graph. The
+// number of ranks is opts.Part.P(). If recordTrace is set, a shared
+// decision trace is collected (rank slot ranges are disjoint, so the
+// trace is written race-free).
+func Run(opts Options, recordTrace bool) (*Result, error) {
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Part == nil {
+		return nil, fmt.Errorf("core: nil partition scheme")
+	}
+	p := opts.Part.P()
+	group, err := transport.NewLocalGroup(p)
+	if err != nil {
+		return nil, err
+	}
+	if recordTrace {
+		opts.Trace = model.NewTrace(opts.Params)
+	}
+
+	results := make([]*RankResult, p)
+	errs := make([]error, p)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = RunRank(group.Endpoint(r), opts)
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+	}
+
+	shards := make([][]graph.Edge, p)
+	ranks := make([]RankStats, p)
+	var emitted int64
+	for r, rr := range results {
+		shards[r] = rr.Edges
+		ranks[r] = rr.Stats
+		emitted += rr.Stats.Edges
+	}
+	res := &Result{
+		Ranks:   ranks,
+		Trace:   opts.Trace,
+		Elapsed: elapsed,
+	}
+	if emitted != opts.Params.M() {
+		return nil, fmt.Errorf("core: generated %d edges, want %d", emitted, opts.Params.M())
+	}
+	if opts.Sink == nil {
+		res.Graph = graph.Merge(opts.Params.N, shards...)
+	}
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"pagen/internal/graph"
+	"pagen/internal/model"
+	"pagen/internal/partition"
+)
+
+func TestRunToShardsRoundTrip(t *testing.T) {
+	pr := model.Params{N: 8000, X: 4, P: 0.5}
+	part, err := partition.New(partition.KindRRP, pr.N, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	res, err := RunToShards(Options{Params: pr, Part: part, Seed: 5}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph != nil {
+		t.Fatal("sharded run materialised a graph")
+	}
+	g, err := graph.ReadShards(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != pr.N || g.M() != pr.M() {
+		t.Fatalf("merged N=%d M=%d, want N=%d M=%d", g.N, g.M(), pr.N, pr.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if comp := g.ToCSR().ConnectedComponents(); comp != 1 {
+		t.Fatalf("%d components", comp)
+	}
+}
+
+func TestRunToShardsMatchesInMemoryX1(t *testing.T) {
+	pr := model.Params{N: 2000, X: 1, P: 0.5}
+	part, err := partition.New(partition.KindUCP, pr.N, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := RunToShards(Options{Params: pr, Part: part, Seed: 9}, dir); err != nil {
+		t.Fatal(err)
+	}
+	fromDisk, err := graph.ReadShards(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Params: pr, Part: part, Seed: 9}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]int64{}
+	for _, e := range res.Graph.Edges {
+		want[e.U] = e.V
+	}
+	for _, e := range fromDisk.Edges {
+		if want[e.U] != e.V {
+			t.Fatalf("F_%d: disk %d vs memory %d", e.U, e.V, want[e.U])
+		}
+	}
+}
+
+func TestRunToShardsRejectsSink(t *testing.T) {
+	pr := model.Params{N: 100, X: 1, P: 0.5}
+	part, _ := partition.New(partition.KindUCP, pr.N, 1)
+	_, err := RunToShards(Options{
+		Params: pr, Part: part,
+		Sink: func(int, graph.Edge) {},
+	}, t.TempDir())
+	if err == nil {
+		t.Fatal("sink accepted")
+	}
+}
+
+func TestRunToShardsBadDir(t *testing.T) {
+	pr := model.Params{N: 100, X: 1, P: 0.5}
+	part, _ := partition.New(partition.KindUCP, pr.N, 1)
+	if _, err := RunToShards(Options{Params: pr, Part: part}, "/dev/null/nope"); err == nil {
+		t.Fatal("invalid dir accepted")
+	}
+}
+
+func TestFixedUvarintReadable(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 40, 1<<63 - 1} {
+		buf := encodeFixedUvarint(v)
+		if len(buf) != 10 {
+			t.Fatalf("len %d", len(buf))
+		}
+		got, n := decodeUvarint(buf)
+		if n != 10 || got != v {
+			t.Fatalf("decode(%d) = %d (n=%d)", v, got, n)
+		}
+	}
+}
+
+// decodeUvarint mirrors binary.ReadUvarint over a byte slice.
+func decodeUvarint(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pagen/internal/graph"
+	"pagen/internal/model"
+	"pagen/internal/partition"
+	"pagen/internal/transport"
+)
+
+// runOverTCP executes the engine with each rank on its own TCP endpoint
+// over localhost — the genuine distributed-memory configuration
+// (cmd/pa-tcp runs the same code across OS processes).
+func runOverTCP(t *testing.T, pr model.Params, kind partition.Kind, p int, basePort int, seed uint64) *graph.Graph {
+	t.Helper()
+	part, err := partition.New(kind, pr.N, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, p)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", basePort+i)
+	}
+	results := make([]*RankResult, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := transport.NewTCP(r, addrs)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer tr.Close()
+			results[r], errs[r] = RunRank(tr, Options{Params: pr, Part: part, Seed: seed})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	shards := make([][]graph.Edge, p)
+	for r, rr := range results {
+		shards[r] = rr.Edges
+	}
+	return graph.Merge(pr.N, shards...)
+}
+
+func TestEngineOverTCP(t *testing.T) {
+	pr := model.Params{N: 4000, X: 4, P: 0.5}
+	g := runOverTCP(t, pr, partition.KindRRP, 4, 43100, 77)
+	if g.M() != pr.M() {
+		t.Fatalf("m = %d, want %d", g.M(), pr.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if comp := g.ToCSR().ConnectedComponents(); comp != 1 {
+		t.Fatalf("%d components", comp)
+	}
+}
+
+// The TCP and in-process transports must produce the identical graph for
+// x = 1 (fully deterministic attachments).
+func TestTCPMatchesLocalX1(t *testing.T) {
+	pr := model.Params{N: 1000, X: 1, P: 0.5}
+	gTCP := runOverTCP(t, pr, partition.KindUCP, 3, 43150, 5)
+
+	part, _ := partition.New(partition.KindUCP, pr.N, 3)
+	res, err := Run(Options{Params: pr, Part: part, Seed: 5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fTCP := map[int64]int64{}
+	for _, e := range gTCP.Edges {
+		fTCP[e.U] = e.V
+	}
+	for _, e := range res.Graph.Edges {
+		if fTCP[e.U] != e.V {
+			t.Fatalf("F_%d: tcp %d local %d", e.U, fTCP[e.U], e.V)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText: arbitrary text must never panic; successful parses must
+// round-trip through WriteText/ReadText.
+func FuzzReadText(f *testing.F) {
+	f.Add("# nodes 5\n1\t0\n2\t1\n")
+	f.Add("")
+	f.Add("a\tb\n")
+	f.Add("1 2\n3 4\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if g2.M() != g.M() {
+			t.Fatalf("edge count changed: %d -> %d", g.M(), g2.M())
+		}
+		for i := range g.Edges {
+			if g.Edges[i] != g2.Edges[i] {
+				t.Fatalf("edge %d changed", i)
+			}
+		}
+	})
+}
+
+// FuzzReadBinary: arbitrary bytes must never panic or over-allocate
+// fatally; valid graphs round-trip.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	g := New(10)
+	g.AddEdge(1, 0)
+	g.AddEdge(5, 2)
+	_ = WriteBinary(&buf, g)
+	f.Add(buf.Bytes())
+	f.Add([]byte("PAGB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cap the declared edge count implied by the input to avoid
+		// OOM on adversarial headers: ReadBinary pre-allocates, so
+		// reject inputs that could not possibly contain their declared
+		// edges (each edge needs >= 2 bytes).
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if int64(len(g.Edges))*2 > int64(len(data)) {
+			t.Fatalf("decoded %d edges from %d bytes", len(g.Edges), len(data))
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pagen/internal/xrand"
+)
+
+func triangle() *Graph {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	return g
+}
+
+func TestEdgeCanonical(t *testing.T) {
+	if got := (Edge{U: 5, V: 2}).Canonical(); got != (Edge{U: 2, V: 5}) {
+		t.Fatalf("Canonical = %v", got)
+	}
+	if got := (Edge{U: 2, V: 5}).Canonical(); got != (Edge{U: 2, V: 5}) {
+		t.Fatalf("Canonical changed ordered edge: %v", got)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := triangle()
+	g.AddEdge(0, 1) // parallel edge still counts toward degree
+	deg := g.Degrees()
+	want := []int64{3, 3, 2}
+	for i, w := range want {
+		if deg[i] != w {
+			t.Fatalf("deg = %v, want %v", deg, want)
+		}
+	}
+	if g.M() != 4 {
+		t.Fatalf("M = %d", g.M())
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := triangle().DegreeHistogram()
+	if h.Count(2) != 3 || h.Total() != 3 {
+		t.Fatalf("histogram wrong: count(2)=%d total=%d", h.Count(2), h.Total())
+	}
+}
+
+func TestCSRStructure(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	c := g.ToCSR()
+	cases := []struct {
+		u    int64
+		want []int64
+	}{
+		{0, []int64{1, 2}},
+		{1, []int64{0}},
+		{2, []int64{0, 3}},
+		{3, []int64{2}},
+	}
+	for _, cse := range cases {
+		nb := c.Neighbors(cse.u)
+		if len(nb) != len(cse.want) {
+			t.Fatalf("Neighbors(%d) = %v", cse.u, nb)
+		}
+		for i := range nb {
+			if nb[i] != cse.want[i] {
+				t.Fatalf("Neighbors(%d) = %v, want %v", cse.u, nb, cse.want)
+			}
+		}
+		if c.Degree(cse.u) != int64(len(cse.want)) {
+			t.Fatalf("Degree(%d) = %d", cse.u, c.Degree(cse.u))
+		}
+	}
+	if !c.HasEdge(0, 2) || !c.HasEdge(2, 0) || c.HasEdge(1, 3) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestCSREmptyGraph(t *testing.T) {
+	c := New(5).ToCSR()
+	for u := int64(0); u < 5; u++ {
+		if c.Degree(u) != 0 {
+			t.Fatalf("Degree(%d) = %d", u, c.Degree(u))
+		}
+	}
+	if c.ConnectedComponents() != 5 {
+		t.Fatalf("components = %d, want 5", c.ConnectedComponents())
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	// 5 and 6 isolated.
+	if got := g.ToCSR().ConnectedComponents(); got != 4 {
+		t.Fatalf("components = %d, want 4", got)
+	}
+	if got := triangle().ToCSR().ConnectedComponents(); got != 1 {
+		t.Fatalf("triangle components = %d", got)
+	}
+}
+
+func TestConnectedComponentsLongPath(t *testing.T) {
+	// Deep graph must not overflow anything (iterative BFS).
+	n := int64(200000)
+	g := New(n)
+	for u := int64(1); u < n; u++ {
+		g.AddEdge(u-1, u)
+	}
+	if got := g.ToCSR().ConnectedComponents(); got != 1 {
+		t.Fatalf("path components = %d", got)
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := triangle().Validate(); err != nil {
+		t.Fatalf("triangle invalid: %v", err)
+	}
+	if err := New(10).Validate(); err != nil {
+		t.Fatalf("empty invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	selfLoop := New(3)
+	selfLoop.AddEdge(1, 1)
+	if selfLoop.Validate() == nil {
+		t.Error("self-loop accepted")
+	}
+
+	outOfRange := New(3)
+	outOfRange.AddEdge(0, 3)
+	if outOfRange.Validate() == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+
+	negative := New(3)
+	negative.AddEdge(-1, 0)
+	if negative.Validate() == nil {
+		t.Error("negative endpoint accepted")
+	}
+
+	dup := New(3)
+	dup.AddEdge(0, 1)
+	dup.AddEdge(1, 0) // same undirected edge, reversed
+	if dup.Validate() == nil {
+		t.Error("parallel (reversed) edge accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []Edge{{0, 1}, {1, 2}}
+	b := []Edge{{2, 3}}
+	g := Merge(4, a, b, nil)
+	if g.N != 4 || g.M() != 3 {
+		t.Fatalf("merged N=%d M=%d", g.N, g.M())
+	}
+	if g.Edges[2] != (Edge{2, 3}) {
+		t.Fatalf("edges = %v", g.Edges)
+	}
+}
+
+// Property: sum of degrees equals 2m for arbitrary edge sets.
+func TestDegreeSumProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		n := int64(100)
+		g := New(n)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			g.AddEdge(int64(pairs[i])%n, int64(pairs[i+1])%n)
+		}
+		var sum int64
+		for _, d := range g.Degrees() {
+			sum += d
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CSR round trip preserves adjacency (HasEdge iff edge present).
+func TestCSRAdjacencyProperty(t *testing.T) {
+	rng := xrand.New(6)
+	n := int64(50)
+	g := New(n)
+	want := map[Edge]bool{}
+	for i := 0; i < 300; i++ {
+		u, v := rng.Int64n(n), rng.Int64n(n)
+		if u == v {
+			continue
+		}
+		e := Edge{u, v}.Canonical()
+		if want[e] {
+			continue
+		}
+		want[e] = true
+		g.AddEdge(u, v)
+	}
+	c := g.ToCSR()
+	for u := int64(0); u < n; u++ {
+		for v := int64(0); v < n; v++ {
+			if u == v {
+				continue
+			}
+			has := c.HasEdge(u, v)
+			expected := want[Edge{u, v}.Canonical()]
+			if has != expected {
+				t.Fatalf("HasEdge(%d,%d) = %v, want %v", u, v, has, expected)
+			}
+		}
+	}
+}
+
+func TestGiantComponentSize(t *testing.T) {
+	// Two components: a triangle and an edge, plus an isolated node.
+	g := New(6)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 1)
+	g.AddEdge(4, 3)
+	csr := g.ToCSR()
+	if got := csr.GiantComponentSize(nil); got != 3 {
+		t.Fatalf("giant = %d, want 3", got)
+	}
+	// Excluding node 0 splits the triangle: giant becomes the pair.
+	got := csr.GiantComponentSize(func(u int64) bool { return u == 0 })
+	if got != 2 {
+		t.Fatalf("giant without node 0 = %d, want 2", got)
+	}
+	// Excluding everything.
+	if got := csr.GiantComponentSize(func(u int64) bool { return true }); got != 0 {
+		t.Fatalf("giant with all excluded = %d", got)
+	}
+	// Empty graph.
+	if got := New(0).ToCSR().GiantComponentSize(nil); got != 0 {
+		t.Fatalf("empty giant = %d", got)
+	}
+}

@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pagen/internal/xrand"
+)
+
+func randomGraph(seed uint64, n int64, m int) *Graph {
+	rng := xrand.New(seed)
+	g := New(n)
+	for i := 0; i < m; i++ {
+		g.AddEdge(rng.Int64n(n), rng.Int64n(n))
+	}
+	return g
+}
+
+func equalGraphs(a, b *Graph) bool {
+	if a.N != b.N || len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := randomGraph(1, 1000, 5000)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalGraphs(g, got) {
+		t.Fatal("text round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := randomGraph(2, 1<<40, 2000) // huge ids exercise varint widths
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalGraphs(g, got) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	g := New(42)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 42 || got.M() != 0 {
+		t.Fatalf("empty round trip: N=%d M=%d", got.N, got.M())
+	}
+}
+
+func TestReadTextNoHeaderInfersN(t *testing.T) {
+	g, err := ReadText(strings.NewReader("0\t5\n2\t3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 6 {
+		t.Fatalf("inferred N = %d, want 6", g.N)
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# nodes 10\n\n# a comment\n1\t2\n\n3\t4\n"
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 10 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N, g.M())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"1\n",       // one field
+		"1\t2\t3\n", // three fields
+		"a\t2\n",    // non-numeric u
+		"1\tb\n",    // non-numeric v
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadTextEmptyInput(t *testing.T) {
+	g, err := ReadText(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 0 || g.M() != 0 {
+		t.Fatalf("empty input: N=%d M=%d", g.N, g.M())
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Error("empty binary accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated edge section.
+	g := randomGraph(3, 100, 50)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated binary accepted")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	g := randomGraph(4, 1_000_000, 20000)
+	var tb, bb bytes.Buffer
+	if err := WriteText(&tb, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bb, g); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Len() >= tb.Len() {
+		t.Fatalf("binary %d bytes not smaller than text %d", bb.Len(), tb.Len())
+	}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	g := randomGraph(5, 1_000_000, 100_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkToCSR(b *testing.B) {
+	g := randomGraph(6, 100_000, 400_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ToCSR()
+	}
+}

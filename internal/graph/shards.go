@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Shard I/O implements the paper's I/O model (Section 2): processors
+// share a file system and read/write data files independently. Each rank
+// writes its own edge shard; a reader merges them. File layout:
+//
+//	dir/shard-<rank>-of-<P>.pag
+//
+// in the binary format of WriteBinary, each shard carrying the global
+// node count.
+
+// ShardPath returns the path of rank's shard file under dir.
+func ShardPath(dir string, rank, p int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.pag", rank, p))
+}
+
+// WriteShard writes one rank's edges to its shard file under dir,
+// creating dir if needed.
+func WriteShard(dir string, rank, p int, n int64, edges []Edge) error {
+	if rank < 0 || rank >= p {
+		return fmt.Errorf("graph: shard rank %d outside [0,%d)", rank, p)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(ShardPath(dir, rank, p))
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, &Graph{N: n, Edges: edges}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadShards reads and merges all P shards under dir. It verifies every
+// shard declares the same node count.
+func ReadShards(dir string, p int) (*Graph, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("graph: shard count %d, want >= 1", p)
+	}
+	shards := make([][]Edge, p)
+	var n int64 = -1
+	for rank := 0; rank < p; rank++ {
+		f, err := os.Open(ShardPath(dir, rank, p))
+		if err != nil {
+			return nil, fmt.Errorf("graph: shard %d: %w", rank, err)
+		}
+		sg, err := ReadBinary(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("graph: shard %d: %w", rank, err)
+		}
+		if n == -1 {
+			n = sg.N
+		} else if sg.N != n {
+			return nil, fmt.Errorf("graph: shard %d declares n = %d, others %d", rank, sg.N, n)
+		}
+		shards[rank] = sg.Edges
+	}
+	return Merge(n, shards...), nil
+}

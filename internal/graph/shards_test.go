@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestShardRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	n := int64(100)
+	shards := [][]Edge{
+		{{U: 1, V: 0}, {U: 2, V: 1}},
+		{{U: 3, V: 0}},
+		{}, // empty shard is legal
+	}
+	for r, edges := range shards {
+		if err := WriteShard(dir, r, 3, n, edges); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := ReadShards(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != n || g.M() != 3 {
+		t.Fatalf("merged N=%d M=%d", g.N, g.M())
+	}
+	want := []Edge{{1, 0}, {2, 1}, {3, 0}}
+	for i, e := range want {
+		if g.Edges[i] != e {
+			t.Fatalf("edges = %v", g.Edges)
+		}
+	}
+}
+
+func TestShardPathNaming(t *testing.T) {
+	p := ShardPath("/data", 3, 16)
+	if filepath.Base(p) != "shard-3-of-16.pag" {
+		t.Fatalf("path = %q", p)
+	}
+}
+
+func TestWriteShardCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "deeper")
+	if err := WriteShard(dir, 0, 1, 10, []Edge{{1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ShardPath(dir, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteShardRejectsBadRank(t *testing.T) {
+	if err := WriteShard(t.TempDir(), 5, 3, 10, nil); err == nil {
+		t.Fatal("rank 5 of 3 accepted")
+	}
+	if err := WriteShard(t.TempDir(), -1, 3, 10, nil); err == nil {
+		t.Fatal("rank -1 accepted")
+	}
+}
+
+func TestReadShardsErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadShards(dir, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	// Missing shard.
+	if err := WriteShard(dir, 0, 2, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShards(dir, 2); err == nil {
+		t.Error("missing shard 1 accepted")
+	}
+	// Mismatched node counts.
+	if err := WriteShard(dir, 1, 2, 99, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShards(dir, 2); err == nil {
+		t.Error("mismatched n accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package loadmodel
+
+import (
+	"math"
+	"testing"
+
+	"pagen/internal/comm"
+	"pagen/internal/core"
+	"pagen/internal/model"
+	"pagen/internal/partition"
+)
+
+func fakeStats(edges []int64, sent, recv []int64) []core.RankStats {
+	out := make([]core.RankStats, len(edges))
+	for i := range edges {
+		out[i] = core.RankStats{
+			Rank:  i,
+			Edges: edges[i],
+			Comm: comm.Counters{
+				RequestsSent: sent[i],
+				RequestsRecv: recv[i],
+			},
+		}
+	}
+	return out
+}
+
+func TestRankLoadsAndMakespan(t *testing.T) {
+	stats := fakeStats([]int64{10, 20}, []int64{5, 0}, []int64{0, 5})
+	loads := RankLoads(stats, Default)
+	if loads[0] != 15 || loads[1] != 25 {
+		t.Fatalf("loads = %v", loads)
+	}
+	if Makespan(loads) != 25 {
+		t.Fatalf("makespan = %v", Makespan(loads))
+	}
+	// Custom weights.
+	loads = RankLoads(stats, Weights{Edge: 2, Send: 0, Recv: 10})
+	if loads[0] != 20 || loads[1] != 90 {
+		t.Fatalf("weighted loads = %v", loads)
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	pr := model.Params{N: 100, X: 1, P: 0.5} // m = 99
+	stats := fakeStats([]int64{49, 50}, []int64{0, 0}, []int64{0, 0})
+	rep, err := Analyze(pr, stats, Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.P != 2 || rep.Makespan != 50 || rep.Total != 99 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if math.Abs(rep.Imbalance-50/49.5) > 1e-12 {
+		t.Fatalf("imbalance = %v", rep.Imbalance)
+	}
+	// Near-balanced, message-free: speedup just below P.
+	if math.Abs(rep.Speedup-99.0/50) > 1e-12 || math.Abs(rep.Efficiency-99.0/100) > 1e-12 {
+		t.Fatalf("speedup = %v eff = %v", rep.Speedup, rep.Efficiency)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(model.Params{N: 10, X: 1, P: 0.5}, nil, Default); err == nil {
+		t.Fatal("empty stats accepted")
+	}
+}
+
+// End-to-end: on a real run, the modelled speedup of RRP must beat UCP
+// (the Figure 5 ordering) and grow with P.
+func TestModelReproducesSchemeOrdering(t *testing.T) {
+	pr := model.Params{N: 40000, X: 4, P: 0.5}
+	speedup := func(kind partition.Kind, p int) float64 {
+		part, err := partition.New(kind, pr.N, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(core.Options{Params: pr, Part: part, Seed: 5}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Analyze(pr, res.Ranks, Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Speedup
+	}
+	ucp8 := speedup(partition.KindUCP, 8)
+	rrp8 := speedup(partition.KindRRP, 8)
+	rrp16 := speedup(partition.KindRRP, 16)
+	if rrp8 <= ucp8 {
+		t.Errorf("RRP speedup %v not above UCP %v at P=8", rrp8, ucp8)
+	}
+	if rrp16 <= rrp8 {
+		t.Errorf("RRP speedup did not grow with P: %v -> %v", rrp8, rrp16)
+	}
+	// Messages cost work, so speedup is below ideal.
+	if rrp8 >= 8 || rrp16 >= 16 {
+		t.Errorf("modelled speedup above ideal: %v, %v", rrp8, rrp16)
+	}
+}

@@ -1,0 +1,108 @@
+// Package model defines the preferential-attachment copy-model semantics
+// shared by the sequential baselines (internal/seq) and the parallel
+// engine (internal/core): parameter validation, the bootstrap rules the
+// paper leaves implicit, and the derived edge counts.
+//
+// Bootstrap rules (see DESIGN.md "Substitutions"):
+//
+//   - Nodes are labelled 0..n-1. The initial network is a clique on
+//     0..x-1; clique node t contributes edges (t, j) for j < t, so each
+//     clique edge is emitted exactly once, by its higher endpoint.
+//   - Node x, for which the paper's draw range [x, t-1] is empty,
+//     connects to every clique node: F_x(e) = e.
+//   - Node t > x draws k uniformly from [x, t-1] per Algorithm 3.2; with
+//     probability p it attaches to k directly, otherwise it copies
+//     F_k(l) for a uniform l in [0, x-1].
+//
+// Under these rules every outgoing attachment F_t(e) satisfies
+// F_t(e) < t (no self-loops, acyclic attachment), and the graph has
+// exactly x(x-1)/2 + (n-x)*x edges.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultP is the copy probability at which the copy model coincides with
+// the Barabási–Albert model (Section 3.1 of the paper).
+const DefaultP = 0.5
+
+// Params are the copy-model parameters.
+type Params struct {
+	// N is the number of nodes, labelled 0..N-1.
+	N int64
+	// X is the number of edges each non-clique node contributes
+	// (the paper's x; BA's m parameter).
+	X int
+	// P is the probability of a direct attachment (Eqn 1); 1-P is the
+	// probability of copying (Eqn 2). P = 0.5 gives exact BA.
+	P float64
+}
+
+// Validate checks the parameters. N must leave at least one generating
+// node after the clique (N > X), X >= 1, and P in [0, 1]. P = 0 is
+// rejected for X > 1: a pure-copy process can deadlock node x+1, whose
+// only direct candidate is excluded (and the paper's analysis assumes
+// p > 0 for chain termination).
+func (pr Params) Validate() error {
+	if pr.X < 1 {
+		return fmt.Errorf("model: x = %d, want >= 1", pr.X)
+	}
+	if pr.N <= int64(pr.X) {
+		return fmt.Errorf("model: n = %d must exceed x = %d", pr.N, pr.X)
+	}
+	if pr.P < 0 || pr.P > 1 {
+		return fmt.Errorf("model: p = %v outside [0,1]", pr.P)
+	}
+	if pr.P == 0 && pr.X > 1 {
+		return errors.New("model: p = 0 with x > 1 can livelock duplicate retries")
+	}
+	if pr.P == 1 && pr.X > 1 {
+		// Node x+1 must place x distinct edges but its only direct
+		// candidate is node x itself; without the copy branch the
+		// duplicate-avoidance retry of Algorithm 3.2 never terminates.
+		return errors.New("model: p = 1 with x > 1 cannot place distinct edges for node x+1")
+	}
+	return nil
+}
+
+// M returns the total number of edges the model produces:
+// the clique's x(x-1)/2 plus x per node from x to n-1.
+func (pr Params) M() int64 {
+	x := int64(pr.X)
+	return x*(x-1)/2 + (pr.N-x)*x
+}
+
+// CliqueEdgeCount returns the number of clique edges node t contributes
+// (t edges, to each smaller-labelled clique node) if t is a clique node,
+// else 0.
+func (pr Params) CliqueEdgeCount(t int64) int64 {
+	if t < int64(pr.X) {
+		return t
+	}
+	return 0
+}
+
+// IsClique reports whether t is one of the initial clique nodes.
+func (pr Params) IsClique(t int64) bool { return t < int64(pr.X) }
+
+// BootstrapF returns F_t(e) for the nodes whose attachments are fixed by
+// the bootstrap rather than drawn: node x attaches to every clique node
+// (F_x(e) = e). ok is false for any other node.
+func (pr Params) BootstrapF(t int64, e int) (v int64, ok bool) {
+	if t == int64(pr.X) {
+		return int64(e), true
+	}
+	return 0, false
+}
+
+// KRange returns the half-open interval [lo, hi) from which node t draws
+// its uniform candidate k (Algorithm 3.2 line 4: [x, t-1] inclusive).
+// It panics if t has no draw range (clique nodes and node x).
+func (pr Params) KRange(t int64) (lo, hi int64) {
+	if t <= int64(pr.X) {
+		panic(fmt.Sprintf("model: node %d has no draw range (x = %d)", t, pr.X))
+	}
+	return int64(pr.X), t
+}

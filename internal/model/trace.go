@@ -1,0 +1,65 @@
+package model
+
+import "fmt"
+
+// Trace records, for every attachment slot (t, e) with t >= x, the final
+// (post-retry) decision the generator made: the drawn candidate k, the
+// copy index l, and whether the copy branch was taken. Traces drive the
+// dependency-chain analysis validating Lemma 3.1 and Theorem 3.3.
+//
+// Slots are stored flat: slot (t, e) lives at (t-x)*x + e. Node x's
+// bootstrap slots are recorded as direct with K = -1.
+type Trace struct {
+	Params Params
+	K      []int64
+	L      []int32
+	Copied []bool
+}
+
+// NewTrace allocates a trace for the given parameters.
+func NewTrace(pr Params) *Trace {
+	slots := (pr.N - int64(pr.X)) * int64(pr.X)
+	return &Trace{
+		Params: pr,
+		K:      make([]int64, slots),
+		L:      make([]int32, slots),
+		Copied: make([]bool, slots),
+	}
+}
+
+// Idx returns the flat slot index of (t, e). It panics on out-of-range
+// arguments.
+func (tr *Trace) Idx(t int64, e int) int {
+	x := int64(tr.Params.X)
+	if t < x || t >= tr.Params.N || e < 0 || e >= tr.Params.X {
+		panic(fmt.Sprintf("model: trace slot (%d,%d) out of range (n=%d, x=%d)", t, e, tr.Params.N, tr.Params.X))
+	}
+	return int((t-x)*x + int64(e))
+}
+
+// RecordDirect records slot (t, e) as a direct attachment to k.
+func (tr *Trace) RecordDirect(t int64, e int, k int64) {
+	i := tr.Idx(t, e)
+	tr.K[i] = k
+	tr.L[i] = -1
+	tr.Copied[i] = false
+}
+
+// RecordCopy records slot (t, e) as a copy of F_k(l).
+func (tr *Trace) RecordCopy(t int64, e int, k int64, l int) {
+	i := tr.Idx(t, e)
+	tr.K[i] = k
+	tr.L[i] = int32(l)
+	tr.Copied[i] = true
+}
+
+// RecordBootstrap records slot (t, e) as fixed by the bootstrap.
+func (tr *Trace) RecordBootstrap(t int64, e int) {
+	i := tr.Idx(t, e)
+	tr.K[i] = -1
+	tr.L[i] = -1
+	tr.Copied[i] = false
+}
+
+// Slots returns the number of recorded slots.
+func (tr *Trace) Slots() int { return len(tr.K) }

@@ -1,0 +1,46 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: arbitrary bytes must never panic; inputs that decode
+// successfully must re-encode to the identical bytes (codec is a
+// bijection on its valid range).
+func FuzzDecode(f *testing.F) {
+	f.Add(AppendEncode(nil, Request(1, 2, 3, 4)))
+	f.Add(AppendEncode(nil, Resolved(5, 0, -1)))
+	f.Add(AppendEncode(nil, Stop()))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, EncodedSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, rest, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if len(data)-len(rest) != EncodedSize {
+			t.Fatalf("consumed %d bytes", len(data)-len(rest))
+		}
+		re := AppendEncode(nil, m)
+		if !bytes.Equal(re, data[:EncodedSize]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:EncodedSize])
+		}
+	})
+}
+
+// FuzzDecodeBatch: arbitrary frames must never panic and must either
+// error or yield messages that re-encode to the input.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(EncodeBatch([]Message{Request(1, 0, 2, 1), Done(3)}))
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		ms, err := DecodeBatch(nil, frame)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeBatch(ms), frame) {
+			t.Fatal("batch re-encode mismatch")
+		}
+	})
+}

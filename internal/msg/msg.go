@@ -1,0 +1,153 @@
+// Package msg defines the wire protocol of the parallel generator: the
+// request/resolved messages of Algorithms 3.1 and 3.2, the control
+// messages of the termination protocol, and a compact fixed-width binary
+// codec with batch framing so buffered sends travel as a single transport
+// frame (the paper's "message buffering", Section 3.5.1).
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind discriminates message types.
+type Kind uint8
+
+const (
+	// KindRequest asks the owner of node K for F_K(L), on behalf of
+	// slot (T, E): Algorithm 3.2 line 14.
+	KindRequest Kind = iota + 1
+	// KindResolved answers a request: F_K(L) = V for slot (T, E):
+	// Algorithm 3.2 line 18.
+	KindResolved
+	// KindDone tells the coordinator that the sender rank (in T) has
+	// resolved all of its local slots.
+	KindDone
+	// KindStop broadcasts global termination from the coordinator.
+	KindStop
+	// KindColl carries a collective-operation step (internal/coll):
+	// T = sender rank, K = operation tag, V = payload.
+	KindColl
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindResolved:
+		return "resolved"
+	case KindDone:
+		return "done"
+	case KindStop:
+		return "stop"
+	case KindColl:
+		return "coll"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message is one protocol message. Field use by kind:
+//
+//	request:  T, E = requesting slot; K, L = queried slot
+//	resolved: T, E = requesting slot; V = resolved attachment
+//	done:     T = reporting rank
+//	stop:     no fields
+type Message struct {
+	Kind Kind
+	T    int64
+	K    int64
+	V    int64
+	E    uint16
+	L    uint16
+}
+
+// Request constructs a request message.
+func Request(t int64, e int, k int64, l int) Message {
+	return Message{Kind: KindRequest, T: t, E: uint16(e), K: k, L: uint16(l)}
+}
+
+// Resolved constructs a resolved message.
+func Resolved(t int64, e int, v int64) Message {
+	return Message{Kind: KindResolved, T: t, E: uint16(e), V: v}
+}
+
+// Done constructs a done message for the reporting rank.
+func Done(rank int) Message {
+	return Message{Kind: KindDone, T: int64(rank)}
+}
+
+// Stop constructs a stop broadcast.
+func Stop() Message {
+	return Message{Kind: KindStop}
+}
+
+// Coll constructs a collective-operation message from the given rank
+// with an operation tag and payload.
+func Coll(rank int, tag int64, payload int64) Message {
+	return Message{Kind: KindColl, T: int64(rank), K: tag, V: payload}
+}
+
+// EncodedSize is the fixed encoded size of one message in bytes:
+// kind(1) + T(8) + K(8) + V(8) + E(2) + L(2).
+const EncodedSize = 1 + 8 + 8 + 8 + 2 + 2
+
+// AppendEncode appends the fixed-width encoding of m to dst and returns
+// the extended slice.
+func AppendEncode(dst []byte, m Message) []byte {
+	var buf [EncodedSize]byte
+	buf[0] = byte(m.Kind)
+	binary.LittleEndian.PutUint64(buf[1:], uint64(m.T))
+	binary.LittleEndian.PutUint64(buf[9:], uint64(m.K))
+	binary.LittleEndian.PutUint64(buf[17:], uint64(m.V))
+	binary.LittleEndian.PutUint16(buf[25:], m.E)
+	binary.LittleEndian.PutUint16(buf[27:], m.L)
+	return append(dst, buf[:]...)
+}
+
+// Decode decodes one message from the front of b, returning the message
+// and the remaining bytes.
+func Decode(b []byte) (Message, []byte, error) {
+	if len(b) < EncodedSize {
+		return Message{}, b, fmt.Errorf("msg: short buffer (%d bytes)", len(b))
+	}
+	m := Message{
+		Kind: Kind(b[0]),
+		T:    int64(binary.LittleEndian.Uint64(b[1:])),
+		K:    int64(binary.LittleEndian.Uint64(b[9:])),
+		V:    int64(binary.LittleEndian.Uint64(b[17:])),
+		E:    binary.LittleEndian.Uint16(b[25:]),
+		L:    binary.LittleEndian.Uint16(b[27:]),
+	}
+	if m.Kind < KindRequest || m.Kind > KindColl {
+		return Message{}, b, fmt.Errorf("msg: bad kind %d", b[0])
+	}
+	return m, b[EncodedSize:], nil
+}
+
+// EncodeBatch encodes a slice of messages as one frame.
+func EncodeBatch(ms []Message) []byte {
+	out := make([]byte, 0, len(ms)*EncodedSize)
+	for _, m := range ms {
+		out = AppendEncode(out, m)
+	}
+	return out
+}
+
+// DecodeBatch decodes a frame produced by EncodeBatch (or by repeated
+// AppendEncode calls), appending to dst and returning it.
+func DecodeBatch(dst []Message, frame []byte) ([]Message, error) {
+	if len(frame)%EncodedSize != 0 {
+		return dst, fmt.Errorf("msg: frame size %d not a multiple of %d", len(frame), EncodedSize)
+	}
+	for len(frame) > 0 {
+		m, rest, err := Decode(frame)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, m)
+		frame = rest
+	}
+	return dst, nil
+}

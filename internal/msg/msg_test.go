@@ -1,0 +1,162 @@
+package msg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructors(t *testing.T) {
+	r := Request(10, 2, 7, 1)
+	if r.Kind != KindRequest || r.T != 10 || r.E != 2 || r.K != 7 || r.L != 1 {
+		t.Fatalf("Request = %+v", r)
+	}
+	v := Resolved(10, 2, 5)
+	if v.Kind != KindResolved || v.T != 10 || v.E != 2 || v.V != 5 {
+		t.Fatalf("Resolved = %+v", v)
+	}
+	d := Done(3)
+	if d.Kind != KindDone || d.T != 3 {
+		t.Fatalf("Done = %+v", d)
+	}
+	if Stop().Kind != KindStop {
+		t.Fatal("Stop kind wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindRequest: "request", KindResolved: "resolved",
+		KindDone: "done", KindStop: "stop", Kind(0): "Kind(0)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Message{
+		Request(0, 0, 0, 0),
+		Request(1<<60, 65535, -1, 9),
+		Resolved(42, 3, 1<<50),
+		Resolved(1, 0, -7), // negative sentinel values survive
+		Done(767),
+		Stop(),
+	}
+	for _, m := range cases {
+		b := AppendEncode(nil, m)
+		if len(b) != EncodedSize {
+			t.Fatalf("encoded size = %d", len(b))
+		}
+		got, rest, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("rest = %d bytes", len(rest))
+		}
+		if got != m {
+			t.Fatalf("round trip: %+v -> %+v", m, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(make([]byte, EncodedSize-1)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	bad := AppendEncode(nil, Request(1, 1, 1, 1))
+	bad[0] = 99
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("bad kind accepted")
+	}
+	bad[0] = 0
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("zero kind accepted")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	ms := []Message{
+		Request(1, 0, 2, 3),
+		Resolved(4, 1, 5),
+		Done(2),
+		Stop(),
+	}
+	frame := EncodeBatch(ms)
+	if len(frame) != 4*EncodedSize {
+		t.Fatalf("frame size = %d", len(frame))
+	}
+	got, err := DecodeBatch(nil, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ms) {
+		t.Fatalf("decoded %d messages", len(got))
+	}
+	for i := range ms {
+		if got[i] != ms[i] {
+			t.Fatalf("message %d: %+v != %+v", i, got[i], ms[i])
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	got, err := DecodeBatch(nil, EncodeBatch(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+func TestBatchAppendsToDst(t *testing.T) {
+	dst := []Message{Stop()}
+	got, err := DecodeBatch(dst, EncodeBatch([]Message{Done(1)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Kind != KindStop || got[1].Kind != KindDone {
+		t.Fatalf("append semantics broken: %+v", got)
+	}
+}
+
+func TestBatchRejectsRaggedFrame(t *testing.T) {
+	frame := EncodeBatch([]Message{Stop()})
+	if _, err := DecodeBatch(nil, frame[:len(frame)-1]); err == nil {
+		t.Error("ragged frame accepted")
+	}
+}
+
+// Property: any message with a valid kind round-trips through the codec.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(kindRaw uint8, tt, k, v int64, e, l uint16) bool {
+		m := Message{
+			Kind: Kind(kindRaw%4) + KindRequest,
+			T:    tt, K: k, V: v, E: e, L: l,
+		}
+		got, rest, err := Decode(AppendEncode(nil, m))
+		return err == nil && len(rest) == 0 && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppendEncode(b *testing.B) {
+	m := Request(123456789, 3, 987654321, 7)
+	buf := make([]byte, 0, EncodedSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	frame := AppendEncode(nil, Request(123456789, 3, 987654321, 7))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

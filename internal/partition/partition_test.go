@@ -1,0 +1,451 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pagen/internal/stats"
+)
+
+// allSchemes builds one scheme of every kind for (n, p).
+func allSchemes(t *testing.T, n int64, p int) []Scheme {
+	t.Helper()
+	out := make([]Scheme, 0, 4)
+	for _, k := range []Kind{KindUCP, KindLCP, KindRRP, KindExactCP} {
+		s, err := New(k, n, p)
+		if err != nil {
+			t.Fatalf("New(%v,%d,%d): %v", k, n, p, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// checkInvariants verifies the three Appendix-A obligations for any scheme:
+// sizes sum to n, ForEach enumerates exactly the owned nodes in increasing
+// order, and Owner agrees with ForEach.
+func checkInvariants(t *testing.T, s Scheme) {
+	t.Helper()
+	n, p := s.N(), s.P()
+	var total int64
+	owned := make([]int, n)
+	for i := range owned {
+		owned[i] = -1
+	}
+	for rank := 0; rank < p; rank++ {
+		var count int64
+		prev := int64(-1)
+		s.ForEach(rank, func(u int64) {
+			if u < 0 || u >= n {
+				t.Fatalf("%s: node %d out of range", s.Name(), u)
+			}
+			if u <= prev {
+				t.Fatalf("%s rank %d: nodes not strictly increasing (%d after %d)", s.Name(), rank, u, prev)
+			}
+			prev = u
+			if owned[u] != -1 {
+				t.Fatalf("%s: node %d owned by both %d and %d", s.Name(), u, owned[u], rank)
+			}
+			owned[u] = rank
+			if got := s.Owner(u); got != rank {
+				t.Fatalf("%s: Owner(%d) = %d, want %d", s.Name(), u, got, rank)
+			}
+			if got := s.Index(rank, u); got != count {
+				t.Fatalf("%s: Index(%d,%d) = %d, want %d", s.Name(), rank, u, got, count)
+			}
+			count++
+		})
+		if sz := s.Size(rank); sz != count {
+			t.Fatalf("%s rank %d: Size = %d but ForEach yielded %d", s.Name(), rank, sz, count)
+		}
+		total += count
+	}
+	if total != n {
+		t.Fatalf("%s: sizes sum to %d, want %d", s.Name(), total, n)
+	}
+	for u, r := range owned {
+		if r == -1 {
+			t.Fatalf("%s: node %d unowned", s.Name(), u)
+		}
+	}
+	// Consecutive schemes: ranges must tile [0, n).
+	if c, ok := s.(Consecutive); ok {
+		cursor := int64(0)
+		for rank := 0; rank < p; rank++ {
+			lo, hi := c.Range(rank)
+			if lo != cursor {
+				t.Fatalf("%s rank %d: range starts at %d, want %d", s.Name(), rank, lo, cursor)
+			}
+			if hi < lo {
+				t.Fatalf("%s rank %d: inverted range [%d,%d)", s.Name(), rank, lo, hi)
+			}
+			cursor = hi
+		}
+		if cursor != n {
+			t.Fatalf("%s: ranges end at %d, want %d", s.Name(), cursor, n)
+		}
+	}
+}
+
+func TestInvariantsSmall(t *testing.T) {
+	cases := []struct {
+		n int64
+		p int
+	}{
+		{1, 1}, {1, 4}, {2, 2}, {7, 3}, {10, 10}, {10, 16},
+		{100, 1}, {100, 7}, {1000, 13}, {1000, 160}, {12345, 31},
+	}
+	for _, c := range cases {
+		for _, s := range allSchemes(t, c.n, c.p) {
+			checkInvariants(t, s)
+		}
+	}
+}
+
+func TestInvariantsProperty(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int64(nRaw%4000) + 1
+		p := int(pRaw%64) + 1
+		for _, k := range []Kind{KindUCP, KindLCP, KindRRP, KindExactCP} {
+			s, err := New(k, n, p)
+			if err != nil {
+				return false
+			}
+			var total int64
+			for r := 0; r < p; r++ {
+				sz := s.Size(r)
+				if sz < 0 {
+					return false
+				}
+				total += sz
+			}
+			if total != n {
+				return false
+			}
+			// Spot-check owner round trips on a few nodes.
+			for _, u := range []int64{0, n / 3, n / 2, n - 1} {
+				r := s.Owner(u)
+				if r < 0 || r >= p {
+					return false
+				}
+				found := false
+				s.ForEach(r, func(v int64) {
+					if v == u {
+						found = true
+					}
+				})
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsBadArgs(t *testing.T) {
+	if _, err := New(KindUCP, 0, 4); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(KindUCP, 10, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := New(Kind(99), 10, 2); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"UCP": KindUCP, "ucp": KindUCP,
+		"LCP": KindLCP, "lcp": KindLCP,
+		"RRP": KindRRP, "rrp": KindRRP,
+		"ExactCP": KindExactCP, "exactcp": KindExactCP, "exact": KindExactCP,
+	}
+	for s, want := range cases {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{KindUCP, KindLCP, KindRRP, KindExactCP} {
+		back, err := ParseKind(k.String())
+		if err != nil || back != k {
+			t.Errorf("round trip %v failed", k)
+		}
+	}
+}
+
+func TestOwnerPanicsOutOfRange(t *testing.T) {
+	for _, s := range allSchemes(t, 10, 3) {
+		for _, u := range []int64{-1, 10, 100} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s.Owner(%d) did not panic", s.Name(), u)
+					}
+				}()
+				s.Owner(u)
+			}()
+		}
+	}
+}
+
+func TestUCPBlocks(t *testing.T) {
+	u := NewUCP(10, 3) // B = 4: [0,4) [4,8) [8,10)
+	wantSizes := []int64{4, 4, 2}
+	for i, w := range wantSizes {
+		if got := u.Size(i); got != w {
+			t.Errorf("Size(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if u.Owner(3) != 0 || u.Owner(4) != 1 || u.Owner(9) != 2 {
+		t.Error("UCP owner wrong")
+	}
+}
+
+func TestUCPMorePartitionsThanNodes(t *testing.T) {
+	u := NewUCP(3, 8) // B = 1
+	var total int64
+	for i := 0; i < 8; i++ {
+		total += u.Size(i)
+	}
+	if total != 3 {
+		t.Fatalf("sizes sum to %d", total)
+	}
+	if u.Size(5) != 0 {
+		t.Error("expected empty high partition")
+	}
+}
+
+func TestRRPStride(t *testing.T) {
+	r := NewRRP(11, 4)
+	// Partition sizes: ranks 0,1,2 -> 3; rank 3 -> 2.
+	want := []int64{3, 3, 3, 2}
+	for i, w := range want {
+		if got := r.Size(i); got != w {
+			t.Errorf("Size(%d) = %d, want %d", i, got, w)
+		}
+	}
+	var got []int64
+	r.ForEach(1, func(u int64) { got = append(got, u) })
+	wantNodes := []int64{1, 5, 9}
+	for i := range wantNodes {
+		if got[i] != wantNodes[i] {
+			t.Fatalf("rank 1 nodes = %v", got)
+		}
+	}
+	// Paper: size difference between any two partitions is at most 1.
+	var min, max int64 = 1 << 62, 0
+	for i := 0; i < 4; i++ {
+		if s := r.Size(i); s < min {
+			min = s
+		}
+		if s := r.Size(i); s > max {
+			max = s
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("RRP size spread %d > 1", max-min)
+	}
+}
+
+func TestExactCPEqualisesLoad(t *testing.T) {
+	n := int64(100000)
+	p := 16
+	e := NewExactCP(n, p, DefaultB)
+	loads := ExpectedPartitionLoad(e, DefaultB)
+	if imb := stats.Imbalance(loads); imb > 1.01 {
+		t.Fatalf("ExactCP imbalance = %v, want ~1", imb)
+	}
+	// Lower ranks must hold fewer nodes (low-label nodes are heavier).
+	if e.Size(0) >= e.Size(p-1) {
+		t.Fatalf("ExactCP size(0)=%d not below size(last)=%d", e.Size(0), e.Size(p-1))
+	}
+}
+
+func TestExactCPCutsMonotone(t *testing.T) {
+	e := NewExactCP(50000, 32, DefaultB)
+	cuts := e.Cuts()
+	if cuts[0] != 0 || cuts[len(cuts)-1] != 50000 {
+		t.Fatalf("cut endpoints wrong: %v", cuts)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] < cuts[i-1] {
+			t.Fatalf("cuts not monotone at %d: %v", i, cuts)
+		}
+	}
+}
+
+func TestLCPSizesIncreaseLinearly(t *testing.T) {
+	n := int64(100000)
+	p := 16
+	l := NewLCP(n, p, DefaultB)
+	a, d := l.Params()
+	if d <= 0 {
+		t.Fatalf("LCP slope d = %v, want > 0", d)
+	}
+	if a <= 0 {
+		t.Fatalf("LCP intercept a = %v, want > 0", a)
+	}
+	// Sizes should track a + i*d within rounding.
+	for i := 0; i < p; i++ {
+		want := a + float64(i)*d
+		got := float64(l.Size(i))
+		if math.Abs(got-want) > 2 {
+			t.Errorf("Size(%d) = %v, progression predicts %v", i, got, want)
+		}
+	}
+}
+
+func TestLCPBalancesBetterThanUCP(t *testing.T) {
+	n := int64(100000)
+	p := 32
+	ucp := ExpectedPartitionLoad(NewUCP(n, p), DefaultB)
+	lcp := ExpectedPartitionLoad(NewLCP(n, p, DefaultB), DefaultB)
+	iu, il := stats.Imbalance(ucp), stats.Imbalance(lcp)
+	// Expected scale (paper Fig 7d): UCP ~2x imbalanced, LCP close to 1
+	// with a small wobble from the linear approximation.
+	if il >= iu/1.5 {
+		t.Fatalf("LCP imbalance %v not clearly better than UCP %v", il, iu)
+	}
+	if il > 1.3 {
+		t.Fatalf("LCP imbalance %v too high", il)
+	}
+	if iu < 1.8 {
+		t.Fatalf("UCP imbalance %v unexpectedly good — load model broken?", iu)
+	}
+}
+
+func TestRRPBalancesNearPerfectly(t *testing.T) {
+	// Appendix A.3: max load difference between two partitions is
+	// O(log n) while the total is Omega(n).
+	n := int64(100000)
+	p := 32
+	loads := ExpectedPartitionLoad(NewRRP(n, p), DefaultB)
+	min, max, _ := stats.MinMax(loads)
+	if max-min > 2*math.Log(float64(n)) {
+		t.Fatalf("RRP load spread %v exceeds O(log n) bound", max-min)
+	}
+}
+
+func TestLCPApproximatesExact(t *testing.T) {
+	// Figure 3: LCP boundaries should stay close to the exact Eqn-10
+	// solution — within a few percent of n at every rank.
+	n := int64(100000)
+	p := 16
+	e := NewExactCP(n, p, DefaultB)
+	l := NewLCP(n, p, DefaultB)
+	for i := 0; i < p; i++ {
+		elo, _ := e.Range(i)
+		llo, _ := l.Range(i)
+		if math.Abs(float64(elo-llo)) > 0.05*float64(n) {
+			t.Errorf("rank %d: exact cut %d vs LCP cut %d diverge", i, elo, llo)
+		}
+	}
+}
+
+func TestLCPSinglePartition(t *testing.T) {
+	l := NewLCP(100, 1, DefaultB)
+	if l.Size(0) != 100 {
+		t.Fatalf("Size = %d", l.Size(0))
+	}
+	if l.Owner(57) != 0 {
+		t.Fatal("owner wrong")
+	}
+}
+
+func TestLCPDegenerateManyPartitions(t *testing.T) {
+	// p close to n: progression would go negative; must fall back and
+	// still satisfy the invariants.
+	l := NewLCP(20, 15, DefaultB)
+	checkInvariants(t, l)
+}
+
+func TestExpectedIncomingLoadMatchesLemma(t *testing.T) {
+	n := int64(1000)
+	p := 0.5
+	for _, k := range []int64{1, 10, 100, 999} {
+		got := ExpectedIncomingLoad(n, k, p)
+		want := (1 - p) * (stats.Harmonic(n-1) - stats.Harmonic(k))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("load(%d) = %v, want %v", k, got, want)
+		}
+	}
+	// Monotone decreasing in k.
+	prev := math.Inf(1)
+	for k := int64(1); k < n; k += 37 {
+		l := ExpectedIncomingLoad(n, k, p)
+		if l > prev {
+			t.Fatalf("expected load not decreasing at k=%d", k)
+		}
+		prev = l
+	}
+	// Last node receives none.
+	if got := ExpectedIncomingLoad(n, n-1, p); got != 0 {
+		t.Errorf("load(n-1) = %v, want 0", got)
+	}
+}
+
+func TestExpectedPartitionLoadConsecutiveVsGeneric(t *testing.T) {
+	// The fast consecutive path must agree with the generic per-node sum.
+	n := int64(5000)
+	u := NewUCP(n, 8)
+	fast := ExpectedPartitionLoad(u, DefaultB)
+	slow := make([]float64, 8)
+	hn1 := stats.Harmonic(n - 1)
+	for r := 0; r < 8; r++ {
+		u.ForEach(r, func(k int64) {
+			slow[r] += hn1 - stats.Harmonic(k) + DefaultB
+		})
+	}
+	for r := range fast {
+		if math.Abs(fast[r]-slow[r]) > 1e-6*math.Max(1, slow[r]) {
+			t.Errorf("rank %d: fast %v vs slow %v", r, fast[r], slow[r])
+		}
+	}
+}
+
+func BenchmarkOwnerUCP(b *testing.B) {
+	s := NewUCP(1_000_000, 768)
+	for i := 0; i < b.N; i++ {
+		s.Owner(int64(i) % 1_000_000)
+	}
+}
+
+func BenchmarkOwnerLCP(b *testing.B) {
+	s := NewLCP(1_000_000, 768, DefaultB)
+	for i := 0; i < b.N; i++ {
+		s.Owner(int64(i) % 1_000_000)
+	}
+}
+
+func BenchmarkOwnerRRP(b *testing.B) {
+	s := NewRRP(1_000_000, 768)
+	for i := 0; i < b.N; i++ {
+		s.Owner(int64(i) % 1_000_000)
+	}
+}
+
+func BenchmarkOwnerExactCP(b *testing.B) {
+	s := NewExactCP(1_000_000, 768, DefaultB)
+	for i := 0; i < b.N; i++ {
+		s.Owner(int64(i) % 1_000_000)
+	}
+}
+
+func BenchmarkNewExactCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewExactCP(1_000_000, 768, DefaultB)
+	}
+}

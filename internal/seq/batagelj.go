@@ -1,0 +1,77 @@
+package seq
+
+import (
+	"pagen/internal/graph"
+	"pagen/internal/model"
+	"pagen/internal/xrand"
+)
+
+// BatageljBrandes generates a Barabási–Albert network with the O(m)
+// algorithm of Batagelj & Brandes: a list in which every node appears
+// once per unit of degree; picking a uniform element of the list picks a
+// node with probability proportional to its degree. The paper discusses
+// it as the efficient sequential baseline (and notes it does not
+// parallelise well). p is ignored by this model (pure degree-proportional
+// attachment, i.e. the BA case).
+func BatageljBrandes(pr model.Params, rng *xrand.Rand) (*graph.Graph, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	n, x := pr.N, pr.X
+	x64 := int64(x)
+
+	g := graph.New(n)
+	g.Edges = make([]graph.Edge, 0, pr.M())
+
+	// repeated[i] lists node ids, one occurrence per unit of degree.
+	repeated := make([]int64, 0, 2*pr.M())
+
+	addEdge := func(u, v int64) {
+		g.AddEdge(u, v)
+		repeated = append(repeated, u, v)
+	}
+
+	// Initial clique, matching the copy-model bootstrap so the two
+	// baselines produce graphs over identical edge counts.
+	for t := int64(1); t < x64; t++ {
+		for j := int64(0); j < t; j++ {
+			addEdge(t, j)
+		}
+	}
+	// Node x attaches to every clique node.
+	targets := make([]int64, x)
+	for e := 0; e < x; e++ {
+		targets[e] = int64(e)
+	}
+	for _, v := range targets[:x] {
+		addEdge(x64, v)
+	}
+
+	for t := x64 + 1; t < n; t++ {
+		targets = targets[:0]
+		for e := 0; e < x; e++ {
+			for {
+				v := repeated[rng.Uint64n(uint64(len(repeated)))]
+				if v == t {
+					continue // t already appears via this phase's edges
+				}
+				duplicate := false
+				for _, w := range targets {
+					if w == v {
+						duplicate = true
+						break
+					}
+				}
+				if duplicate {
+					continue
+				}
+				targets = append(targets, v)
+				break
+			}
+		}
+		for _, v := range targets {
+			addEdge(t, v)
+		}
+	}
+	return g, nil
+}

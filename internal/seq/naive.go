@@ -1,0 +1,84 @@
+package seq
+
+import (
+	"fmt"
+
+	"pagen/internal/graph"
+	"pagen/internal/model"
+	"pagen/internal/xrand"
+)
+
+// NaiveMaxN bounds NaivePA's input size: the algorithm is Omega(n^2) and
+// exists only as a small-scale correctness oracle, exactly the "naive
+// approach" of Section 3.1 the efficient algorithms are measured against.
+const NaiveMaxN = 1 << 20
+
+// NaivePA generates a Barabási–Albert network with the naive
+// degree-list-scan algorithm of Section 3.1: each phase draws a uniform
+// value in [1, sum of degrees] and scans the degree array to find the
+// chosen node. Theta(t) per phase, Omega(n^2) total. p is ignored (pure
+// BA attachment).
+func NaivePA(pr model.Params, rng *xrand.Rand) (*graph.Graph, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if pr.N > NaiveMaxN {
+		return nil, fmt.Errorf("seq: NaivePA limited to n <= %d (got %d); use BatageljBrandes or CopyModel", NaiveMaxN, pr.N)
+	}
+	n, x := pr.N, pr.X
+	x64 := int64(x)
+
+	g := graph.New(n)
+	g.Edges = make([]graph.Edge, 0, pr.M())
+	deg := make([]int64, n)
+	var degSum int64
+
+	addEdge := func(u, v int64) {
+		g.AddEdge(u, v)
+		deg[u]++
+		deg[v]++
+		degSum += 2
+	}
+
+	for t := int64(1); t < x64; t++ {
+		for j := int64(0); j < t; j++ {
+			addEdge(t, j)
+		}
+	}
+	for e := int64(0); e < x64; e++ {
+		addEdge(x64, e)
+	}
+
+	targets := make([]int64, 0, x)
+	for t := x64 + 1; t < n; t++ {
+		targets = targets[:0]
+		for e := 0; e < x; e++ {
+		draw:
+			for {
+				// Uniform point in the degree mass, then linear scan.
+				r := int64(rng.Uint64n(uint64(degSum))) + 1
+				var v int64
+				for v = 0; v < t; v++ {
+					r -= deg[v]
+					if r <= 0 {
+						break
+					}
+				}
+				if v >= t {
+					continue // mass of t itself (phase edges not yet added here, but guard)
+				}
+				for _, w := range targets {
+					if w == v {
+						continue draw
+					}
+				}
+				targets = append(targets, v)
+				break
+			}
+		}
+		for _, v := range targets {
+			addEdge(t, v)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Running accumulates count, mean and variance online (Welford's method),
+// so per-rank load statistics can be gathered in one pass without storing
+// samples. The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of samples.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean (0 if empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest sample (0 if empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (0 if empty).
+func (r *Running) Max() float64 { return r.max }
+
+// Mean returns the mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for len < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// MinMax returns the extrema of xs; ok is false for empty input.
+func MinMax(xs []float64) (min, max float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, 0, false
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, true
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Imbalance returns max/mean of xs, the standard load-imbalance factor;
+// 1.0 is perfect balance. Returns NaN for empty or zero-mean input.
+func Imbalance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	if m == 0 {
+		return math.NaN()
+	}
+	_, max, _ := MinMax(xs)
+	return max / m
+}
+
+// ChiSquare returns the chi-square statistic of observed counts against
+// expected counts. Entries with expected <= 0 are skipped.
+func ChiSquare(observed, expected []float64) float64 {
+	n := len(observed)
+	if len(expected) < n {
+		n = len(expected)
+	}
+	chi2 := 0.0
+	for i := 0; i < n; i++ {
+		if expected[i] <= 0 {
+			continue
+		}
+		d := observed[i] - expected[i]
+		chi2 += d * d / expected[i]
+	}
+	return chi2
+}

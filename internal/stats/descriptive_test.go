@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Var() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v", r.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(r.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v", r.Var())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingleSample(t *testing.T) {
+	var r Running
+	r.Add(3.5)
+	if r.Mean() != 3.5 || r.Var() != 0 || r.Min() != 3.5 || r.Max() != 3.5 {
+		t.Fatalf("single-sample stats wrong: %+v", r)
+	}
+}
+
+// Property: Running matches the batch formulas.
+func TestRunningMatchesBatchProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Constrain magnitude to keep the naive batch formula stable.
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var r Running
+		for _, x := range xs {
+			r.Add(x)
+		}
+		scale := math.Max(1, math.Abs(Mean(xs)))
+		if math.Abs(r.Mean()-Mean(xs)) > 1e-8*scale {
+			return false
+		}
+		vscale := math.Max(1, Variance(xs))
+		return math.Abs(r.Var()-Variance(xs)) <= 1e-6*vscale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of one sample != 0")
+	}
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if math.Abs(Variance(xs)-5.0/3) > 1e-12 {
+		t.Errorf("Variance = %v", Variance(xs))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, _, ok := MinMax(nil); ok {
+		t.Error("MinMax(nil) reported ok")
+	}
+	min, max, ok := MinMax([]float64{3, -1, 7, 2})
+	if !ok || min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v,%v", min, max, ok)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+		{-0.5, 1}, {1.5, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) not NaN")
+	}
+	// Must not mutate the input.
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 {
+		t.Error("Quantile mutated input slice")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("balanced imbalance = %v", got)
+	}
+	if got := Imbalance([]float64{1, 3}); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("imbalance = %v, want 1.5", got)
+	}
+	if !math.IsNaN(Imbalance(nil)) || !math.IsNaN(Imbalance([]float64{0, 0})) {
+		t.Error("degenerate imbalance not NaN")
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	if got := ChiSquare([]float64{10, 10}, []float64{10, 10}); got != 0 {
+		t.Errorf("perfect fit chi2 = %v", got)
+	}
+	// (12-10)^2/10 + (8-10)^2/10 = 0.8
+	if got := ChiSquare([]float64{12, 8}, []float64{10, 10}); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("chi2 = %v, want 0.8", got)
+	}
+	// Zero-expected entries skipped.
+	if got := ChiSquare([]float64{5, 12}, []float64{0, 10}); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("chi2 with zero expected = %v, want 0.4", got)
+	}
+}

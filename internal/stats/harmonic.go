@@ -1,0 +1,87 @@
+// Package stats provides the numerical routines the generator and its
+// analysis layer depend on: harmonic numbers (the load model of the paper
+// is built entirely on H_k), descriptive statistics, least-squares fits,
+// and power-law exponent estimation for validating degree distributions.
+package stats
+
+import "math"
+
+// EulerGamma is the Euler–Mascheroni constant.
+const EulerGamma = 0.57721566490153286060651209008240243
+
+// harmonicExactLimit is the largest k for which Harmonic computes the sum
+// directly; above it the asymptotic expansion is exact to double precision.
+const harmonicExactLimit = 128
+
+// harmonicTable caches H_1..H_harmonicExactLimit.
+var harmonicTable = func() []float64 {
+	t := make([]float64, harmonicExactLimit+1)
+	sum := 0.0
+	for k := 1; k <= harmonicExactLimit; k++ {
+		sum += 1 / float64(k)
+		t[k] = sum
+	}
+	return t
+}()
+
+// Harmonic returns the k-th harmonic number H_k = sum_{i=1..k} 1/i.
+// H_0 = 0. For k <= 128 the value is an exact partial sum; for larger k it
+// uses the Euler–Maclaurin expansion
+//
+//	H_k = ln k + gamma + 1/(2k) - 1/(12k^2) + 1/(120k^4) - ...
+//
+// whose truncation error at k > 128 is below 1e-19, i.e. exact in float64.
+func Harmonic(k int64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k <= harmonicExactLimit {
+		return harmonicTable[k]
+	}
+	x := float64(k)
+	inv := 1 / x
+	inv2 := inv * inv
+	return math.Log(x) + EulerGamma + inv/2 - inv2/12 + inv2*inv2/120
+}
+
+// HarmonicDiff returns H_b - H_a for 0 <= a <= b, computed to avoid
+// cancellation when a and b are both large: for a, b above the exact
+// limit it evaluates ln(b/a) plus the difference of correction terms.
+func HarmonicDiff(a, b int64) float64 {
+	if a > b {
+		return -HarmonicDiff(b, a)
+	}
+	if a < 0 {
+		a = 0
+	}
+	if b <= harmonicExactLimit {
+		return Harmonic(b) - Harmonic(a)
+	}
+	if a <= harmonicExactLimit {
+		return Harmonic(b) - Harmonic(a)
+	}
+	x, y := float64(a), float64(b)
+	invA, invB := 1/x, 1/y
+	cA := invA/2 - invA*invA/12 + invA*invA*invA*invA/120
+	cB := invB/2 - invB*invB/12 + invB*invB*invB*invB/120
+	return math.Log(y/x) + cB - cA
+}
+
+// SumHarmonic returns sum_{k=a}^{b} H_k for 0 <= a <= b, using the closed
+// form sum_{k=1}^{m} H_k = (m+1)H_m - m (Concrete Mathematics Eqn 2.36,
+// the identity the paper invokes for the consecutive-partition load).
+func SumHarmonic(a, b int64) float64 {
+	if a > b {
+		return 0
+	}
+	if a < 1 {
+		a = 1
+	}
+	prefix := func(m int64) float64 {
+		if m <= 0 {
+			return 0
+		}
+		return float64(m+1)*Harmonic(m) - float64(m)
+	}
+	return prefix(b) - prefix(a-1)
+}

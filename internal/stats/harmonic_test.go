@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func naiveHarmonic(k int64) float64 {
+	s := 0.0
+	for i := int64(1); i <= k; i++ {
+		s += 1 / float64(i)
+	}
+	return s
+}
+
+func TestHarmonicSmallValues(t *testing.T) {
+	cases := []struct {
+		k    int64
+		want float64
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{2, 1.5},
+		{3, 1.0/3 + 1.5},
+		{4, 25.0 / 12},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.k); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("Harmonic(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicMatchesNaiveAcrossExactBoundary(t *testing.T) {
+	for _, k := range []int64{100, 127, 128, 129, 200, 1000, 10000} {
+		got := Harmonic(k)
+		want := naiveHarmonic(k)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("Harmonic(%d) = %.15f, want %.15f", k, got, want)
+		}
+	}
+}
+
+func TestHarmonicMonotone(t *testing.T) {
+	prev := 0.0
+	for k := int64(1); k <= 2000; k++ {
+		h := Harmonic(k)
+		if h <= prev {
+			t.Fatalf("Harmonic not strictly increasing at k=%d", k)
+		}
+		prev = h
+	}
+}
+
+func TestHarmonicAsymptotic(t *testing.T) {
+	// H_k - ln k -> gamma.
+	k := int64(10_000_000)
+	if diff := Harmonic(k) - math.Log(float64(k)); math.Abs(diff-EulerGamma) > 1e-7 {
+		t.Fatalf("H_k - ln k = %v, want ~gamma", diff)
+	}
+}
+
+func TestHarmonicDiff(t *testing.T) {
+	cases := [][2]int64{{0, 10}, {5, 5}, {10, 20}, {100, 200}, {500, 100000}, {1 << 30, 1<<30 + 1000}}
+	for _, c := range cases {
+		got := HarmonicDiff(c[0], c[1])
+		want := Harmonic(c[1]) - Harmonic(c[0])
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("HarmonicDiff(%d,%d) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+	// Antisymmetry.
+	if got := HarmonicDiff(20, 10); math.Abs(got+HarmonicDiff(10, 20)) > 1e-15 {
+		t.Errorf("HarmonicDiff not antisymmetric: %v", got)
+	}
+}
+
+func TestHarmonicDiffLargeNoCancellation(t *testing.T) {
+	// For huge neighbouring arguments the naive subtraction loses all
+	// precision; the direct form must equal the analytic ln ratio.
+	a := int64(1) << 40
+	b := a + a/1000
+	got := HarmonicDiff(a, b)
+	want := math.Log(float64(b) / float64(a)) // correction terms are ~1e-13 relative here
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("HarmonicDiff(%d,%d) = %v, want ~%v", a, b, got, want)
+	}
+}
+
+func TestSumHarmonicClosedForm(t *testing.T) {
+	// Check against a direct sum for a handful of ranges.
+	cases := [][2]int64{{1, 1}, {1, 10}, {5, 12}, {1, 500}, {100, 300}}
+	for _, c := range cases {
+		want := 0.0
+		for k := c[0]; k <= c[1]; k++ {
+			want += naiveHarmonic(k)
+		}
+		got := SumHarmonic(c[0], c[1])
+		if math.Abs(got-want) > 1e-8*math.Max(1, want) {
+			t.Errorf("SumHarmonic(%d,%d) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestSumHarmonicEdgeCases(t *testing.T) {
+	if got := SumHarmonic(5, 4); got != 0 {
+		t.Errorf("SumHarmonic(5,4) = %v, want 0", got)
+	}
+	if got := SumHarmonic(-3, 0); got != 0 {
+		t.Errorf("SumHarmonic(-3,0) = %v, want 0", got)
+	}
+	// a < 1 clamps to 1.
+	if got, want := SumHarmonic(-2, 3), SumHarmonic(1, 3); got != want {
+		t.Errorf("SumHarmonic(-2,3) = %v, want %v", got, want)
+	}
+}
+
+// Property: prefix-sum consistency SumHarmonic(1,m) = (m+1)H_m - m.
+func TestSumHarmonicIdentityProperty(t *testing.T) {
+	f := func(m16 uint16) bool {
+		m := int64(m16%5000) + 1
+		got := SumHarmonic(1, m)
+		want := float64(m+1)*Harmonic(m) - float64(m)
+		return math.Abs(got-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package svgplot renders line/scatter charts as standalone SVG using
+// only the standard library. It exists so the experiment harness can
+// regenerate the paper's *figures*, not just their data series: Figure 4
+// is a log-log scatter, Figures 5-7 are line charts over processor rank
+// or count. The output is deterministic for a given Plot, which keeps it
+// testable.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line/scatter series.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot describes a chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX/LogY select logarithmic axes; non-positive points are
+	// dropped on log axes.
+	LogX, LogY bool
+	// Markers draws point markers in addition to lines.
+	Markers bool
+	// W, H are the pixel dimensions (defaults 640x440).
+	W, H   int
+	Series []Series
+}
+
+// palette is a small colour-blind-safe cycle.
+var palette = []string{"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#56b4e9", "#e69f00"}
+
+const (
+	marginL = 70
+	marginR = 20
+	marginT = 40
+	marginB = 55
+)
+
+// Render writes the SVG document.
+func (p *Plot) Render(w io.Writer) error {
+	width, height := p.W, p.H
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 440
+	}
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	if plotW <= 0 || plotH <= 0 {
+		return fmt.Errorf("svgplot: dimensions %dx%d too small", width, height)
+	}
+
+	xmin, xmax, ymin, ymax, ok := p.bounds()
+	if !ok {
+		return fmt.Errorf("svgplot: no drawable points")
+	}
+
+	tx := func(x float64) float64 {
+		if p.LogX {
+			x = math.Log10(x)
+		}
+		return marginL + (x-xmin)/(xmax-xmin)*plotW
+	}
+	ty := func(y float64) float64 {
+		if p.LogY {
+			y = math.Log10(y)
+		}
+		return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+		width/2, escape(p.Title))
+
+	// Axes frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#333"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+
+	// Ticks and grid.
+	for _, t := range ticks(xmin, xmax, p.LogX) {
+		px := tx(untick(t, p.LogX))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			px, marginT, px, marginT+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px, marginT+plotH+16, tickLabel(t, p.LogX))
+	}
+	for _, t := range ticks(ymin, ymax, p.LogY) {
+		py := ty(untick(t, p.LogY))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py, marginL+plotW, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, py+4, tickLabel(t, p.LogY))
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, escape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(p.YLabel))
+
+	// Series.
+	for si, s := range p.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := 0; i < len(s.X) && i < len(s.Y); i++ {
+			x, y := s.X[i], s.Y[i]
+			if (p.LogX && x <= 0) || (p.LogY && y <= 0) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(x), ty(y)))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		if p.Markers || len(pts) == 1 {
+			for _, pt := range pts {
+				var px, py float64
+				fmt.Sscanf(pt, "%f,%f", &px, &py)
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`+"\n", px, py, color)
+			}
+		}
+		// Legend entry.
+		ly := marginT + 14 + 16*si
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+plotW-110, ly, marginL+plotW-90, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			marginL+plotW-84, ly+4, escape(s.Name))
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bounds computes the data range in plot space (log10 applied when the
+// axis is logarithmic), padded slightly, and reports whether any
+// drawable point exists.
+func (p *Plot) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := 0; i < len(s.X) && i < len(s.Y); i++ {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if p.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if p.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+			ok = true
+		}
+	}
+	if !ok {
+		return
+	}
+	// Avoid zero-width ranges and add 4% padding.
+	pad := func(lo, hi float64) (float64, float64) {
+		if hi == lo {
+			return lo - 1, hi + 1
+		}
+		d := (hi - lo) * 0.04
+		return lo - d, hi + d
+	}
+	xmin, xmax = pad(xmin, xmax)
+	ymin, ymax = pad(ymin, ymax)
+	return
+}
+
+// ticks returns tick positions in plot space: integer decades for log
+// axes, "nice" steps for linear axes.
+func ticks(lo, hi float64, log bool) []float64 {
+	if log {
+		var out []float64
+		for d := math.Ceil(lo); d <= math.Floor(hi); d++ {
+			out = append(out, d)
+		}
+		if len(out) == 0 {
+			out = append(out, (lo+hi)/2)
+		}
+		return out
+	}
+	span := hi - lo
+	step := niceStep(span / 5)
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+1e-12; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// niceStep rounds raw up to a 1/2/5 x 10^k value.
+func niceStep(raw float64) float64 {
+	if raw <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag <= 1:
+		return mag
+	case raw/mag <= 2:
+		return 2 * mag
+	case raw/mag <= 5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+// untick converts a tick position back to data space.
+func untick(t float64, log bool) float64 {
+	if log {
+		return math.Pow(10, t)
+	}
+	return t
+}
+
+// tickLabel formats a tick for display.
+func tickLabel(t float64, log bool) string {
+	if log {
+		return fmt.Sprintf("1e%d", int(t))
+	}
+	if t == math.Trunc(t) && math.Abs(t) < 1e7 {
+		return fmt.Sprintf("%d", int64(t))
+	}
+	return fmt.Sprintf("%.3g", t)
+}
+
+// escape sanitises text for SVG.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,158 @@
+package svgplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func renderToString(t *testing.T, p *Plot) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRenderBasicLineChart(t *testing.T) {
+	p := &Plot{
+		Title:  "Speedup",
+		XLabel: "processors",
+		YLabel: "speedup",
+		Series: []Series{
+			{Name: "RRP", X: []float64{1, 2, 4, 8}, Y: []float64{1, 1.9, 3.6, 6.8}},
+			{Name: "UCP", X: []float64{1, 2, 4, 8}, Y: []float64{1, 1.7, 2.9, 4.1}},
+		},
+	}
+	svg := renderToString(t, p)
+	for _, want := range []string{
+		"<svg", "</svg>", "Speedup", "processors", "speedup",
+		"RRP", "UCP", "<polyline",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series -> two polylines.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestRenderLogLogScatter(t *testing.T) {
+	xs := make([]float64, 30)
+	ys := make([]float64, 30)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = 100 * math.Pow(xs[i], -2.5)
+	}
+	p := &Plot{
+		Title: "Degree distribution", LogX: true, LogY: true, Markers: true,
+		Series: []Series{{Name: "P(d)", X: xs, Y: ys}},
+	}
+	svg := renderToString(t, p)
+	if !strings.Contains(svg, "<circle") {
+		t.Error("markers missing")
+	}
+	if !strings.Contains(svg, "1e0") || !strings.Contains(svg, "1e1") {
+		t.Error("log decade ticks missing")
+	}
+}
+
+func TestRenderDropsNonPositiveOnLogAxes(t *testing.T) {
+	p := &Plot{
+		LogY: true,
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{1, 2, 3},
+			Y:    []float64{0, -5, 10}, // only the last point drawable
+		}},
+	}
+	svg := renderToString(t, p)
+	// A single drawable point: no polyline, one marker.
+	if strings.Contains(svg, "<polyline") {
+		t.Error("polyline drawn for single point")
+	}
+	if got := strings.Count(svg, "<circle"); got != 1 {
+		t.Errorf("%d circles, want 1", got)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if err := (&Plot{}).Render(&strings.Builder{}); err == nil {
+		t.Error("empty plot rendered")
+	}
+	p := &Plot{W: 10, H: 10, Series: []Series{{X: []float64{1}, Y: []float64{1}}}}
+	if err := p.Render(&strings.Builder{}); err == nil {
+		t.Error("tiny canvas rendered")
+	}
+	nan := &Plot{Series: []Series{{X: []float64{math.NaN()}, Y: []float64{1}}}}
+	if err := nan.Render(&strings.Builder{}); err == nil {
+		t.Error("all-NaN plot rendered")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Zero-width data ranges must not divide by zero.
+	p := &Plot{Series: []Series{{Name: "c", X: []float64{5, 5, 5}, Y: []float64{2, 2, 2}}}}
+	svg := renderToString(t, p)
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	p := &Plot{
+		Title:  "a<b & c>d",
+		Series: []Series{{Name: "x<y", X: []float64{1, 2}, Y: []float64{1, 2}}},
+	}
+	svg := renderToString(t, p)
+	if strings.Contains(svg, "a<b") || !strings.Contains(svg, "a&lt;b &amp; c&gt;d") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "x&lt;y") {
+		t.Error("series name not escaped")
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.7, 1}, {1.2, 2}, {3.7, 5}, {8, 10}, {45, 50}, {0.013, 0.02}, {-1, 1}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := niceStep(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("niceStep(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTicksLinear(t *testing.T) {
+	ts := ticks(0, 10, false)
+	if len(ts) < 4 || ts[0] < 0 || ts[len(ts)-1] > 10.001 {
+		t.Errorf("ticks = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+}
+
+func TestTicksLogFallback(t *testing.T) {
+	// A sub-decade log range still produces at least one tick.
+	ts := ticks(0.1, 0.9, true)
+	if len(ts) == 0 {
+		t.Fatal("no ticks for narrow log range")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	p := &Plot{
+		Title:  "t",
+		Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{3, 1, 2}}},
+	}
+	if renderToString(t, p) != renderToString(t, p) {
+		t.Fatal("rendering not deterministic")
+	}
+}

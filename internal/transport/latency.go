@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// NewDelayed wraps inner so every frame is delivered approximately delay
+// after Send — a one-way-latency model of the interconnect.
+// Per-destination ordering is preserved (frames to one peer pass through
+// a FIFO delay line). The paper's cluster uses QDR InfiniBand (~1 µs
+// latency); sweeping the delay shows how much the request/resolved
+// protocol depends on interconnect latency versus the dependency
+// structure itself (see BenchmarkAblationLatency).
+func NewDelayed(inner Transport, delay time.Duration) Transport {
+	d := &delayed{
+		inner: inner,
+		delay: delay,
+		lines: make([]*delayLine, inner.Size()),
+	}
+	for i := range d.lines {
+		d.lines[i] = newDelayLine()
+		d.wg.Add(1)
+		go d.pump(i)
+	}
+	return d
+}
+
+type delayedFrame struct {
+	deadline time.Time
+	data     []byte
+}
+
+// delayLine is an unbounded FIFO of delayedFrames with blocking pop,
+// following the mailbox pattern.
+type delayLine struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []delayedFrame
+	closed bool
+}
+
+func newDelayLine() *delayLine {
+	l := &delayLine{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *delayLine) push(f delayedFrame) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.q = append(l.q, f)
+	l.cond.Signal()
+	return nil
+}
+
+// pop blocks until a frame or close; ok is false once closed and drained.
+func (l *delayLine) pop() (delayedFrame, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.q) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.q) == 0 {
+		return delayedFrame{}, false
+	}
+	f := l.q[0]
+	l.q = l.q[1:]
+	if len(l.q) == 0 {
+		l.q = nil
+	}
+	return f, true
+}
+
+func (l *delayLine) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+type delayed struct {
+	inner Transport
+	delay time.Duration
+	lines []*delayLine
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	sendErr error
+	closed  bool
+}
+
+// pump drains one destination's delay line, sleeping until each frame's
+// deadline before forwarding it.
+func (d *delayed) pump(to int) {
+	defer d.wg.Done()
+	for {
+		f, ok := d.lines[to].pop()
+		if !ok {
+			return
+		}
+		if wait := time.Until(f.deadline); wait > 0 {
+			time.Sleep(wait)
+		}
+		if err := d.inner.Send(to, f.data); err != nil {
+			d.mu.Lock()
+			if d.sendErr == nil {
+				d.sendErr = err
+			}
+			d.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Send implements Transport: the frame enters the destination's delay
+// line and is forwarded after the configured latency.
+func (d *delayed) Send(to int, data []byte) error {
+	if to < 0 || to >= len(d.lines) {
+		return d.inner.Send(to, data) // delegate range error
+	}
+	d.mu.Lock()
+	err := d.sendErr
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return d.lines[to].push(delayedFrame{deadline: time.Now().Add(d.delay), data: data})
+}
+
+// Rank implements Transport.
+func (d *delayed) Rank() int { return d.inner.Rank() }
+
+// Size implements Transport.
+func (d *delayed) Size() int { return d.inner.Size() }
+
+// Recv implements Transport.
+func (d *delayed) Recv() (Frame, error) { return d.inner.Recv() }
+
+// TryRecv implements Transport.
+func (d *delayed) TryRecv() (Frame, bool, error) { return d.inner.TryRecv() }
+
+// Close implements Transport: delay lines are closed and drained (their
+// pumps forward any remaining frames) before the inner transport closes.
+func (d *delayed) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	for _, l := range d.lines {
+		l.close()
+	}
+	d.wg.Wait()
+	return d.inner.Close()
+}

@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func delayedPair(t *testing.T, delay time.Duration) (Transport, Transport) {
+	t.Helper()
+	g, err := NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDelayed(g.Endpoint(0), delay), NewDelayed(g.Endpoint(1), delay)
+}
+
+func TestDelayedDelivers(t *testing.T) {
+	a, b := delayedPair(t, time.Millisecond)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	if err := a.Send(1, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Data) != "hi" || f.From != 0 {
+		t.Fatalf("frame = %+v", f)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("delivered after %v, want >= 1ms", elapsed)
+	}
+}
+
+func TestDelayedPreservesOrder(t *testing.T) {
+	a, b := delayedPair(t, 200*time.Microsecond)
+	defer a.Close()
+	defer b.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		f, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(f.Data[0]) != i {
+			t.Fatalf("frame %d arrived as %d", i, f.Data[0])
+		}
+	}
+}
+
+func TestDelayedPipelines(t *testing.T) {
+	// k frames sent back-to-back must take ~delay total, not k*delay:
+	// the delay line models latency, not serialised bandwidth.
+	a, b := delayedPair(t, 20*time.Millisecond)
+	defer a.Close()
+	defer b.Close()
+	const k = 50
+	start := time.Now()
+	for i := 0; i < k; i++ {
+		if err := a.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*20*time.Millisecond {
+		t.Fatalf("%d frames took %v — latency is being serialised", k, elapsed)
+	}
+}
+
+func TestDelayedZeroDelay(t *testing.T) {
+	a, b := delayedPair(t, 0)
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayedCloseDrains(t *testing.T) {
+	a, b := delayedPair(t, 2*time.Millisecond)
+	if err := a.Send(1, []byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	// Close the sender immediately: the queued frame must still arrive.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := b.Recv()
+	if err != nil || string(f.Data) != "pending" {
+		t.Fatalf("drain on close: %v %v", f, err)
+	}
+	b.Close()
+}
+
+func TestDelayedCloseIdempotent(t *testing.T) {
+	a, b := delayedPair(t, time.Millisecond)
+	b.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayedInvalidRank(t *testing.T) {
+	a, b := delayedPair(t, time.Millisecond)
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(7, nil); err == nil {
+		t.Fatal("send to rank 7 accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package transport
+
+import "fmt"
+
+// LocalGroup is a set of in-process endpoints, one per rank, sharing
+// unbounded mailboxes. Create one per simulated "cluster".
+type LocalGroup struct {
+	boxes []*mailbox
+}
+
+// NewLocalGroup returns a group of p connected local endpoints.
+func NewLocalGroup(p int) (*LocalGroup, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("transport: group size %d, want >= 1", p)
+	}
+	g := &LocalGroup{boxes: make([]*mailbox, p)}
+	for i := range g.boxes {
+		g.boxes[i] = newMailbox()
+	}
+	return g, nil
+}
+
+// Endpoint returns rank's transport endpoint.
+func (g *LocalGroup) Endpoint(rank int) Transport {
+	if rank < 0 || rank >= len(g.boxes) {
+		panic(fmt.Sprintf("transport: rank %d outside [0,%d)", rank, len(g.boxes)))
+	}
+	return &localEndpoint{group: g, rank: rank}
+}
+
+type localEndpoint struct {
+	group *LocalGroup
+	rank  int
+}
+
+func (e *localEndpoint) Rank() int { return e.rank }
+func (e *localEndpoint) Size() int { return len(e.group.boxes) }
+
+func (e *localEndpoint) Send(to int, data []byte) error {
+	if to < 0 || to >= len(e.group.boxes) {
+		return fmt.Errorf("transport: send to rank %d outside [0,%d)", to, len(e.group.boxes))
+	}
+	return e.group.boxes[to].push(Frame{From: e.rank, Data: data})
+}
+
+func (e *localEndpoint) Recv() (Frame, error) {
+	f, ok, err := e.group.boxes[e.rank].pop(true)
+	if err != nil {
+		return Frame{}, err
+	}
+	if !ok {
+		return Frame{}, ErrClosed
+	}
+	return f, nil
+}
+
+func (e *localEndpoint) TryRecv() (Frame, bool, error) {
+	return e.group.boxes[e.rank].pop(false)
+}
+
+func (e *localEndpoint) Close() error {
+	e.group.boxes[e.rank].close()
+	return nil
+}

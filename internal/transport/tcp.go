@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is a full-mesh distributed-memory transport: each pair of ranks
+// shares one TCP connection (lower rank listens, higher rank dials),
+// frames are length-prefixed, and every connection has a dedicated reader
+// goroutine (pumping into the rank's unbounded mailbox) and writer
+// goroutine (draining an unbounded outbox), so engine sends never block
+// on peer progress — the property the deadlock analysis of Section 3.5.2
+// needs from the runtime.
+type TCP struct {
+	rank  int
+	addrs []string
+	inbox *mailbox
+
+	mu       sync.Mutex
+	conns    []net.Conn // index by peer rank; nil for self
+	outboxes []*mailbox // per-peer outbound frame queues
+	closed   bool
+	readers  sync.WaitGroup
+	writers  sync.WaitGroup
+}
+
+const tcpDialTimeout = 10 * time.Second
+
+// NewTCP creates rank's endpoint of a P-rank mesh, where addrs[i] is the
+// listen address of rank i (len(addrs) = P). It blocks until connections
+// to all peers are established. All ranks must call NewTCP concurrently
+// (they are separate processes in real deployments).
+func NewTCP(rank int, addrs []string) (*TCP, error) {
+	p := len(addrs)
+	if p < 1 {
+		return nil, fmt.Errorf("transport: empty address list")
+	}
+	if rank < 0 || rank >= p {
+		return nil, fmt.Errorf("transport: rank %d outside [0,%d)", rank, p)
+	}
+	t := &TCP{
+		rank:     rank,
+		addrs:    addrs,
+		inbox:    newMailbox(),
+		conns:    make([]net.Conn, p),
+		outboxes: make([]*mailbox, p),
+	}
+
+	// Accept connections from all higher ranks.
+	var ln net.Listener
+	var err error
+	if rank < p-1 {
+		ln, err = net.Listen("tcp", addrs[rank])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", addrs[rank], err)
+		}
+		defer ln.Close()
+	}
+
+	acceptErr := make(chan error, 1)
+	go func() {
+		for peer := rank + 1; peer < p; peer++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				acceptErr <- fmt.Errorf("transport: reading peer handshake: %w", err)
+				return
+			}
+			from := int(binary.LittleEndian.Uint32(hdr[:]))
+			if from <= rank || from >= p {
+				acceptErr <- fmt.Errorf("transport: bad handshake rank %d", from)
+				return
+			}
+			t.mu.Lock()
+			t.conns[from] = conn
+			t.mu.Unlock()
+		}
+		acceptErr <- nil
+	}()
+
+	// Dial all lower ranks, retrying while their listeners come up.
+	for peer := 0; peer < rank; peer++ {
+		conn, err := dialRetry(addrs[peer], tcpDialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("transport: dial rank %d at %s: %w", peer, addrs[peer], err)
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			return nil, fmt.Errorf("transport: handshake to rank %d: %w", peer, err)
+		}
+		t.conns[peer] = conn
+	}
+
+	if err := <-acceptErr; err != nil {
+		return nil, err
+	}
+
+	// Start per-connection pumps.
+	for peer := 0; peer < p; peer++ {
+		if peer == rank {
+			continue
+		}
+		t.outboxes[peer] = newMailbox()
+		t.readers.Add(1)
+		t.writers.Add(1)
+		go t.readLoop(peer)
+		go t.writeLoop(peer)
+	}
+	return t, nil
+}
+
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (t *TCP) readLoop(peer int) {
+	defer t.readers.Done()
+	conn := t.conns[peer]
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // peer closed; normal at shutdown
+		}
+		size := binary.LittleEndian.Uint32(hdr[:])
+		data := make([]byte, size)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		if t.inbox.push(Frame{From: peer, Data: data}) != nil {
+			return
+		}
+	}
+}
+
+func (t *TCP) writeLoop(peer int) {
+	defer t.writers.Done()
+	conn := t.conns[peer]
+	var hdr [4]byte
+	for {
+		f, ok, err := t.outboxes[peer].pop(true)
+		if err != nil || !ok {
+			return
+		}
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(f.Data)))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := conn.Write(f.Data); err != nil {
+			return
+		}
+	}
+}
+
+// Rank implements Transport.
+func (t *TCP) Rank() int { return t.rank }
+
+// Size implements Transport.
+func (t *TCP) Size() int { return len(t.addrs) }
+
+// Send implements Transport. Self-sends loop back through the inbox.
+func (t *TCP) Send(to int, data []byte) error {
+	if to < 0 || to >= len(t.addrs) {
+		return fmt.Errorf("transport: send to rank %d outside [0,%d)", to, len(t.addrs))
+	}
+	if to == t.rank {
+		return t.inbox.push(Frame{From: t.rank, Data: data})
+	}
+	return t.outboxes[to].push(Frame{From: t.rank, Data: data})
+}
+
+// Recv implements Transport.
+func (t *TCP) Recv() (Frame, error) {
+	f, ok, err := t.inbox.pop(true)
+	if err != nil {
+		return Frame{}, err
+	}
+	if !ok {
+		return Frame{}, ErrClosed
+	}
+	return f, nil
+}
+
+// TryRecv implements Transport.
+func (t *TCP) TryRecv() (Frame, bool, error) {
+	return t.inbox.pop(false)
+}
+
+// Close implements Transport. Outbound queues are closed first and the
+// writer goroutines drain them fully (the mailbox delivers queued frames
+// even after close), so frames already accepted by Send still reach the
+// wire; only then are the connections torn down.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	for _, ob := range t.outboxes {
+		if ob != nil {
+			ob.close()
+		}
+	}
+	t.writers.Wait()
+	for _, c := range t.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	t.inbox.close()
+	t.readers.Wait()
+	return nil
+}

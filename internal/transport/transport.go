@@ -1,0 +1,122 @@
+// Package transport provides the point-to-point message substrate the
+// communicator (internal/comm) is built on — the role MPI plays in the
+// paper. Two implementations are provided:
+//
+//   - Local: ranks are goroutines in one process, connected by unbounded
+//     mailboxes. Deterministic-ish, cheap, and deadlock-free by
+//     construction: a send never blocks, so the circular-wait scenario
+//     the paper's Section 3.5.2 guards against cannot wedge the runtime
+//     (the buffering *policy* is still implemented faithfully in
+//     internal/comm, where its effect on message counts is measured).
+//   - TCP: ranks are separate OS processes in a full mesh of TCP
+//     connections with length-prefixed frames — genuine distributed
+//     memory. Per-connection reader goroutines pump frames into the same
+//     unbounded mailbox, so a slow consumer never stalls a sender's
+//     kernel buffers indefinitely.
+//
+// A Transport moves opaque frames; message semantics live in
+// internal/msg, batching policy in internal/comm.
+package transport
+
+import "errors"
+
+// Frame is one received transport frame.
+type Frame struct {
+	From int
+	Data []byte
+}
+
+// ErrClosed is returned by Recv after Close, and by Send on a closed
+// transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Transport is a reliable, per-pair-ordered frame transport among P ranks.
+type Transport interface {
+	// Rank returns this endpoint's rank in [0, Size()).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Send delivers data to rank to. The callee takes ownership of data.
+	// Send never blocks indefinitely on an unconsumed receiver.
+	Send(to int, data []byte) error
+	// Recv blocks until a frame arrives or the transport is closed.
+	Recv() (Frame, error)
+	// TryRecv returns a frame if one is immediately available.
+	TryRecv() (Frame, bool, error)
+	// Close shuts the endpoint down; blocked Recv calls return ErrClosed.
+	Close() error
+}
+
+// mailbox is an unbounded MPSC queue with blocking and non-blocking pop.
+// Senders append under the lock; the single consumer (the rank's engine
+// loop) pops. Unboundedness is what makes Local sends non-blocking.
+type mailbox struct {
+	mu     chan struct{} // 1-token semaphore guarding q (select-friendly)
+	notify chan struct{} // 1-buffered wakeup
+	q      []Frame
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{
+		mu:     make(chan struct{}, 1),
+		notify: make(chan struct{}, 1),
+	}
+	m.mu <- struct{}{}
+	return m
+}
+
+func (m *mailbox) lock()   { <-m.mu }
+func (m *mailbox) unlock() { m.mu <- struct{}{} }
+
+func (m *mailbox) push(f Frame) error {
+	m.lock()
+	if m.closed {
+		m.unlock()
+		return ErrClosed
+	}
+	m.q = append(m.q, f)
+	m.unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// pop removes the head frame. If block is false and the queue is empty it
+// returns ok=false immediately.
+func (m *mailbox) pop(block bool) (Frame, bool, error) {
+	for {
+		m.lock()
+		if len(m.q) > 0 {
+			f := m.q[0]
+			// Slide rather than reslice forever: reclaim when drained.
+			m.q = m.q[1:]
+			if len(m.q) == 0 {
+				m.q = nil
+			}
+			m.unlock()
+			return f, true, nil
+		}
+		closed := m.closed
+		m.unlock()
+		if closed {
+			return Frame{}, false, ErrClosed
+		}
+		if !block {
+			return Frame{}, false, nil
+		}
+		<-m.notify
+	}
+}
+
+func (m *mailbox) close() {
+	m.lock()
+	m.closed = true
+	m.unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}

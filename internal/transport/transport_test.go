@@ -1,0 +1,325 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// meshTest exercises a generic Transport mesh built by mk.
+func meshTest(t *testing.T, p int, mk func(t *testing.T, p int) []Transport) {
+	t.Helper()
+	eps := mk(t, p)
+	defer func() {
+		for _, e := range eps {
+			e.Close()
+		}
+	}()
+
+	for i, e := range eps {
+		if e.Rank() != i || e.Size() != p {
+			t.Fatalf("endpoint %d: Rank=%d Size=%d", i, e.Rank(), e.Size())
+		}
+	}
+
+	// Every rank sends a tagged frame to every other rank; everyone must
+	// receive exactly p-1 frames with correct provenance.
+	var wg sync.WaitGroup
+	errs := make(chan error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			e := eps[r]
+			for to := 0; to < p; to++ {
+				if to == r {
+					continue
+				}
+				data := []byte(fmt.Sprintf("from %d to %d", r, to))
+				if err := e.Send(to, data); err != nil {
+					errs <- fmt.Errorf("rank %d send: %w", r, err)
+					return
+				}
+			}
+			for i := 0; i < p-1; i++ {
+				f, err := e.Recv()
+				if err != nil {
+					errs <- fmt.Errorf("rank %d recv: %w", r, err)
+					return
+				}
+				want := fmt.Sprintf("from %d to %d", f.From, r)
+				if string(f.Data) != want {
+					errs <- fmt.Errorf("rank %d got %q, want %q", r, f.Data, want)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func mkLocal(t *testing.T, p int) []Transport {
+	t.Helper()
+	g, err := NewLocalGroup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]Transport, p)
+	for i := range eps {
+		eps[i] = g.Endpoint(i)
+	}
+	return eps
+}
+
+func mkTCP(t *testing.T, p int) []Transport {
+	t.Helper()
+	addrs := make([]string, p)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", 42300+testPortBase+i)
+	}
+	testPortBase += p + 2
+	eps := make([]Transport, p)
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tt, err := NewTCP(i, addrs)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			eps[i] = tt
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	return eps
+}
+
+var testPortBase int
+
+func TestLocalMesh(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		meshTest(t, p, mkLocal)
+	}
+}
+
+func TestTCPMesh(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		meshTest(t, p, mkTCP)
+	}
+}
+
+func TestLocalOrderingPerPair(t *testing.T) {
+	g, _ := NewLocalGroup(2)
+	a, b := g.Endpoint(0), g.Endpoint(1)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := a.Send(1, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		f, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int(f.Data[0]) | int(f.Data[1])<<8; got != i {
+			t.Fatalf("frame %d arrived as %d", i, got)
+		}
+	}
+}
+
+func TestTCPOrderingPerPair(t *testing.T) {
+	eps := mkTCP(t, 2)
+	defer eps[0].Close()
+	defer eps[1].Close()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := eps[0].Send(1, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		f, err := eps[1].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int(f.Data[0]) | int(f.Data[1])<<8; got != i {
+			t.Fatalf("frame %d arrived as %d", i, got)
+		}
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	g, _ := NewLocalGroup(2)
+	a, b := g.Endpoint(0), g.Endpoint(1)
+	if _, ok, err := b.TryRecv(); ok || err != nil {
+		t.Fatalf("TryRecv on empty: ok=%v err=%v", ok, err)
+	}
+	if err := a.Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f, ok, err := b.TryRecv()
+	if !ok || err != nil || string(f.Data) != "x" {
+		t.Fatalf("TryRecv after send: %v %v %v", f, ok, err)
+	}
+}
+
+func TestRecvAfterCloseDrainsThenErrors(t *testing.T) {
+	g, _ := NewLocalGroup(2)
+	a, b := g.Endpoint(0), g.Endpoint(1)
+	a.Send(1, []byte("pending"))
+	b.Close()
+	// Queued frame still delivered.
+	f, err := b.Recv()
+	if err != nil || string(f.Data) != "pending" {
+		t.Fatalf("drain after close: %v %v", f, err)
+	}
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Fatalf("Recv after drain = %v, want ErrClosed", err)
+	}
+	if err := a.Send(1, []byte("late")); err != ErrClosed {
+		t.Fatalf("Send to closed = %v, want ErrClosed", err)
+	}
+}
+
+func TestRecvUnblocksOnClose(t *testing.T) {
+	g, _ := NewLocalGroup(1)
+	e := g.Endpoint(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	e.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("Recv = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestSendInvalidRank(t *testing.T) {
+	g, _ := NewLocalGroup(2)
+	e := g.Endpoint(0)
+	if err := e.Send(2, nil); err == nil {
+		t.Error("send to rank 2 accepted")
+	}
+	if err := e.Send(-1, nil); err == nil {
+		t.Error("send to rank -1 accepted")
+	}
+}
+
+func TestLocalGroupErrors(t *testing.T) {
+	if _, err := NewLocalGroup(0); err == nil {
+		t.Error("group size 0 accepted")
+	}
+	g, _ := NewLocalGroup(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Endpoint(5) did not panic")
+		}
+	}()
+	g.Endpoint(5)
+}
+
+func TestTCPBadArgs(t *testing.T) {
+	if _, err := NewTCP(0, nil); err == nil {
+		t.Error("empty addrs accepted")
+	}
+	if _, err := NewTCP(3, []string{"a", "b"}); err == nil {
+		t.Error("rank out of range accepted")
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	eps := mkTCP(t, 2)
+	defer eps[0].Close()
+	defer eps[1].Close()
+	if err := eps[0].Send(0, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := eps[0].Recv()
+	if err != nil || string(f.Data) != "self" || f.From != 0 {
+		t.Fatalf("self send: %v %v", f, err)
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	eps := mkTCP(t, 2)
+	eps[1].Close()
+	if err := eps[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Heavy concurrent fan-in: many frames from both peers to one receiver,
+// checking nothing is lost under contention.
+func TestLocalFanInStress(t *testing.T) {
+	const p = 4
+	const per = 5000
+	g, _ := NewLocalGroup(p)
+	var wg sync.WaitGroup
+	for r := 1; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			e := g.Endpoint(r)
+			for i := 0; i < per; i++ {
+				if err := e.Send(0, []byte{byte(r)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	recv := g.Endpoint(0)
+	counts := make([]int, p)
+	for i := 0; i < (p-1)*per; i++ {
+		f, err := recv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[f.From]++
+	}
+	wg.Wait()
+	for r := 1; r < p; r++ {
+		if counts[r] != per {
+			t.Fatalf("rank %d delivered %d frames, want %d", r, counts[r], per)
+		}
+	}
+}
+
+func BenchmarkLocalSendRecv(b *testing.B) {
+	g, _ := NewLocalGroup(2)
+	a, c := g.Endpoint(0), g.Endpoint(1)
+	payload := make([]byte, 28)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer vector for splitmix64 with seed 0 (from the reference
+// implementation by Sebastiano Vigna).
+func TestSplitMix64KnownVector(t *testing.T) {
+	state := uint64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Fatalf("splitmix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+// xoshiro256** with state {1,2,3,4}: first output is
+// rotl(2*5, 7) * 9 = 1280*9 = 11520, second is 0 (s1 becomes 0 after the
+// first state transition). Verified against the reference C code.
+func TestXoshiroKnownVector(t *testing.T) {
+	r := &Rand{s: [4]uint64{1, 2, 3, 4}}
+	if got := r.Uint64(); got != 11520 {
+		t.Fatalf("first output = %d, want 11520", got)
+	}
+	if got := r.Uint64(); got != 0 {
+		t.Fatalf("second output = %d, want 0", got)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("sequence diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	// Streams with different ids from the same seed must differ, and the
+	// same (seed, id) pair must reproduce.
+	a := NewStream(7, 0)
+	b := NewStream(7, 1)
+	c := NewStream(7, 0)
+	diverged := false
+	for i := 0; i < 100; i++ {
+		av, bv, cv := a.Uint64(), b.Uint64(), c.Uint64()
+		if av != cv {
+			t.Fatalf("same (seed,id) diverged at %d", i)
+		}
+		if av != bv {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("streams 0 and 1 produced identical sequences")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 2000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestInt64nPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int64{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Int64n(%d) did not panic", n)
+				}
+			}()
+			New(1).Int64n(n)
+		}()
+	}
+}
+
+func TestInt64RangeInclusive(t *testing.T) {
+	r := New(9)
+	lo, hi := int64(-3), int64(3)
+	seen := make(map[int64]int)
+	for i := 0; i < 7000; i++ {
+		v := r.Int64Range(lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("Int64Range(%d,%d) = %d out of range", lo, hi, v)
+		}
+		seen[v]++
+	}
+	for v := lo; v <= hi; v++ {
+		if seen[v] == 0 {
+			t.Fatalf("value %d never produced", v)
+		}
+	}
+}
+
+func TestInt64RangeSingleton(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10; i++ {
+		if v := r.Int64Range(4, 4); v != 4 {
+			t.Fatalf("Int64Range(4,4) = %d", v)
+		}
+	}
+}
+
+func TestInt64RangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int64Range(2,1) did not panic")
+		}
+	}()
+	New(1).Int64Range(2, 1)
+}
+
+// Uint64n must be unbiased: for a small modulus, bucket frequencies should
+// pass a chi-square test at a generous threshold.
+func TestUint64nUniformChiSquare(t *testing.T) {
+	r := New(1234)
+	const n = 10
+	const trials = 200000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	expected := float64(trials) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; critical value at alpha=0.001 is 27.88.
+	if chi2 > 27.88 {
+		t.Fatalf("chi-square = %f exceeds 27.88; counts = %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(77)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %f, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(55)
+	const trials = 100000
+	for _, p := range []float64{0.0, 0.25, 0.5, 0.9, 1.0} {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-p) > 0.01 {
+			t.Fatalf("Bool(%f) frequency = %f", p, got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(13)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := make([]bool, len(s))
+	for _, v := range s {
+		if seen[v] {
+			t.Fatalf("shuffle produced duplicate: %v", s)
+		}
+		seen[v] = true
+	}
+}
+
+// Fisher-Yates via Shuffle must be uniform over permutations of 3 elements.
+func TestShuffleUniformity(t *testing.T) {
+	r := New(17)
+	counts := make(map[[3]int]int)
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		s := [3]int{0, 1, 2}
+		r.Shuffle(3, func(a, b int) { s[a], s[b] = s[b], s[a] })
+		counts[s]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("expected 6 permutations, got %d", len(counts))
+	}
+	expected := float64(trials) / 6
+	for p, c := range counts {
+		if math.Abs(float64(c)-expected) > expected*0.1 {
+			t.Fatalf("permutation %v count %d deviates from %f", p, c, expected)
+		}
+	}
+}
+
+// Jump must move the generator to a far-removed point: the post-jump
+// sequence must not overlap a long prefix of the original sequence.
+func TestJumpProducesDisjointStream(t *testing.T) {
+	base := New(99)
+	jumped := New(99)
+	jumped.Jump()
+
+	prefix := make(map[uint64]bool, 4096)
+	for i := 0; i < 4096; i++ {
+		prefix[base.Uint64()] = true
+	}
+	overlap := 0
+	for i := 0; i < 4096; i++ {
+		if prefix[jumped.Uint64()] {
+			overlap++
+		}
+	}
+	// Random 64-bit collisions among 4096-element sets are ~0.
+	if overlap > 0 {
+		t.Fatalf("jumped stream overlapped base prefix %d times", overlap)
+	}
+}
+
+func TestSeedResetsState(t *testing.T) {
+	r := New(21)
+	first := make([]uint64, 32)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(21)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after re-seed, output %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+// Property: Uint64n(n) < n for arbitrary non-zero n.
+func TestUint64nPropertyInRange(t *testing.T) {
+	r := New(31)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Int64Range stays within bounds for arbitrary ordered pairs.
+func TestInt64RangeProperty(t *testing.T) {
+	r := New(37)
+	f := func(a, b int64) bool {
+		// Avoid overflow in hi-lo by constraining magnitudes.
+		a %= 1 << 40
+		b %= 1 << 40
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		v := r.Int64Range(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64n(1000003)
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}

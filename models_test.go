@@ -1,0 +1,174 @@
+package pagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestErdosRenyiFacade(t *testing.T) {
+	g, err := ErdosRenyi(2000, 0.005, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	expected := float64(2000*1999/2) * 0.005
+	if math.Abs(float64(g.M())-expected) > 5*math.Sqrt(expected) {
+		t.Fatalf("m = %d, expected ~%v", g.M(), expected)
+	}
+}
+
+func TestErdosRenyiParallelFacade(t *testing.T) {
+	g, err := ErdosRenyiParallel(2000, 0.005, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallWorldFacade(t *testing.T) {
+	g, err := SmallWorld(1000, 2, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2000 {
+		t.Fatalf("m = %d", g.M())
+	}
+}
+
+func TestGenerateApproxFacade(t *testing.T) {
+	g, err := GenerateApprox(ApproxConfig{N: 5000, X: 3, Ranks: 4, SyncInterval: 256, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 3+(5000-3)*3 {
+		t.Fatalf("m = %d", g.M())
+	}
+}
+
+func TestChungLuFacade(t *testing.T) {
+	g, err := ChungLu(PowerLawWeights(5000, 2.5, 6), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mean := 2 * float64(g.M()) / 5000
+	if mean < 4 || mean > 8 {
+		t.Fatalf("mean degree %v", mean)
+	}
+}
+
+func TestRMATFacade(t *testing.T) {
+	g, err := RMAT(Graph500(10, 4), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 || g.M() != 4096 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+}
+
+// The textbook three-model comparison the intro draws: PA is
+// heavy-tailed and short-pathed; WS clusters; ER does neither.
+func TestModelZooContrasts(t *testing.T) {
+	const n = 5000
+	pa, err := Generate(Config{N: n, X: 3, Ranks: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := SmallWorld(n, 3, 0.05, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := ErdosRenyi(n, 6.0/float64(n-1), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Heavy tail: PA max degree far exceeds ER's and WS's.
+	maxDeg := func(g *Graph) int64 {
+		m, _ := g.DegreeHistogram().Max()
+		return m
+	}
+	if maxDeg(pa.Graph) < 3*maxDeg(er) {
+		t.Errorf("PA max degree %d not >> ER %d", maxDeg(pa.Graph), maxDeg(er))
+	}
+	if maxDeg(pa.Graph) < 3*maxDeg(ws) {
+		t.Errorf("PA max degree %d not >> WS %d", maxDeg(pa.Graph), maxDeg(ws))
+	}
+	// Clustering: WS >> ER.
+	if cWS, cER := AverageLocalClustering(ws), AverageLocalClustering(er); cWS < 5*cER {
+		t.Errorf("WS clustering %v not >> ER %v", cWS, cER)
+	}
+	// Short paths in PA.
+	if apl := AveragePathLength(pa.Graph, 4, 11); apl > 2*math.Log(n) {
+		t.Errorf("PA average path length %v too long", apl)
+	}
+	// PA weakly disassortative.
+	if r := DegreeAssortativity(pa.Graph); r > 0.05 {
+		t.Errorf("PA assortativity %v unexpectedly positive", r)
+	}
+}
+
+// Accuracy comparison between the exact parallel algorithm and the
+// approximate baseline: with a loose sync interval, the approximation's
+// exponent drifts from the exact algorithm's; the exact algorithm and
+// the sequential reference agree.
+func TestExactBeatsApproxAccuracy(t *testing.T) {
+	const n = 20000
+	exact, err := Generate(Config{N: n, X: 4, Ranks: 8, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repExact, err := Analyze(exact.Graph, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqG, _, err := GenerateSeq(Config{N: n, X: 4, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSeq, err := Analyze(seqG, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := GenerateApprox(ApproxConfig{N: n, X: 4, Ranks: 8, SyncInterval: n, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repLoose, err := Analyze(loose, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactDev := math.Abs(repExact.Gamma - repSeq.Gamma)
+	looseDev := math.Abs(repLoose.Gamma - repSeq.Gamma)
+	if exactDev > 0.15 {
+		t.Errorf("exact parallel gamma %v deviates %v from sequential %v",
+			repExact.Gamma, exactDev, repSeq.Gamma)
+	}
+	if looseDev <= exactDev {
+		t.Errorf("approximation (dev %v) not worse than exact (dev %v)", looseDev, exactDev)
+	}
+}
+
+func TestDegeneracyOfPAGraph(t *testing.T) {
+	res, err := Generate(Config{N: 4000, X: 5, Ranks: 4, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Degeneracy(res.Graph); d != 5 {
+		t.Fatalf("degeneracy = %d, want 5", d)
+	}
+	cores := CoreNumbers(res.Graph)
+	if len(cores) != 4000 {
+		t.Fatalf("core numbers for %d nodes", len(cores))
+	}
+}

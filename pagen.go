@@ -1,0 +1,306 @@
+// Package pagen generates massive scale-free networks with the
+// preferential-attachment (Barabási–Albert) model, using the
+// distributed-memory parallel algorithms of Alam, Khan & Marathe
+// (SC'13): an exact parallelisation of the copy model with
+// request/resolved message resolution of attachment dependencies, and
+// the UCP / LCP / RRP node-partitioning schemes.
+//
+// Quick start:
+//
+//	res, err := pagen.Generate(pagen.Config{N: 1_000_000, X: 4, Ranks: 8})
+//	if err != nil { ... }
+//	fmt.Println(res.Graph.M(), "edges")
+//
+// The parallel engine runs its ranks as goroutines over an in-process
+// message-passing runtime by default; see cmd/pa-tcp for genuine
+// multi-process distributed-memory execution over TCP.
+package pagen
+
+import (
+	"sync/atomic"
+
+	"pagen/internal/analysis"
+	"pagen/internal/core"
+	"pagen/internal/graph"
+	"pagen/internal/model"
+	"pagen/internal/partition"
+	"pagen/internal/seq"
+	"pagen/internal/xrand"
+)
+
+// Re-exported result and graph types. These alias the implementation
+// types so the internal packages remain the single source of truth.
+type (
+	// Graph is an undirected graph stored as an edge list.
+	Graph = graph.Graph
+	// Edge is one undirected edge.
+	Edge = graph.Edge
+	// CSR is a compressed-sparse-row adjacency view of a Graph.
+	CSR = graph.CSR
+	// Result is the output of a parallel generation run: the merged
+	// graph, per-rank statistics and (optionally) the decision trace.
+	Result = core.Result
+	// RankStats are one rank's load and traffic statistics.
+	RankStats = core.RankStats
+	// Trace records per-slot attachment decisions for chain analysis.
+	Trace = model.Trace
+	// DegreeReport summarises a network's degree distribution,
+	// including the fitted power-law exponent.
+	DegreeReport = analysis.DegreeReport
+	// Params are the raw copy-model parameters.
+	Params = model.Params
+	// Partition assigns nodes to ranks (UCP, LCP, RRP or ExactCP).
+	Partition = partition.Scheme
+)
+
+// DefaultP is the copy probability at which the model is exactly
+// Barabási–Albert.
+const DefaultP = model.DefaultP
+
+// Config configures Generate.
+type Config struct {
+	// N is the number of nodes (required, > X).
+	N int64
+	// X is the number of edges each new node attaches with (>= 1).
+	X int
+	// P is the direct-attachment probability; 0 means DefaultP (0.5,
+	// exact Barabási–Albert). Other values tune the power-law exponent.
+	P float64
+	// Ranks is the number of parallel processors to simulate
+	// (default 1).
+	Ranks int
+	// Scheme is the node-partitioning scheme: "RRP" (default), "LCP",
+	// "UCP" or "ExactCP".
+	Scheme string
+	// Seed makes runs reproducible; x = 1 outputs are identical across
+	// any Ranks/Scheme combination for a fixed seed.
+	Seed uint64
+	// BufferCap is the per-destination message-buffer capacity
+	// (0 = default; 1 disables buffering).
+	BufferCap int
+	// PollEvery is the generation-loop inbox polling interval
+	// (0 = default).
+	PollEvery int
+	// RecordTrace collects the attachment-decision trace in the result
+	// (costs ~13 bytes per edge).
+	RecordTrace bool
+}
+
+// params builds and validates model parameters.
+func (c Config) params() (model.Params, error) {
+	p := c.P
+	if p == 0 {
+		p = DefaultP
+	}
+	pr := model.Params{N: c.N, X: c.X, P: p}
+	return pr, pr.Validate()
+}
+
+// partition builds the configured partitioning scheme.
+func (c Config) partition(pr model.Params) (partition.Scheme, error) {
+	ranks := c.Ranks
+	if ranks == 0 {
+		ranks = 1
+	}
+	name := c.Scheme
+	if name == "" {
+		name = "RRP"
+	}
+	kind, err := partition.ParseKind(name)
+	if err != nil {
+		return nil, err
+	}
+	return partition.New(kind, pr.N, ranks)
+}
+
+// Generate runs the parallel preferential-attachment generator and
+// returns the merged graph with per-rank statistics.
+func Generate(cfg Config) (*Result, error) {
+	pr, err := cfg.params()
+	if err != nil {
+		return nil, err
+	}
+	part, err := cfg.partition(pr)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(core.Options{
+		Params:    pr,
+		Part:      part,
+		Seed:      cfg.Seed,
+		BufferCap: cfg.BufferCap,
+		PollEvery: cfg.PollEvery,
+	}, cfg.RecordTrace)
+}
+
+// GenerateSeq runs the sequential copy model — the T_s baseline of the
+// paper's speedup measurements. A trace is returned when
+// cfg.RecordTrace is set. Ranks/Scheme are ignored.
+func GenerateSeq(cfg Config) (*Graph, *Trace, error) {
+	pr, err := cfg.params()
+	if err != nil {
+		return nil, nil, err
+	}
+	return seq.CopyModel(pr, cfg.Seed, seq.CopyModelOptions{RecordTrace: cfg.RecordTrace})
+}
+
+// GenerateBA runs the sequential Batagelj–Brandes algorithm (exact BA,
+// ignores cfg.P). It is the classic efficient sequential baseline.
+func GenerateBA(cfg Config) (*Graph, error) {
+	pr, err := cfg.params()
+	if err != nil {
+		return nil, err
+	}
+	return seq.BatageljBrandes(pr, xrand.New(cfg.Seed))
+}
+
+// Analyze computes the degree report of a generated graph. dmin is the
+// power-law tail cutoff; 0 selects 2*X heuristically from the mean
+// degree.
+func Analyze(g *Graph, dmin int64) (DegreeReport, error) {
+	if dmin <= 0 {
+		dmin = int64(g.DegreeHistogram().Mean())
+		if dmin < 1 {
+			dmin = 1
+		}
+	}
+	return analysis.AnalyzeDegrees(g, dmin)
+}
+
+// ChainLengths computes per-slot dependency-chain lengths from a trace
+// (Section 3.4 of the paper; Theorem 3.3 bounds these by O(log n)).
+func ChainLengths(tr *Trace) []int32 {
+	return analysis.DependencyChainLengths(tr)
+}
+
+// NewPartition constructs a partitioning scheme by name for external
+// inspection (sizes, owners, expected loads).
+func NewPartition(scheme string, n int64, ranks int) (Partition, error) {
+	kind, err := partition.ParseKind(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return partition.New(kind, n, ranks)
+}
+
+// GenerateStream runs the parallel generator but streams every finalised
+// edge to sink instead of materialising the graph — the paper's
+// "generate on the fly and analyze without disk I/O" mode. sink is
+// called concurrently from rank goroutines (rank identifies the caller),
+// so it must be safe for concurrent use or dispatch on rank. The
+// returned Result has a nil Graph; per-rank stats are still collected.
+func GenerateStream(cfg Config, sink func(rank int, e Edge)) (*Result, error) {
+	pr, err := cfg.params()
+	if err != nil {
+		return nil, err
+	}
+	part, err := cfg.partition(pr)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(core.Options{
+		Params:    pr,
+		Part:      part,
+		Seed:      cfg.Seed,
+		BufferCap: cfg.BufferCap,
+		PollEvery: cfg.PollEvery,
+		Sink:      sink,
+	}, cfg.RecordTrace)
+}
+
+// GenerateToShards runs the parallel generator with every rank streaming
+// its edges straight to its own shard file under dir — the paper's
+// shared-file-system I/O model (Section 2) — without materialising the
+// graph. Read the result back with ReadShards.
+func GenerateToShards(cfg Config, dir string) (*Result, error) {
+	pr, err := cfg.params()
+	if err != nil {
+		return nil, err
+	}
+	part, err := cfg.partition(pr)
+	if err != nil {
+		return nil, err
+	}
+	return core.RunToShards(core.Options{
+		Params:    pr,
+		Part:      part,
+		Seed:      cfg.Seed,
+		BufferCap: cfg.BufferCap,
+		PollEvery: cfg.PollEvery,
+	}, dir)
+}
+
+// ReadShards merges the shard files a GenerateToShards run (or pa-tcp
+// ranks) wrote under dir.
+func ReadShards(dir string, ranks int) (*Graph, error) {
+	return graph.ReadShards(dir, ranks)
+}
+
+// EdgesPerSecond is a convenience for throughput reporting. It works for
+// both materialised and streamed (GenerateStream) results.
+func EdgesPerSecond(res *Result) float64 {
+	if res.Elapsed <= 0 {
+		return 0
+	}
+	var m int64
+	if res.Graph != nil {
+		m = res.Graph.M()
+	} else {
+		for _, st := range res.Ranks {
+			m += st.Edges
+		}
+	}
+	return float64(m) / res.Elapsed.Seconds()
+}
+
+// DegreesStreamed computes the degree sequence of a run without ever
+// materialising the edge list: ranks stream edges into a shared counter
+// array with atomic increments. Peak memory is 8n bytes instead of ~16m
+// — the difference between fitting and not fitting a dense (large x)
+// network in RAM, the constraint the paper's Section 4.3 hit at 6x10^9
+// edges.
+func DegreesStreamed(cfg Config) ([]int64, *Result, error) {
+	pr, err := cfg.params()
+	if err != nil {
+		return nil, nil, err
+	}
+	deg := make([]int64, pr.N)
+	res, err := GenerateStream(cfg, func(rank int, e Edge) {
+		atomic.AddInt64(&deg[e.U], 1)
+		atomic.AddInt64(&deg[e.V], 1)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return deg, res, nil
+}
+
+// MemoryEstimate returns the approximate peak bytes of heap the
+// in-process parallel generator needs for cfg — the sizing question the
+// paper's Section 4.3 raises (their sequential C++ implementation capped
+// out at 6x10^9 edges for memory reasons). The estimate covers the
+// attachment tables (8 bytes per slot), the materialised edge list
+// (16 bytes per edge; use GenerateStream to drop this term), and a small
+// per-rank overhead; the optional decision trace adds 13 bytes per slot.
+func MemoryEstimate(cfg Config) int64 {
+	pr, err := cfg.params()
+	if err != nil {
+		return 0
+	}
+	slots := (pr.N - int64(pr.X)) * int64(pr.X)
+	est := slots * 8       // F tables
+	est += pr.M() * 16     // edge storage
+	est += pr.M() * 16 / 4 // slice growth + queue slack (~25%)
+	if cfg.RecordTrace {
+		est += slots * 13
+	}
+	ranks := cfg.Ranks
+	if ranks < 1 {
+		ranks = 1
+	}
+	est += int64(ranks) * 1 << 16 // buffers, per-rank bookkeeping
+	return est
+}
+
+// Version identifies the library release.
+const Version = "1.0.0"

@@ -1,0 +1,200 @@
+package pagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	res, err := Generate(Config{N: 5000, X: 4, Ranks: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM := int64(6) + (5000-4)*4
+	if res.Graph.M() != wantM {
+		t.Fatalf("m = %d, want %d", res.Graph.M(), wantM)
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranks) != 4 {
+		t.Fatalf("rank stats = %d", len(res.Ranks))
+	}
+	if res.Trace != nil {
+		t.Fatal("trace collected without request")
+	}
+}
+
+func TestGenerateSingleRankDefault(t *testing.T) {
+	res, err := Generate(Config{N: 100, X: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranks) != 1 {
+		t.Fatalf("default ranks = %d", len(res.Ranks))
+	}
+}
+
+func TestGenerateSchemes(t *testing.T) {
+	for _, scheme := range []string{"UCP", "LCP", "RRP", "ExactCP", ""} {
+		res, err := Generate(Config{N: 2000, X: 2, Ranks: 3, Scheme: scheme, Seed: 5})
+		if err != nil {
+			t.Fatalf("scheme %q: %v", scheme, err)
+		}
+		if err := res.Graph.Validate(); err != nil {
+			t.Fatalf("scheme %q: %v", scheme, err)
+		}
+	}
+	if _, err := Generate(Config{N: 2000, X: 2, Scheme: "bogus"}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	bad := []Config{
+		{N: 0, X: 1},
+		{N: 4, X: 4},
+		{N: 100, X: 0},
+		{N: 100, X: 2, P: 1.5},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestGenerateWithTrace(t *testing.T) {
+	res, err := Generate(Config{N: 3000, X: 2, Ranks: 4, Seed: 7, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace")
+	}
+	lengths := ChainLengths(res.Trace)
+	if len(lengths) != res.Trace.Slots() {
+		t.Fatalf("chain lengths = %d slots", len(lengths))
+	}
+	max := int32(0)
+	for _, l := range lengths {
+		if l > max {
+			max = l
+		}
+	}
+	if float64(max) > 5*math.Log(3000) {
+		t.Fatalf("max chain %d violates Theorem 3.3 bound", max)
+	}
+}
+
+func TestGenerateSeqMatchesParallelX1(t *testing.T) {
+	cfg := Config{N: 1500, X: 1, Seed: 11}
+	gSeq, tr, err := GenerateSeq(Config{N: 1500, X: 1, Seed: 11, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("no trace from GenerateSeq")
+	}
+	cfg.Ranks = 6
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqF := map[int64]int64{}
+	for _, e := range gSeq.Edges {
+		seqF[e.U] = e.V
+	}
+	for _, e := range res.Graph.Edges {
+		if seqF[e.U] != e.V {
+			t.Fatalf("F_%d: parallel %d vs sequential %d", e.U, e.V, seqF[e.U])
+		}
+	}
+}
+
+func TestGenerateBA(t *testing.T) {
+	g, err := GenerateBA(Config{N: 5000, X: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gamma < 2 || rep.Gamma > 4 {
+		t.Fatalf("gamma = %v", rep.Gamma)
+	}
+}
+
+func TestAnalyzeDefaultDMin(t *testing.T) {
+	res, err := Generate(Config{N: 10000, X: 4, Ranks: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(res.Graph, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GammaDMin < 1 {
+		t.Fatalf("default dmin = %d", rep.GammaDMin)
+	}
+	if rep.Gamma < 2 || rep.Gamma > 4.5 {
+		t.Fatalf("gamma = %v", rep.Gamma)
+	}
+}
+
+func TestNewPartition(t *testing.T) {
+	part, err := NewPartition("LCP", 10000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for r := 0; r < 16; r++ {
+		total += part.Size(r)
+	}
+	if total != 10000 {
+		t.Fatalf("sizes sum to %d", total)
+	}
+	if _, err := NewPartition("nope", 100, 2); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestMemoryEstimate(t *testing.T) {
+	base := MemoryEstimate(Config{N: 1_000_000, X: 4, Ranks: 8})
+	if base <= 0 {
+		t.Fatalf("estimate = %d", base)
+	}
+	// More nodes, more memory.
+	if MemoryEstimate(Config{N: 2_000_000, X: 4, Ranks: 8}) <= base {
+		t.Fatal("estimate not monotone in n")
+	}
+	// Trace costs extra.
+	if MemoryEstimate(Config{N: 1_000_000, X: 4, Ranks: 8, RecordTrace: true}) <= base {
+		t.Fatal("trace not accounted")
+	}
+	// Invalid config estimates 0.
+	if MemoryEstimate(Config{N: 2, X: 5}) != 0 {
+		t.Fatal("invalid config estimated nonzero")
+	}
+	// Sanity of scale: ~1M nodes, x=4 should be tens to hundreds of MB.
+	if base < 50<<20 || base > 1<<30 {
+		t.Fatalf("estimate %d bytes implausible", base)
+	}
+}
+
+func TestEdgesPerSecond(t *testing.T) {
+	res, err := Generate(Config{N: 20000, X: 4, Ranks: 2, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps := EdgesPerSecond(res); eps <= 0 {
+		t.Fatalf("eps = %v", eps)
+	}
+	if eps := EdgesPerSecond(&Result{Graph: res.Graph}); eps != 0 {
+		t.Fatalf("zero-elapsed eps = %v", eps)
+	}
+}

@@ -1,0 +1,105 @@
+package pagen
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGenerateStreamDeliversAllEdges(t *testing.T) {
+	cfg := Config{N: 10000, X: 4, Ranks: 4, Seed: 21}
+	var mu sync.Mutex
+	perRank := make(map[int]int64)
+	seen := make(map[Edge]bool)
+	res, err := GenerateStream(cfg, func(rank int, e Edge) {
+		mu.Lock()
+		perRank[rank]++
+		seen[e.Canonical()] = true
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph != nil {
+		t.Fatal("streamed result materialised a graph")
+	}
+	wantM := int64(6) + (10000-4)*4
+	var total int64
+	for _, c := range perRank {
+		total += c
+	}
+	if total != wantM {
+		t.Fatalf("streamed %d edges, want %d", total, wantM)
+	}
+	// No duplicate undirected edges across the whole stream.
+	if int64(len(seen)) != wantM {
+		t.Fatalf("distinct canonical edges %d, want %d", len(seen), wantM)
+	}
+	// Stats still populated; every rank streamed something.
+	if len(perRank) != 4 {
+		t.Fatalf("edges came from %d ranks", len(perRank))
+	}
+	for r, st := range res.Ranks {
+		if st.Edges != perRank[r] {
+			t.Fatalf("rank %d stats edges %d vs streamed %d", r, st.Edges, perRank[r])
+		}
+	}
+	if EdgesPerSecond(res) <= 0 {
+		t.Fatal("EdgesPerSecond zero for streamed result")
+	}
+}
+
+func TestGenerateStreamMatchesMaterialisedX1(t *testing.T) {
+	cfg := Config{N: 3000, X: 1, Ranks: 4, Seed: 23}
+	var mu sync.Mutex
+	streamed := make(map[int64]int64)
+	if _, err := GenerateStream(cfg, func(rank int, e Edge) {
+		mu.Lock()
+		streamed[e.U] = e.V
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Graph.Edges {
+		if streamed[e.U] != e.V {
+			t.Fatalf("F_%d: streamed %d vs materialised %d", e.U, streamed[e.U], e.V)
+		}
+	}
+}
+
+func TestGenerateStreamValidatesConfig(t *testing.T) {
+	if _, err := GenerateStream(Config{N: 2, X: 2}, func(int, Edge) {}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDegreesStreamed(t *testing.T) {
+	cfg := Config{N: 8000, X: 4, Ranks: 4, Seed: 41}
+	deg, res, err := DegreesStreamed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph != nil {
+		t.Fatal("streamed degrees materialised a graph")
+	}
+	var sum int64
+	for _, d := range deg {
+		sum += d
+	}
+	wantM := int64(6) + (8000-4)*4
+	if sum != 2*wantM {
+		t.Fatalf("degree sum %d, want %d", sum, 2*wantM)
+	}
+	// Every non-clique node has degree >= x.
+	for u := 4; u < 8000; u++ {
+		if deg[u] < 4 {
+			t.Fatalf("node %d degree %d < x", u, deg[u])
+		}
+	}
+	if _, _, err := DegreesStreamed(Config{N: 1, X: 2}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
