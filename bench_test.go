@@ -17,8 +17,11 @@ import (
 	"time"
 
 	"pagen/internal/bench"
+	"pagen/internal/comm"
 	"pagen/internal/core"
+	"pagen/internal/graph"
 	"pagen/internal/model"
+	"pagen/internal/msg"
 	"pagen/internal/partition"
 	"pagen/internal/seq"
 	"pagen/internal/transport"
@@ -383,6 +386,121 @@ func BenchmarkAblationLatency(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Hot path (the zero-allocation optimisation layers) ---
+
+// hotPathRequestBatch builds a buffer's worth of requests with the
+// near-monotone t and node-scale k the communicator actually produces.
+func hotPathRequestBatch(size int) []msg.Message {
+	ms := make([]msg.Message, size)
+	t := int64(1_000_000)
+	for i := range ms {
+		t += int64(i % 3)
+		ms[i] = msg.Request(t, i%4, t/2, i%4)
+	}
+	return ms
+}
+
+// BenchmarkHotPathCodec compares the fixed-width (v1) and compact (v2)
+// batch encodings on a typical request frame, reporting bytes/msg —
+// the wire-volume reduction the compact codec buys. Both variants
+// reuse their destination buffer, so allocs/op isolates codec cost.
+func BenchmarkHotPathCodec(b *testing.B) {
+	ms := hotPathRequestBatch(256)
+	b.Run("encode-v1", func(b *testing.B) {
+		buf := make([]byte, 0, len(ms)*msg.EncodedSize)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			for _, m := range ms {
+				buf = msg.AppendEncode(buf, m)
+			}
+		}
+		b.ReportMetric(float64(len(buf))/float64(len(ms)), "bytes/msg")
+	})
+	b.Run("encode-v2", func(b *testing.B) {
+		buf := make([]byte, 0, len(ms)*msg.EncodedSize)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = msg.AppendEncodeBatchV2(buf[:0], ms)
+		}
+		b.ReportMetric(float64(len(buf))/float64(len(ms)), "bytes/msg")
+	})
+	b.Run("decode-v2", func(b *testing.B) {
+		frame := msg.EncodeBatchV2(ms)
+		dst := make([]msg.Message, 0, len(ms))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			dst, err = msg.DecodeBatch(dst[:0], frame)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(dst) != len(ms) {
+			b.Fatalf("decoded %d messages", len(dst))
+		}
+	})
+}
+
+// BenchmarkHotPathComm cycles one buffered frame through the
+// communicator pair — Send×cap triggers the flush, Poll drains it.
+// Steady state exercises the leased-frame pool, the compact codec, and
+// the mailbox's capacity-retaining pop together; allocs/op approaches
+// zero once the pools are warm.
+func BenchmarkHotPathComm(b *testing.B) {
+	const batch = 64
+	g, err := transport.NewLocalGroup(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := comm.New(g.Endpoint(0), comm.Config{BufferCap: batch})
+	rcv := comm.New(g.Endpoint(1), comm.Config{})
+	m := msg.Request(1, 0, 2, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			if err := a.Send(1, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ms, err := rcv.Poll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) != batch {
+			b.Fatalf("drained %d messages, want %d", len(ms), batch)
+		}
+	}
+}
+
+// BenchmarkHotPathMerge gathers 8 shards of 2^15 edges (over the
+// parallel-copy threshold) into one pre-sized destination — the final
+// per-rank shard gather of a distributed run.
+func BenchmarkHotPathMerge(b *testing.B) {
+	const (
+		nShards  = 8
+		shardLen = 1 << 15
+	)
+	shards := make([][]graph.Edge, nShards)
+	for s := range shards {
+		shards[s] = make([]graph.Edge, shardLen)
+		for i := range shards[s] {
+			shards[s][i] = graph.Edge{U: int64(s*shardLen + i + 1), V: int64(i)}
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(nShards * shardLen * 16) // two int64 endpoints per edge
+	b.ResetTimer()
+	var g *graph.Graph
+	for i := 0; i < b.N; i++ {
+		g = graph.Merge(nShards*shardLen+1, shards...)
+	}
+	if g.M() != nShards*shardLen {
+		b.Fatalf("merge produced %d edges", g.M())
 	}
 }
 

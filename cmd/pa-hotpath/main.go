@@ -1,0 +1,87 @@
+// Command pa-hotpath measures the constant factors of the generation hot
+// path — ns per edge, allocations per edge, bytes per frame — and
+// maintains the BENCH_hotpath.json trajectory file that optimisation PRs
+// compare against.
+//
+//	pa-hotpath -n 1000000 -x 4 -ranks 4,8                  # print TSV
+//	pa-hotpath ... -label after -baseline old.json -out f  # write trajectory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pagen/internal/bench"
+	"pagen/internal/cliutil"
+)
+
+func main() {
+	var (
+		n        = flag.Int64("n", 1_000_000, "nodes")
+		x        = flag.Int("x", 4, "edges per node")
+		ps       = flag.String("ranks", "4,8", "comma-separated rank counts")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		label    = flag.String("label", "current", "label recorded in the report")
+		baseline = flag.String("baseline", "", "prior trajectory JSON whose current block becomes this file's baseline")
+		out      = flag.String("out", "", "write trajectory JSON here (TSV to stdout otherwise)")
+		fp       = flag.Bool("fingerprint", false, "print output-graph fingerprints instead of measuring")
+	)
+	flag.Parse()
+
+	rankList, err := cliutil.ParseInts(*ps)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *fp {
+		for _, p := range rankList {
+			h, err := bench.Fingerprint(*n, *x, p, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("n=%d x=%d ranks=%d seed=%d fingerprint=%016x\n", *n, *x, p, *seed, h)
+		}
+		return
+	}
+
+	rep, err := bench.HotPath(*n, *x, rankList, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Label = *label
+
+	if *out == "" {
+		fmt.Printf("# hot path (n=%d, x=%d, RRP)\n", *n, *x)
+		if err := bench.WriteHotPath(os.Stdout, rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var base *bench.HotPathReport
+	if *baseline != "" {
+		b, err := bench.ReadHotPathJSON(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base = b
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := bench.WriteHotPathJSON(f, base, rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pa-hotpath:", err)
+	os.Exit(1)
+}

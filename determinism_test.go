@@ -1,0 +1,58 @@
+package pagen
+
+import (
+	"fmt"
+	"testing"
+
+	"pagen/internal/bench"
+)
+
+// Single-rank runs are fully deterministic: one goroutine consumes the
+// per-node RNG streams in node order, so the emitted edge stream is a
+// pure function of (n, x, seed). These fingerprints were captured from
+// the pre-optimisation engine; the zero-allocation hot path (compact
+// codec, pooled frames, flat waiter queues, parallel merge) must not
+// move them by a single byte.
+//
+// Multi-rank output is NOT pinned: resolved messages arrive in
+// scheduling-dependent order, and each arrival consumes the receiving
+// rank's retry stream, so the edge set varies run to run by design.
+func TestSingleRankFingerprintPinned(t *testing.T) {
+	cases := []struct {
+		n    int64
+		x    int
+		seed uint64
+		want uint64
+	}{
+		{n: 200_000, x: 4, seed: 42, want: 0x0ce8679c95965732},
+		{n: 50_000, x: 3, seed: 7, want: 0x13f686b646e23fee},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("n=%d/x=%d/seed=%d", c.n, c.x, c.seed), func(t *testing.T) {
+			got, err := bench.Fingerprint(c.n, c.x, 1, c.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Fatalf("single-rank edge-stream fingerprint = %016x, want %016x (output no longer byte-identical)", got, c.want)
+			}
+		})
+	}
+}
+
+// The fingerprint itself must be reproducible within a process for any
+// rank count when the stream is reduced order-insensitively — this
+// guards the Fingerprint helper rather than the engine.
+func TestFingerprintSelfConsistent(t *testing.T) {
+	a, err := bench.Fingerprint(20_000, 2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.Fingerprint(20_000, 2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fingerprint unstable across identical runs: %016x vs %016x", a, b)
+	}
+}

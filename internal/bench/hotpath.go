@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"pagen/internal/core"
+	"pagen/internal/model"
+	"pagen/internal/partition"
+)
+
+// HotPathPoint is one measured configuration of the hot-path experiment:
+// constant-factor metrics of the generation loop and the message path
+// (allocations per edge, bytes per frame) rather than the figure-level
+// results of the paper experiments.
+type HotPathPoint struct {
+	Ranks         int     `json:"ranks"`
+	N             int64   `json:"n"`
+	X             int     `json:"x"`
+	Edges         int64   `json:"edges"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	NsPerEdge     float64 `json:"ns_per_edge"`
+	AllocsPerEdge float64 `json:"allocs_per_edge"`
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+	MsgsPerFrame  float64 `json:"msgs_per_frame"`
+	BytesPerMsg   float64 `json:"bytes_per_msg"`
+	FramesSent    int64   `json:"frames_sent"`
+	BytesSent     int64   `json:"bytes_sent"`
+}
+
+// HotPathReport is the hot-path trajectory record written to
+// BENCH_hotpath.json so later optimisation PRs can compare against it.
+type HotPathReport struct {
+	Label      string         `json:"label"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Points     []HotPathPoint `json:"points"`
+}
+
+// HotPath measures the generation hot path at n nodes, x attachments per
+// node, for each rank count in ranks. Allocations are measured process
+// wide (runtime mallocs delta across the run), so the numbers include
+// every layer: engine, communicator, codec and transport.
+func HotPath(n int64, x int, ranks []int, seed uint64) (HotPathReport, error) {
+	rep := HotPathReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	pr := model.Params{N: n, X: x, P: 0.5}
+	if err := pr.Validate(); err != nil {
+		return rep, err
+	}
+	for _, p := range ranks {
+		part, err := partition.New(partition.KindRRP, n, p)
+		if err != nil {
+			return rep, err
+		}
+		// Warm run so pools and lazily-grown structures reach steady
+		// state before the measured run.
+		if _, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed}, false); err != nil {
+			return rep, err
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed}, false)
+		if err != nil {
+			return rep, err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+
+		var frames, bytes, msgs, edges int64
+		for _, st := range res.Ranks {
+			frames += st.Comm.FramesSent
+			bytes += st.Comm.BytesSent
+			msgs += st.Comm.MessagesSent()
+			edges += st.Edges
+		}
+		pt := HotPathPoint{
+			Ranks:         p,
+			N:             n,
+			X:             x,
+			Edges:         edges,
+			ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+			NsPerEdge:     float64(elapsed.Nanoseconds()) / float64(edges),
+			AllocsPerEdge: float64(after.Mallocs-before.Mallocs) / float64(edges),
+			FramesSent:    frames,
+			BytesSent:     bytes,
+		}
+		if frames > 0 {
+			pt.BytesPerFrame = float64(bytes) / float64(frames)
+			pt.MsgsPerFrame = float64(msgs) / float64(frames)
+		}
+		if msgs > 0 {
+			pt.BytesPerMsg = float64(bytes) / float64(msgs)
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// WriteHotPathJSON writes a hot-path trajectory file: the current report
+// plus, when non-nil, the baseline it is compared against.
+func WriteHotPathJSON(w io.Writer, baseline *HotPathReport, current HotPathReport) error {
+	doc := struct {
+		Experiment string         `json:"experiment"`
+		Baseline   *HotPathReport `json:"baseline,omitempty"`
+		Current    *HotPathReport `json:"current"`
+	}{Experiment: "hotpath", Baseline: baseline, Current: &current}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadHotPathJSON reads a trajectory file written by WriteHotPathJSON and
+// returns its current block — the report a newer run uses as baseline.
+func ReadHotPathJSON(path string) (*HotPathReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Current *HotPathReport `json:"current"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if doc.Current == nil {
+		return nil, fmt.Errorf("bench: %s: no current block", path)
+	}
+	return doc.Current, nil
+}
+
+// WriteHotPath prints a hot-path report as a TSV table.
+func WriteHotPath(w io.Writer, rep HotPathReport) error {
+	if _, err := fmt.Fprintln(w, "ranks\tn\tx\twall_ms\tns_per_edge\tallocs_per_edge\tbytes_per_frame\tmsgs_per_frame\tbytes_per_msg"); err != nil {
+		return err
+	}
+	for _, pt := range rep.Points {
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%d\t%.1f\t%.1f\t%.4f\t%.1f\t%.1f\t%.2f\n",
+			pt.Ranks, pt.N, pt.X, pt.ElapsedMS, pt.NsPerEdge, pt.AllocsPerEdge,
+			pt.BytesPerFrame, pt.MsgsPerFrame, pt.BytesPerMsg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fingerprint hashes the output graph of a run — the exactness regression
+// check behind "single-rank output is byte-identical across hot-path
+// optimisations". For ranks == 1 the hash is order-sensitive (FNV-1a over
+// the edge stream, which single-rank runs emit deterministically); for
+// ranks > 1 it is an order-insensitive XOR of per-edge hashes, since
+// multi-rank merge order is set by rank, not by time.
+func Fingerprint(n int64, x int, ranks int, seed uint64) (uint64, error) {
+	pr := model.Params{N: n, X: x, P: 0.5}
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	part, err := partition.New(partition.KindRRP, n, ranks)
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed}, false)
+	if err != nil {
+		return 0, err
+	}
+	if ranks == 1 {
+		h := fnv.New64a()
+		var buf [16]byte
+		for _, e := range res.Graph.Edges {
+			putEdge(&buf, e.U, e.V)
+			h.Write(buf[:])
+		}
+		return h.Sum64(), nil
+	}
+	var acc uint64
+	var buf [16]byte
+	for _, e := range res.Graph.Edges {
+		h := fnv.New64a()
+		putEdge(&buf, e.U, e.V)
+		h.Write(buf[:])
+		acc ^= h.Sum64()
+	}
+	return acc, nil
+}
+
+func putEdge(buf *[16]byte, u, v int64) {
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+		buf[8+i] = byte(v >> (8 * i))
+	}
+}

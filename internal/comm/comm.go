@@ -69,6 +69,10 @@ type Comm struct {
 	counters   Counters
 	requestsTo []int64
 	scratch    []msg.Message
+	// drainMean is an exponential moving average of messages per drain,
+	// used to shrink scratch after an atypically large backlog so one
+	// burst does not pin its high-water capacity forever.
+	drainMean float64
 }
 
 // New wraps a transport endpoint.
@@ -101,6 +105,13 @@ func (c *Comm) Counters() Counters { return c.counters }
 func (c *Comm) RequestsTo() []int64 {
 	return append([]int64(nil), c.requestsTo...)
 }
+
+// RequestsToView returns the live per-destination request counts without
+// copying. The slice aliases the communicator's internal state: it is
+// only stable once no further Sends will occur (the engine takes it when
+// its run ends and the Comm is discarded). Callers that need a snapshot
+// mid-run use RequestsTo.
+func (c *Comm) RequestsToView() []int64 { return c.requestsTo }
 
 // Send buffers m for destination to, flushing automatically when the
 // buffer reaches capacity.
@@ -142,7 +153,11 @@ func (c *Comm) Flush(to int) error {
 	if len(c.bufs[to]) == 0 {
 		return nil
 	}
-	frame := msg.EncodeBatch(c.bufs[to])
+	// Lease the frame buffer from the transport pool (the receiving
+	// decode path releases it) and encode compactly: at steady state a
+	// flush allocates nothing.
+	frame := transport.LeaseFrame(1 + len(c.bufs[to])*10)
+	frame = msg.AppendEncodeBatchV2(frame, c.bufs[to])
 	c.bufs[to] = c.bufs[to][:0]
 	c.counters.FramesSent++
 	c.counters.BytesSent += int64(len(frame))
@@ -163,14 +178,18 @@ func (c *Comm) FlushAll() error {
 func (c *Comm) Buffered(to int) int { return len(c.bufs[to]) }
 
 // decode appends the decoded messages of f to dst, updating counters.
+// It consumes the frame: the buffer returns to the transport pool (the
+// release half of the lease/release protocol).
 func (c *Comm) decode(dst []msg.Message, f transport.Frame) ([]msg.Message, error) {
 	before := len(dst)
 	dst, err := msg.DecodeBatch(dst, f.Data)
+	size := int64(len(f.Data))
+	transport.ReleaseFrame(f.Data)
 	if err != nil {
 		return dst, fmt.Errorf("comm: frame from rank %d: %w", f.From, err)
 	}
 	c.counters.FramesRecv++
-	c.counters.BytesRecv += int64(len(f.Data))
+	c.counters.BytesRecv += size
 	for _, m := range dst[before:] {
 		switch m.Kind {
 		case msg.KindRequest:
@@ -184,11 +203,32 @@ func (c *Comm) decode(dst []msg.Message, f transport.Frame) ([]msg.Message, erro
 	return dst, nil
 }
 
+// scratchShrinkFloor is the capacity below which scratch is never shrunk:
+// a few steady-state drains' worth of messages.
+const scratchShrinkFloor = 4 * DefaultBufferCap
+
+// resetScratch prepares scratch for a new drain. If the previous drain
+// left the capacity far above the running mean drain size (a burst —
+// e.g. the backlog after a long generation stretch between polls), the
+// buffer is reallocated near the mean so one outlier does not pin its
+// high-water memory for the rest of the run.
+func (c *Comm) resetScratch() {
+	if cap(c.scratch) > scratchShrinkFloor && float64(cap(c.scratch)) > 8*c.drainMean {
+		c.scratch = make([]msg.Message, 0, int(2*c.drainMean)+DefaultBufferCap)
+	}
+	c.scratch = c.scratch[:0]
+}
+
+// noteDrain folds a completed drain's size into the running mean.
+func (c *Comm) noteDrain() {
+	c.drainMean += (float64(len(c.scratch)) - c.drainMean) / 8
+}
+
 // Poll drains every frame that is immediately available, returning the
 // decoded messages (nil if none). The returned slice is reused by the
 // next Poll/Wait call.
 func (c *Comm) Poll() ([]msg.Message, error) {
-	c.scratch = c.scratch[:0]
+	c.resetScratch()
 	for {
 		f, ok, err := c.tr.TryRecv()
 		if err != nil {
@@ -205,6 +245,7 @@ func (c *Comm) Poll() ([]msg.Message, error) {
 	if len(c.scratch) == 0 {
 		return nil, nil
 	}
+	c.noteDrain()
 	return c.scratch, nil
 }
 
@@ -216,7 +257,7 @@ func (c *Comm) Wait() ([]msg.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.scratch = c.scratch[:0]
+	c.resetScratch()
 	c.scratch, err = c.decode(c.scratch, f)
 	if err != nil {
 		return nil, err
@@ -227,6 +268,7 @@ func (c *Comm) Wait() ([]msg.Message, error) {
 			return nil, err
 		}
 		if !ok {
+			c.noteDrain()
 			return c.scratch, nil
 		}
 		c.scratch, err = c.decode(c.scratch, f)

@@ -212,16 +212,24 @@ func BenchmarkSendBuffered(b *testing.B) {
 }
 
 func TestBytesCounters(t *testing.T) {
+	ms := []msg.Message{msg.Request(1, 0, 2, 0), msg.Request(2, 0, 3, 0)}
+	// Frames travel in the compact (v2) encoding; the counters must
+	// match its actual wire size, which is well under the fixed-width
+	// encoding's.
+	want := int64(len(msg.EncodeBatchV2(ms)))
+	if want >= int64(len(ms)*msg.EncodedSize) {
+		t.Fatalf("compact frame (%d bytes) not smaller than fixed-width (%d)", want, len(ms)*msg.EncodedSize)
+	}
 	a, b := pair(t, Config{BufferCap: 2})
-	a.Send(1, msg.Request(1, 0, 2, 0))
-	a.Send(1, msg.Request(2, 0, 3, 0)) // triggers flush of a 2-message frame
-	if got := a.Counters().BytesSent; got != int64(2*msg.EncodedSize) {
-		t.Fatalf("BytesSent = %d, want %d", got, 2*msg.EncodedSize)
+	a.Send(1, ms[0])
+	a.Send(1, ms[1]) // triggers flush of a 2-message frame
+	if got := a.Counters().BytesSent; got != want {
+		t.Fatalf("BytesSent = %d, want %d", got, want)
 	}
 	if _, err := b.Wait(); err != nil {
 		t.Fatal(err)
 	}
-	if got := b.Counters().BytesRecv; got != int64(2*msg.EncodedSize) {
-		t.Fatalf("BytesRecv = %d, want %d", got, 2*msg.EncodedSize)
+	if got := b.Counters().BytesRecv; got != want {
+		t.Fatalf("BytesRecv = %d, want %d", got, want)
 	}
 }

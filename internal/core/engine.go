@@ -110,13 +110,6 @@ type RankResult struct {
 	Edges []graph.Edge
 }
 
-// waiter identifies a slot waiting for a resolution: the paper's queue
-// entries <t', e'>.
-type waiter struct {
-	t int64
-	e uint16
-}
-
 // engine is the per-rank state machine.
 type engine struct {
 	opts Options
@@ -124,6 +117,11 @@ type engine struct {
 	p    int
 	x    int
 	x64  int64
+	// seed, prob and sink are hoisted from opts so the generation loop
+	// reads them without chasing the Options struct per node.
+	seed uint64
+	prob float64
+	sink func(rank int, e graph.Edge)
 	part partition.Scheme
 	cm   *comm.Comm
 	// retryRng drives the re-drawn steps of deferred duplicate retries
@@ -136,8 +134,9 @@ type engine struct {
 
 	// f holds F_t(e) at f[part.Index(rank,t)*x + e]; -1 = NILL.
 	f []int64
-	// queues[slot] holds waiters for the slot's resolution (Q_{k,l}).
-	queues map[int64][]waiter
+	// waiters holds the per-slot resolution queues (Q_{k,l}) in a flat
+	// open-addressed table over a pooled arena — no per-slot allocation.
+	waiters waiterTable
 	// pendingWaiters tracks the current and maximum number of queued
 	// waiter entries across all local queues.
 	pendingWaiters    int64
@@ -166,6 +165,26 @@ type engine struct {
 // the building block Run composes for in-process execution and cmd/pa-tcp
 // uses for genuine multi-process runs.
 func RunRank(tr transport.Transport, opts Options) (*RankResult, error) {
+	e, err := newEngine(tr, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	e.stats.Rank = e.rank
+	e.stats.Nodes = e.part.Size(e.rank)
+	e.stats.Edges = e.edgeCount
+	e.stats.Comm = e.cm.Counters()
+	// The engine owns its Comm and never sends again, so take the live
+	// counts instead of copying them.
+	e.stats.RequestsTo = e.cm.RequestsToView()
+	e.stats.MaxPendingSlots = e.maxPendingWaiters
+	return &RankResult{Stats: e.stats, Edges: e.edges}, nil
+}
+
+// newEngine validates opts and builds the per-rank state machine.
+func newEngine(tr transport.Transport, opts Options) (*engine, error) {
 	if err := opts.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -188,32 +207,26 @@ func RunRank(tr transport.Transport, opts Options) (*RankResult, error) {
 		p:    tr.Size(),
 		x:    opts.Params.X,
 		x64:  int64(opts.Params.X),
+		seed: opts.Seed,
+		prob: opts.Params.P,
+		sink: opts.Sink,
 		part: opts.Part,
 		cm:   comm.New(tr, comm.Config{BufferCap: opts.BufferCap}),
 		// Stream ids >= n are reserved for rank-level streams; ids
 		// < n are the per-node generation streams.
 		retryRng: xrand.NewStream(opts.Seed, uint64(opts.Params.N)+uint64(tr.Rank())),
 		trace:    opts.Trace,
-		queues:   make(map[int64][]waiter),
 	}
-	if err := e.run(); err != nil {
-		return nil, err
-	}
-	e.stats.Rank = e.rank
-	e.stats.Nodes = e.part.Size(e.rank)
-	e.stats.Edges = e.edgeCount
-	e.stats.Comm = e.cm.Counters()
-	e.stats.RequestsTo = e.cm.RequestsTo()
-	e.stats.MaxPendingSlots = e.maxPendingWaiters
-	return &RankResult{Stats: e.stats, Edges: e.edges}, nil
+	e.waiters.init()
+	return e, nil
 }
 
 // emit finalises one edge: streamed to the sink when configured,
 // accumulated otherwise.
 func (e *engine) emit(ed graph.Edge) {
 	e.edgeCount++
-	if e.opts.Sink != nil {
-		e.opts.Sink(e.rank, ed)
+	if e.sink != nil {
+		e.sink(e.rank, ed)
 		return
 	}
 	e.edges = append(e.edges, ed)
@@ -250,7 +263,7 @@ func (e *engine) run() error {
 		if loopErr != nil || t <= e.x64 {
 			return // clique and bootstrap nodes were handled above
 		}
-		rng.SeedStream(e.opts.Seed, uint64(t))
+		rng.SeedStream(e.seed, uint64(t))
 		for edge := 0; edge < e.x; edge++ {
 			if err := e.place(t, edge, &rng); err != nil {
 				loopErr = err
@@ -291,6 +304,13 @@ func (e *engine) bootstrap() {
 	e.f = make([]int64, e.part.Size(e.rank)*e.x64)
 	for i := range e.f {
 		e.f[i] = -1
+	}
+	// Pre-size the edge store from the partition's expected per-rank
+	// edge count: every local node emits x edges except clique nodes
+	// (node t < x emits t), so size*x is a tight upper bound and the
+	// append path never reallocates.
+	if e.sink == nil {
+		e.edges = make([]graph.Edge, 0, e.part.Size(e.rank)*e.x64)
 	}
 	e.part.ForEach(e.rank, func(t int64) {
 		switch {
@@ -341,7 +361,7 @@ func (e *engine) place(t int64, edge int, rng *xrand.Rand) error {
 	span := uint64(hi - lo)
 	for {
 		k := lo + int64(rng.Uint64n(span))
-		if rng.Float64() < e.opts.Params.P {
+		if rng.Float64() < e.prob {
 			// Direct branch (lines 6-10).
 			if e.isDup(t, k) {
 				e.stats.Retries++
@@ -364,8 +384,7 @@ func (e *engine) place(t int64, edge int, rng *xrand.Rand) error {
 			if v < 0 {
 				// Local dependency chain: wait on our own queue.
 				e.stats.LocalWaits++
-				qslot := e.slot(k, l)
-				e.queues[qslot] = append(e.queues[qslot], waiter{t: t, e: uint16(edge)})
+				e.waiters.push(e.slot(k, l), t, uint16(edge))
 				e.trackPending(1)
 				return nil
 			}
@@ -389,14 +408,17 @@ func (e *engine) resolveSlot(t int64, edge int, v int64) {
 	e.unresolved--
 	e.emit(graph.Edge{U: t, V: v})
 
-	waiters := e.queues[s]
-	if len(waiters) == 0 {
-		return
-	}
-	delete(e.queues, s)
-	e.trackPending(-int64(len(waiters)))
-	for _, w := range waiters {
-		e.deliverResolved(w.t, int(w.e), v)
+	// Walk the slot's detached waiter chain in FIFO order. Each node's
+	// fields are copied out and the node freed before delivery, because
+	// delivery can recurse into place/resolveSlot and push new waiters —
+	// growing the arena or reusing freed nodes — while we iterate.
+	h := e.waiters.take(s)
+	for h >= 0 {
+		n := e.waiters.arena[h]
+		e.waiters.freeNode(h)
+		h = n.next
+		e.trackPending(-1)
+		e.deliverResolved(n.t, int(n.e), v)
 	}
 }
 
@@ -434,7 +456,7 @@ func (e *engine) onRequest(m msg.Message) {
 	v := e.f[s]
 	if v < 0 {
 		e.stats.QueuedWaits++
-		e.queues[s] = append(e.queues[s], waiter{t: m.T, e: m.E})
+		e.waiters.push(s, m.T, m.E)
 		e.trackPending(1)
 		return
 	}

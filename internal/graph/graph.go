@@ -9,6 +9,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pagen/internal/hist"
 )
@@ -207,16 +208,43 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// Merge appends the edges of shards into a single graph over n nodes.
-// This is how per-rank edge shards from a distributed run are gathered.
+// parallelMergeMin is the edge count below which Merge copies serially:
+// goroutine launch overhead beats memcpy for small graphs.
+const parallelMergeMin = 1 << 17
+
+// Merge gathers the edges of shards into a single graph over n nodes —
+// how per-rank edge shards from a distributed run are combined. Shard
+// order is preserved. The destination is allocated once at its exact
+// size from prefix-summed shard offsets, and large merges copy the
+// shards concurrently (each shard's destination range is disjoint), so
+// the final gather is bandwidth-bound instead of serial-append-bound.
 func Merge(n int64, shards ...[]Edge) *Graph {
 	total := 0
 	for _, s := range shards {
 		total += len(s)
 	}
-	g := &Graph{N: n, Edges: make([]Edge, 0, total)}
+	g := &Graph{N: n, Edges: make([]Edge, total)}
+	if total >= parallelMergeMin && len(shards) > 1 {
+		var wg sync.WaitGroup
+		off := 0
+		for _, s := range shards {
+			if len(s) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(dst, src []Edge) {
+				defer wg.Done()
+				copy(dst, src)
+			}(g.Edges[off:off+len(s)], s)
+			off += len(s)
+		}
+		wg.Wait()
+		return g
+	}
+	off := 0
 	for _, s := range shards {
-		g.Edges = append(g.Edges, s...)
+		copy(g.Edges[off:], s)
+		off += len(s)
 	}
 	return g
 }

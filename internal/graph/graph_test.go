@@ -166,6 +166,39 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestMergeParallelPath pushes Merge over parallelMergeMin so the
+// concurrent per-shard copies run, and checks the result is identical
+// to the serial gather: same order, every edge in place, uneven and
+// empty shards handled.
+func TestMergeParallelPath(t *testing.T) {
+	shardLens := []int{1 << 16, 0, 1 << 15, 777, 1 << 16, 1}
+	total := 0
+	for _, l := range shardLens {
+		total += l
+	}
+	if total < parallelMergeMin {
+		t.Fatalf("test shards total %d, below parallel threshold %d", total, parallelMergeMin)
+	}
+	shards := make([][]Edge, len(shardLens))
+	id := int64(0)
+	for s, l := range shardLens {
+		shards[s] = make([]Edge, l)
+		for i := range shards[s] {
+			shards[s][i] = Edge{U: id + 1, V: id}
+			id++
+		}
+	}
+	g := Merge(id+2, shards...)
+	if g.M() != int64(total) {
+		t.Fatalf("merged %d edges, want %d", g.M(), total)
+	}
+	for i, e := range g.Edges {
+		if e.U != int64(i)+1 || e.V != int64(i) {
+			t.Fatalf("edge %d = %v: shard order not preserved", i, e)
+		}
+	}
+}
+
 // Property: sum of degrees equals 2m for arbitrary edge sets.
 func TestDegreeSumProperty(t *testing.T) {
 	f := func(pairs []uint16) bool {

@@ -126,7 +126,7 @@ func Decode(b []byte) (Message, []byte, error) {
 	return m, b[EncodedSize:], nil
 }
 
-// EncodeBatch encodes a slice of messages as one frame.
+// EncodeBatch encodes a slice of messages as one v1 (fixed-width) frame.
 func EncodeBatch(ms []Message) []byte {
 	out := make([]byte, 0, len(ms)*EncodedSize)
 	for _, m := range ms {
@@ -135,9 +135,78 @@ func EncodeBatch(ms []Message) []byte {
 	return out
 }
 
-// DecodeBatch decodes a frame produced by EncodeBatch (or by repeated
-// AppendEncode calls), appending to dst and returning it.
+// FrameV2Magic is the version byte that opens a compact (v2) frame. No
+// message Kind uses this value, and v1 frames always start with a Kind
+// byte, so the two formats are distinguished by their first byte and old
+// frames keep decoding under the new decoder.
+const FrameV2Magic = 0xC2
+
+// Compact (v2) frame layout, after the magic byte: a sequence of kind
+// groups, each
+//
+//	kind(1) | uvarint(count) | count × fields
+//
+// where the fields per message are, by kind:
+//
+//	request:  varint(ΔT) varint(K)  uvarint(E) uvarint(L)
+//	resolved: varint(ΔT) varint(V)  uvarint(E)
+//	coll:     varint(ΔT) varint(K)  varint(V)
+//	done:     varint(ΔT)
+//	stop:     varint(ΔT)
+//
+// ΔT is the difference from the previous message's T within the group
+// (starting from 0). Buffered requests carry near-monotone t values, so
+// ΔT is usually one zigzag-varint byte and a request shrinks from the
+// fixed 29 bytes to ~6-10. Fields a kind does not carry (V for requests,
+// K and L for resolved, everything but T for done/stop) are dropped on
+// the wire and decode as zero — exactly the values the constructors set.
+
+// AppendEncodeBatchV2 appends the compact (v2) encoding of ms to dst and
+// returns the extended slice. Adjacent messages of equal kind share one
+// group header.
+func AppendEncodeBatchV2(dst []byte, ms []Message) []byte {
+	dst = append(dst, FrameV2Magic)
+	for i := 0; i < len(ms); {
+		kind := ms[i].Kind
+		j := i + 1
+		for j < len(ms) && ms[j].Kind == kind {
+			j++
+		}
+		dst = append(dst, byte(kind))
+		dst = binary.AppendUvarint(dst, uint64(j-i))
+		prevT := int64(0)
+		for _, m := range ms[i:j] {
+			dst = binary.AppendVarint(dst, m.T-prevT)
+			prevT = m.T
+			switch kind {
+			case KindRequest:
+				dst = binary.AppendVarint(dst, m.K)
+				dst = binary.AppendUvarint(dst, uint64(m.E))
+				dst = binary.AppendUvarint(dst, uint64(m.L))
+			case KindResolved:
+				dst = binary.AppendVarint(dst, m.V)
+				dst = binary.AppendUvarint(dst, uint64(m.E))
+			case KindColl:
+				dst = binary.AppendVarint(dst, m.K)
+				dst = binary.AppendVarint(dst, m.V)
+			}
+		}
+		i = j
+	}
+	return dst
+}
+
+// EncodeBatchV2 encodes a slice of messages as one compact frame.
+func EncodeBatchV2(ms []Message) []byte {
+	return AppendEncodeBatchV2(make([]byte, 0, 1+len(ms)*10), ms)
+}
+
+// DecodeBatch decodes a frame in either format — compact (v2, magic
+// first byte) or fixed-width (v1) — appending to dst and returning it.
 func DecodeBatch(dst []Message, frame []byte) ([]Message, error) {
+	if len(frame) > 0 && frame[0] == FrameV2Magic {
+		return decodeBatchV2(dst, frame[1:])
+	}
 	if len(frame)%EncodedSize != 0 {
 		return dst, fmt.Errorf("msg: frame size %d not a multiple of %d", len(frame), EncodedSize)
 	}
@@ -150,4 +219,80 @@ func DecodeBatch(dst []Message, frame []byte) ([]Message, error) {
 		frame = rest
 	}
 	return dst, nil
+}
+
+func decodeBatchV2(dst []Message, b []byte) ([]Message, error) {
+	for len(b) > 0 {
+		kind := Kind(b[0])
+		if kind < KindRequest || kind > KindColl {
+			return dst, fmt.Errorf("msg: bad group kind %d", b[0])
+		}
+		b = b[1:]
+		count, n := binary.Uvarint(b)
+		if n <= 0 {
+			return dst, fmt.Errorf("msg: bad group count")
+		}
+		b = b[n:]
+		// Every message costs at least one byte (the ΔT varint), so a
+		// count beyond the remaining bytes is corrupt — reject before
+		// growing dst.
+		if count > uint64(len(b)) {
+			return dst, fmt.Errorf("msg: group count %d exceeds frame", count)
+		}
+		prevT := int64(0)
+		for i := uint64(0); i < count; i++ {
+			m := Message{Kind: kind}
+			var ok bool
+			var d int64
+			if d, b, ok = takeVarint(b); !ok {
+				return dst, fmt.Errorf("msg: truncated T")
+			}
+			m.T = prevT + d
+			prevT = m.T
+			switch kind {
+			case KindRequest:
+				if m.K, b, ok = takeVarint(b); !ok {
+					return dst, fmt.Errorf("msg: truncated K")
+				}
+				if m.E, b, ok = takeUint16(b); !ok {
+					return dst, fmt.Errorf("msg: truncated E")
+				}
+				if m.L, b, ok = takeUint16(b); !ok {
+					return dst, fmt.Errorf("msg: truncated L")
+				}
+			case KindResolved:
+				if m.V, b, ok = takeVarint(b); !ok {
+					return dst, fmt.Errorf("msg: truncated V")
+				}
+				if m.E, b, ok = takeUint16(b); !ok {
+					return dst, fmt.Errorf("msg: truncated E")
+				}
+			case KindColl:
+				if m.K, b, ok = takeVarint(b); !ok {
+					return dst, fmt.Errorf("msg: truncated K")
+				}
+				if m.V, b, ok = takeVarint(b); !ok {
+					return dst, fmt.Errorf("msg: truncated V")
+				}
+			}
+			dst = append(dst, m)
+		}
+	}
+	return dst, nil
+}
+
+func takeVarint(b []byte) (int64, []byte, bool) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, b, false
+	}
+	return v, b[n:], true
+}
+
+func takeUint16(b []byte) (uint16, []byte, bool) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 || v > 0xffff {
+		return 0, b, false
+	}
+	return uint16(v), b[n:], true
 }

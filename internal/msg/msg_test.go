@@ -142,6 +142,103 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
+// genMessages builds a constructor-shaped message batch from raw fuzz
+// values — the population both codecs must agree on. Kinds are grouped
+// the way the communicator's buffers produce them (runs of requests, a
+// run of resolveds, the odd control message).
+func genMessages(ts []int64, ks []uint32, es []uint8) []Message {
+	var ms []Message
+	t := int64(0)
+	for i := range ts {
+		// Near-monotone t, the request pattern the delta coding targets.
+		step := ts[i] % 64
+		if step < 0 {
+			step = -step
+		}
+		t += step
+		k := int64(ks[i%len(ks)])
+		e := int(es[i%len(es)]) % 16
+		switch i % 8 {
+		case 0, 1, 2, 3:
+			ms = append(ms, Request(t, e, k, e%4))
+		case 4, 5:
+			ms = append(ms, Resolved(t, e, k))
+		case 6:
+			ms = append(ms, Done(int(k%768)))
+		default:
+			ms = append(ms, Coll(int(k%768), k%5, int64(ks[i%len(ks)])))
+		}
+	}
+	return ms
+}
+
+// Property: v1 and v2 frames of the same batch decode to identical
+// messages under the one DecodeBatch entry point — the cross-version
+// compatibility contract that lets mixed-version clusters interoperate.
+func TestCodecCrossCompatProperty(t *testing.T) {
+	f := func(ts []int64, ks []uint32, es []uint8) bool {
+		if len(ts) == 0 || len(ks) == 0 || len(es) == 0 {
+			return true
+		}
+		ms := genMessages(ts, ks, es)
+		v1, err1 := DecodeBatch(nil, EncodeBatch(ms))
+		v2, err2 := DecodeBatch(nil, EncodeBatchV2(ms))
+		if err1 != nil || err2 != nil || len(v1) != len(ms) || len(v2) != len(ms) {
+			return false
+		}
+		for i := range ms {
+			if v1[i] != ms[i] || v2[i] != ms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The compact codec must actually compress: a buffer's worth of typical
+// requests (near-monotone t, node-scale k) has to come out at least 2x
+// smaller than the fixed-width encoding.
+func TestCompactFrameAtLeastHalvesRequests(t *testing.T) {
+	var ms []Message
+	tt := int64(500_000)
+	for i := 0; i < 256; i++ {
+		tt += int64(i % 3)
+		ms = append(ms, Request(tt, i%4, tt/2, i%4))
+	}
+	v1, v2 := len(EncodeBatch(ms)), len(EncodeBatchV2(ms))
+	if v2*2 > v1 {
+		t.Fatalf("compact frame %d bytes, fixed-width %d: reduction below 2x", v2, v1)
+	}
+}
+
+func TestCompactBatchEmpty(t *testing.T) {
+	got, err := DecodeBatch(nil, EncodeBatchV2(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty compact batch: %v, %v", got, err)
+	}
+}
+
+func TestCompactBatchRejectsCorruption(t *testing.T) {
+	frame := EncodeBatchV2([]Message{Request(100, 1, 50, 2), Resolved(7, 0, 3)})
+	if _, err := DecodeBatch(nil, frame[:len(frame)-1]); err == nil {
+		t.Error("truncated compact frame accepted")
+	}
+	bad := append([]byte(nil), frame...)
+	bad[1] = 99 // group kind byte
+	if _, err := DecodeBatch(nil, bad); err == nil {
+		t.Error("bad group kind accepted")
+	}
+	// A group count far beyond the frame's bytes must be rejected before
+	// any decoding work.
+	huge := []byte{FrameV2Magic, byte(KindStop), 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := DecodeBatch(nil, huge); err == nil {
+		t.Error("oversized group count accepted")
+	}
+}
+
 func BenchmarkAppendEncode(b *testing.B) {
 	m := Request(123456789, 3, 987654321, 7)
 	buf := make([]byte, 0, EncodedSize)

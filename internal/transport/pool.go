@@ -1,0 +1,58 @@
+package transport
+
+import "sync"
+
+// Frame-buffer pooling. The hot path sends one frame per flushed message
+// batch; leasing the byte buffers from a pool instead of allocating per
+// frame makes the steady-state send/receive path allocation-free.
+//
+// Ownership rule (the lease/release protocol):
+//
+//   - The producer of a frame leases its buffer with LeaseFrame and hands
+//     ownership to Transport.Send.
+//   - Whoever consumes the frame bytes releases the buffer exactly once
+//     with ReleaseFrame: the decoding endpoint for locally-delivered
+//     frames (internal/comm does this after DecodeBatch), or the TCP
+//     writer goroutine once the bytes are on the wire (the remote reader
+//     then leases a fresh buffer for the incoming copy).
+//   - After release the buffer must not be touched; a released buffer may
+//     be handed out by the next LeaseFrame anywhere in the process.
+//
+// Buffers that never get released (e.g. frames dropped at shutdown) are
+// simply garbage collected — the pool tolerates leaks, never double
+// frees.
+
+// frameBuf boxes a pooled buffer so Put never allocates: fullFrames holds
+// boxes with data, emptyBoxes recycles the boxes themselves.
+type frameBuf struct{ b []byte }
+
+var (
+	fullFrames sync.Pool // *frameBuf with b != nil
+	emptyBoxes = sync.Pool{New: func() any { return new(frameBuf) }}
+)
+
+// LeaseFrame returns a zero-length buffer with capacity at least capHint,
+// reusing a released buffer when one is available.
+func LeaseFrame(capHint int) []byte {
+	if v := fullFrames.Get(); v != nil {
+		fb := v.(*frameBuf)
+		b := fb.b[:0]
+		fb.b = nil
+		emptyBoxes.Put(fb)
+		if cap(b) >= capHint {
+			return b
+		}
+	}
+	return make([]byte, 0, capHint)
+}
+
+// ReleaseFrame returns a buffer to the pool. Zero-capacity buffers are
+// dropped (nothing to reuse).
+func ReleaseFrame(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	fb := emptyBoxes.Get().(*frameBuf)
+	fb.b = b
+	fullFrames.Put(fb)
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -133,17 +134,26 @@ func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 	}
 }
 
+// tcpReadBufSize sizes each connection's reusable read buffer: large
+// enough that a length prefix plus a typical coalesced frame arrive in
+// one read syscall.
+const tcpReadBufSize = 64 << 10
+
 func (t *TCP) readLoop(peer int) {
 	defer t.readers.Done()
-	conn := t.conns[peer]
+	// One reusable buffered reader per connection: the length prefix and
+	// frame body are read through it, so small frames cost no extra
+	// syscalls and the payload buffers come from the frame pool instead
+	// of a fresh allocation per frame.
+	br := bufio.NewReaderSize(t.conns[peer], tcpReadBufSize)
 	var hdr [4]byte
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return // peer closed; normal at shutdown
 		}
 		size := binary.LittleEndian.Uint32(hdr[:])
-		data := make([]byte, size)
-		if _, err := io.ReadFull(conn, data); err != nil {
+		data := LeaseFrame(int(size))[:size]
+		if _, err := io.ReadFull(br, data); err != nil {
 			return
 		}
 		if t.inbox.push(Frame{From: peer, Data: data}) != nil {
@@ -165,7 +175,11 @@ func (t *TCP) writeLoop(peer int) {
 		if _, err := conn.Write(hdr[:]); err != nil {
 			return
 		}
-		if _, err := conn.Write(f.Data); err != nil {
+		_, err = conn.Write(f.Data)
+		// The bytes are on the wire (or the connection is dead): this
+		// side's ownership of the leased buffer ends here.
+		ReleaseFrame(f.Data)
+		if err != nil {
 			return
 		}
 	}

@@ -50,10 +50,14 @@ type Transport interface {
 // mailbox is an unbounded MPSC queue with blocking and non-blocking pop.
 // Senders append under the lock; the single consumer (the rank's engine
 // loop) pops. Unboundedness is what makes Local sends non-blocking.
+// The backing array is retained across drain cycles (head-index pops,
+// reset to the front when empty) so steady-state push/pop does not
+// allocate; its capacity is bounded by the largest backlog.
 type mailbox struct {
 	mu     chan struct{} // 1-token semaphore guarding q (select-friendly)
 	notify chan struct{} // 1-buffered wakeup
 	q      []Frame
+	head   int
 	closed bool
 }
 
@@ -89,12 +93,13 @@ func (m *mailbox) push(f Frame) error {
 func (m *mailbox) pop(block bool) (Frame, bool, error) {
 	for {
 		m.lock()
-		if len(m.q) > 0 {
-			f := m.q[0]
-			// Slide rather than reslice forever: reclaim when drained.
-			m.q = m.q[1:]
-			if len(m.q) == 0 {
-				m.q = nil
+		if m.head < len(m.q) {
+			f := m.q[m.head]
+			m.q[m.head] = Frame{} // drop the data reference
+			m.head++
+			if m.head == len(m.q) {
+				m.q = m.q[:0]
+				m.head = 0
 			}
 			m.unlock()
 			return f, true, nil
