@@ -9,6 +9,14 @@
 //	pa-tcp -rank 0 -addrs 127.0.0.1:9500,127.0.0.1:9501 -n 100000 -x 4 -o shard0.bin &
 //	pa-tcp -rank 1 -addrs 127.0.0.1:9500,127.0.0.1:9501 -n 100000 -x 4 -o shard1.bin
 //
+// After the generation protocol terminates, the ranks run a sequence of
+// collectives (internal/coll) to assemble a cluster-wide summary at rank
+// 0: total edges, per-rank loads, and aggregate message counters. -stats
+// prints per-rank and cluster statistics to stderr; -metrics FILE
+// additionally exports the rank's full metric record (counters,
+// wait-chain histogram, per-node received-message load) as JSON, "-"
+// meaning stderr.
+//
 // See examples/distributed for a driver that spawns the ranks and merges
 // the shards.
 package main
@@ -24,21 +32,25 @@ import (
 	"pagen/internal/core"
 	"pagen/internal/graph"
 	"pagen/internal/model"
+	"pagen/internal/obs"
 	"pagen/internal/partition"
 	"pagen/internal/transport"
 )
 
 func main() {
 	var (
-		rank   = flag.Int("rank", 0, "this process's rank")
-		addrs  = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
-		n      = flag.Int64("n", 100000, "number of nodes")
-		x      = flag.Int("x", 4, "edges per new node")
-		p      = flag.Float64("p", 0.5, "direct-attachment probability")
-		scheme = flag.String("scheme", "RRP", "partitioning scheme")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		out    = flag.String("o", "", "output shard file (binary edge list; default stdout)")
-		stats  = flag.Bool("stats", false, "print rank statistics to stderr")
+		rank      = flag.Int("rank", 0, "this process's rank")
+		addrs     = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
+		n         = flag.Int64("n", 100000, "number of nodes")
+		x         = flag.Int("x", 4, "edges per new node")
+		p         = flag.Float64("p", 0.5, "direct-attachment probability")
+		scheme    = flag.String("scheme", "RRP", "partitioning scheme")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		out       = flag.String("o", "", "output shard file (binary edge list; default stdout)")
+		stats     = flag.Bool("stats", false, "print rank and cluster statistics to stderr")
+		metrics   = flag.String("metrics", "", "write this rank's metrics JSON to this file (\"-\" = stderr)")
+		handshake = flag.Duration("handshake-timeout", transport.DefaultHandshakeTimeout,
+			"mesh-establishment deadline (a peer missing past it is an error, not a hang)")
 	)
 	flag.Parse()
 
@@ -55,46 +67,66 @@ func main() {
 		fatal(err)
 	}
 
-	tr, err := transport.NewTCP(*rank, addrList)
+	tr, err := transport.NewTCPWithConfig(*rank, addrList, transport.TCPConfig{
+		HandshakeTimeout: *handshake,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer tr.Close()
 
 	res, err := core.RunRank(tr, core.Options{
-		Params: model.Params{N: *n, X: *x, P: *p},
-		Part:   part,
-		Seed:   *seed,
+		Params:          model.Params{N: *n, X: *x, P: *p},
+		Part:            part,
+		Seed:            *seed,
+		CollectNodeLoad: *metrics != "",
 	})
 	if err != nil {
 		fatal(err)
 	}
+	st := res.Stats
 	if *stats {
-		st := res.Stats
-		fmt.Fprintf(os.Stderr, "rank %d: nodes=%d edges=%d reqS=%d reqR=%d wall=%v busy=%v\n",
+		fmt.Fprintf(os.Stderr, "rank %d: nodes=%d edges=%d reqS=%d reqR=%d frames=%d bytes=%d wall=%v busy=%v\n",
 			st.Rank, st.Nodes, st.Edges, st.Comm.RequestsSent, st.Comm.RequestsRecv,
-			st.WallTime, st.BusyTime)
+			st.Comm.FramesSent, st.Comm.BytesSent, st.WallTime, st.BusyTime)
 	}
 
-	// Cluster-wide summary: gather per-rank metrics at rank 0 over the
+	// Cluster-wide summary: a back-to-back collective sequence over the
 	// same mesh (the engine protocol has terminated, so the collectives
-	// have the channel to themselves).
-	cm := comm.New(tr, comm.Config{})
-	edges, err := coll.Gather(cm, 1, res.Stats.Edges)
+	// have the channel to themselves). The sequenced tag protocol keeps
+	// the coordinator sane when fast ranks race ahead to the next
+	// operation — the 4-rank "tag mismatch" failure mode of the
+	// unsequenced design.
+	cs := coll.New(comm.New(tr, comm.Config{}))
+	edges, err := cs.Gather(st.Edges)
 	if err != nil {
 		fatal(err)
 	}
-	maxLoad, err := coll.AllReduceMax(cm, 2, res.Stats.TotalLoad())
+	maxLoad, err := cs.AllReduceMax(st.TotalLoad())
 	if err != nil {
 		fatal(err)
 	}
-	if *rank == 0 {
+	totalReq, err := cs.AllReduceSum(st.Comm.RequestsSent)
+	if err != nil {
+		fatal(err)
+	}
+	totalBytes, err := cs.AllReduceSum(st.Comm.BytesSent)
+	if err != nil {
+		fatal(err)
+	}
+	if *rank == 0 && *stats {
 		var total int64
 		for _, e := range edges {
 			total += e
 		}
-		fmt.Fprintf(os.Stderr, "cluster: %d edges across %d ranks, max rank load %d\n",
-			total, len(addrList), maxLoad)
+		fmt.Fprintf(os.Stderr, "cluster: %d edges across %d ranks, max rank load %d, %d requests, %d frame bytes\n",
+			total, len(addrList), maxLoad, totalReq, totalBytes)
+	}
+
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, *rank, res, part, *n, *x, *p, len(addrList), *scheme, *seed); err != nil {
+			fatal(err)
+		}
 	}
 
 	w := os.Stdout
@@ -114,6 +146,41 @@ func main() {
 	if err := graph.WriteBinary(w, shard); err != nil {
 		fatal(err)
 	}
+}
+
+// writeMetrics exports this rank's metric record as JSON. Unlike the
+// in-process pagen run, each pa-tcp rank only sees its own node set, so
+// the node-load curve covers this rank's nodes (union the per-rank files
+// for the full Lemma 3.4 curve).
+func writeMetrics(path string, rank int, res *core.RankResult, part partition.Scheme,
+	n int64, x int, p float64, ranks int, scheme string, seed uint64) error {
+	m := &obs.RunMetrics{
+		N:            n,
+		X:            x,
+		P:            p,
+		Ranks:        ranks,
+		Scheme:       scheme,
+		Seed:         seed,
+		ElapsedNanos: res.Stats.WallTime.Nanoseconds(),
+		PerRank:      []obs.RankMetrics{res.Stats.Metrics()},
+	}
+	if res.Stats.NodeLoad != nil {
+		samples := core.NodeLoadSamples(part, rank, res.Stats.NodeLoad)
+		curve := obs.BinNodeLoad(samples, n, x, p, 0)
+		m.NodeLoad = &curve
+	}
+	if path == "-" {
+		return m.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -5,6 +5,12 @@
 //
 //	pagen -n 1000000 -x 4 -ranks 8 -scheme RRP -o graph.txt
 //	pagen -n 1000000 -x 4 -format binary -o graph.bin -stats
+//	pagen -n 1000000 -x 4 -ranks 8 -metrics metrics.json -o graph.txt
+//
+// -metrics FILE exports the run's observability record (per-rank
+// counters, wait-chain histograms, and the per-node received-message
+// load with the Lemma 3.4 prediction alongside) as JSON; "-" writes it
+// to stderr.
 package main
 
 import (
@@ -29,15 +35,29 @@ func main() {
 		stats    = flag.Bool("stats", false, "print per-rank statistics to stderr")
 		seq      = flag.Bool("seq", false, "use the sequential copy model instead")
 		shardDir = flag.String("shard-dir", "", "stream per-rank edge shards to this directory instead of a single output")
+		metrics  = flag.String("metrics", "", "write run metrics JSON to this file (\"-\" = stderr)")
 	)
 	flag.Parse()
 
-	cfg := pagen.Config{N: *n, X: *x, P: *p, Ranks: *ranks, Scheme: *scheme, Seed: *seed}
+	if *ranks < 1 {
+		fatal(fmt.Errorf("-ranks %d: need at least 1 rank", *ranks))
+	}
+	cfg := pagen.Config{N: *n, X: *x, P: *p, Ranks: *ranks, Scheme: *scheme, Seed: *seed,
+		CollectNodeLoad: *metrics != ""}
+
+	if *seq && *metrics != "" {
+		fatal(fmt.Errorf("-metrics needs the parallel engine (drop -seq)"))
+	}
 
 	if *shardDir != "" {
 		res, err := pagen.GenerateToShards(cfg, *shardDir)
 		if err != nil {
 			fatal(err)
+		}
+		if *metrics != "" {
+			if err := writeMetrics(*metrics, pagen.Metrics(res, cfg)); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d shards to %s in %v (%.3g edges/s)\n",
 			len(res.Ranks), *shardDir, res.Elapsed, pagen.EdgesPerSecond(res))
@@ -57,6 +77,11 @@ func main() {
 			fatal(err)
 		}
 		g = res.Graph
+		if *metrics != "" {
+			if err := writeMetrics(*metrics, pagen.Metrics(res, cfg)); err != nil {
+				fatal(err)
+			}
+		}
 		if *stats {
 			fmt.Fprintf(os.Stderr, "generated %d edges in %v (%.3g edges/s)\n",
 				g.M(), res.Elapsed, pagen.EdgesPerSecond(res))
@@ -96,6 +121,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// writeMetrics exports the run metrics JSON to path ("-" = stderr).
+func writeMetrics(path string, m *pagen.RunMetrics) error {
+	if m == nil {
+		return fmt.Errorf("no metrics collected")
+	}
+	if path == "-" {
+		return m.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -1,6 +1,8 @@
 package coll
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -12,7 +14,7 @@ import (
 
 // runAll executes fn concurrently on every rank of a fresh local mesh and
 // returns per-rank errors.
-func runAll(t *testing.T, p int, fn func(cm *comm.Comm, rank int) error) []error {
+func runAll(t *testing.T, p int, fn func(s *Seq, rank int) error) []error {
 	t.Helper()
 	group, err := transport.NewLocalGroup(p)
 	if err != nil {
@@ -25,7 +27,7 @@ func runAll(t *testing.T, p int, fn func(cm *comm.Comm, rank int) error) []error
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			errs[r] = fn(comm.New(group.Endpoint(r), comm.Config{}), r)
+			errs[r] = fn(New(comm.New(group.Endpoint(r), comm.Config{})), r)
 		}(r)
 	}
 	go func() { wg.Wait(); close(done) }()
@@ -50,8 +52,8 @@ func TestBarrierReleasesEveryone(t *testing.T) {
 	for _, p := range []int{1, 2, 5} {
 		var passed int32
 		var mu sync.Mutex
-		errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
-			if err := Barrier(cm, 1); err != nil {
+		errs := runAll(t, p, func(s *Seq, rank int) error {
+			if err := s.Barrier(); err != nil {
 				return err
 			}
 			mu.Lock()
@@ -72,11 +74,11 @@ func TestBarrierOrdersPhases(t *testing.T) {
 	var mu sync.Mutex
 	phase1 := 0
 	violated := false
-	errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
+	errs := runAll(t, p, func(s *Seq, rank int) error {
 		mu.Lock()
 		phase1++
 		mu.Unlock()
-		if err := Barrier(cm, 7); err != nil {
+		if err := s.Barrier(); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -95,8 +97,8 @@ func TestBarrierOrdersPhases(t *testing.T) {
 func TestBroadcast(t *testing.T) {
 	for _, p := range []int{1, 3, 6} {
 		got := make([]int64, p)
-		errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
-			v, err := Broadcast(cm, 2, int64(42+rank)) // only rank 0's 42 matters
+		errs := runAll(t, p, func(s *Seq, rank int) error {
+			v, err := s.Broadcast(int64(42 + rank)) // only rank 0's 42 matters
 			got[rank] = v
 			return err
 		})
@@ -113,8 +115,8 @@ func TestAllReduceSum(t *testing.T) {
 	for _, p := range []int{1, 2, 7} {
 		want := int64(p * (p + 1) / 2)
 		got := make([]int64, p)
-		errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
-			v, err := AllReduceSum(cm, 3, int64(rank+1))
+		errs := runAll(t, p, func(s *Seq, rank int) error {
+			v, err := s.AllReduceSum(int64(rank + 1))
 			got[rank] = v
 			return err
 		})
@@ -130,8 +132,8 @@ func TestAllReduceSum(t *testing.T) {
 func TestAllReduceMax(t *testing.T) {
 	const p = 5
 	got := make([]int64, p)
-	errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
-		v, err := AllReduceMax(cm, 4, int64((rank*7)%13))
+	errs := runAll(t, p, func(s *Seq, rank int) error {
+		v, err := s.AllReduceMax(int64((rank * 7) % 13))
 		got[rank] = v
 		return err
 	})
@@ -152,8 +154,8 @@ func TestAllReduceMax(t *testing.T) {
 func TestGather(t *testing.T) {
 	for _, p := range []int{1, 4} {
 		var root []int64
-		errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
-			vs, err := Gather(cm, 5, int64(rank*rank))
+		errs := runAll(t, p, func(s *Seq, rank int) error {
+			vs, err := s.Gather(int64(rank * rank))
 			if rank == 0 {
 				root = vs
 			} else if vs != nil {
@@ -173,34 +175,143 @@ func TestGather(t *testing.T) {
 	}
 }
 
-func TestSequencedCollectives(t *testing.T) {
-	// A realistic tool sequence: barrier, reduce, gather, broadcast —
-	// distinct tags, same order everywhere.
+func TestGatherSlice(t *testing.T) {
 	const p = 4
-	errs := runAll(t, p, func(cm *comm.Comm, rank int) error {
-		if err := Barrier(cm, 10); err != nil {
-			return err
+	var root [][]int64
+	errs := runAll(t, p, func(s *Seq, rank int) error {
+		rows, err := s.GatherSlice([]int64{int64(rank), int64(rank * 10), int64(rank * 100)})
+		if rank == 0 {
+			root = rows
+		} else if rows != nil {
+			t.Errorf("rank %d got non-nil gather matrix", rank)
 		}
-		sum, err := AllReduceSum(cm, 11, 1)
-		if err != nil {
-			return err
-		}
-		if sum != p {
-			t.Errorf("rank %d: sum %d", rank, sum)
-		}
-		if _, err := Gather(cm, 12, int64(rank)); err != nil {
-			return err
-		}
-		v, err := Broadcast(cm, 13, sum*2)
-		if err != nil {
-			return err
-		}
-		if v != 2*p {
-			t.Errorf("rank %d: broadcast %d", rank, v)
-		}
-		return nil
+		return err
 	})
 	noErrors(t, errs)
+	if len(root) != p {
+		t.Fatalf("gathered %d rows", len(root))
+	}
+	for r, row := range root {
+		want := []int64{int64(r), int64(r * 10), int64(r * 100)}
+		for i := range want {
+			if row[i] != want[i] {
+				t.Fatalf("root[%d] = %v, want %v", r, row, want)
+			}
+		}
+	}
+}
+
+// TestBackToBackSequences is the regression test for the 4-rank
+// "coll: tag mismatch" failure: a fast rank's contribution to the next
+// collective reaches rank 0 while it is still collecting the previous
+// one, so the coordinator must buffer early arrivals by tag instead of
+// failing. Each named sequence runs back-to-back with no barriers
+// between operations, at 2, 4 and 8 ranks.
+func TestBackToBackSequences(t *testing.T) {
+	type seqCase struct {
+		name string
+		run  func(s *Seq, rank, p int) error
+	}
+	cases := []seqCase{
+		{
+			// The exact pa-tcp post-run sequence that used to die.
+			name: "gather-then-reduce",
+			run: func(s *Seq, rank, p int) error {
+				vs, err := s.Gather(int64(rank + 1))
+				if err != nil {
+					return err
+				}
+				if rank == 0 && len(vs) != p {
+					return fmt.Errorf("gathered %d values, want %d", len(vs), p)
+				}
+				max, err := s.AllReduceMax(int64(rank))
+				if err != nil {
+					return err
+				}
+				if max != int64(p-1) {
+					return fmt.Errorf("max = %d, want %d", max, p-1)
+				}
+				return nil
+			},
+		},
+		{
+			name: "gather-gather-gather",
+			run: func(s *Seq, rank, p int) error {
+				for round := 0; round < 3; round++ {
+					vs, err := s.Gather(int64(rank*10 + round))
+					if err != nil {
+						return err
+					}
+					if rank == 0 {
+						for r, v := range vs {
+							if v != int64(r*10+round) {
+								return fmt.Errorf("round %d: vs[%d] = %d", round, r, v)
+							}
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			name: "reduce-gather-barrier-broadcast",
+			run: func(s *Seq, rank, p int) error {
+				sum, err := s.AllReduceSum(1)
+				if err != nil {
+					return err
+				}
+				if sum != int64(p) {
+					return fmt.Errorf("sum = %d, want %d", sum, p)
+				}
+				if _, err := s.Gather(int64(rank)); err != nil {
+					return err
+				}
+				if err := s.Barrier(); err != nil {
+					return err
+				}
+				v, err := s.Broadcast(sum * 2)
+				if err != nil {
+					return err
+				}
+				if v != 2*int64(p) {
+					return fmt.Errorf("broadcast = %d, want %d", v, 2*p)
+				}
+				return nil
+			},
+		},
+		{
+			name: "reduce-storm",
+			run: func(s *Seq, rank, p int) error {
+				for round := 0; round < 5; round++ {
+					sum, err := s.AllReduceSum(int64(rank))
+					if err != nil {
+						return err
+					}
+					if sum != int64(p*(p-1)/2) {
+						return fmt.Errorf("round %d: sum = %d", round, sum)
+					}
+					max, err := s.AllReduceMax(int64(rank))
+					if err != nil {
+						return err
+					}
+					if max != int64(p-1) {
+						return fmt.Errorf("round %d: max = %d", round, max)
+					}
+				}
+				return nil
+			},
+		},
+	}
+	for _, tc := range cases {
+		for _, p := range []int{2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/p=%d", tc.name, p), func(t *testing.T) {
+				errs := runAll(t, p, func(s *Seq, rank int) error {
+					return tc.run(s, rank, p)
+				})
+				noErrors(t, errs)
+			})
+		}
+	}
 }
 
 func TestCollectiveRejectsForeignTraffic(t *testing.T) {
@@ -214,21 +325,55 @@ func TestCollectiveRejectsForeignTraffic(t *testing.T) {
 	if err := cm1.SendNow(0, msg.Request(5, 0, 1, 0)); err != nil {
 		t.Fatal(err)
 	}
-	go cm1.SendNow(0, msg.Coll(1, 9, 1))
-	if _, err := AllReduceSum(cm0, 9, 1); err == nil {
+	go cm1.SendNow(0, msg.Coll(1, 1, 1))
+	if _, err := New(cm0).AllReduceSum(1); err == nil {
 		t.Fatal("stray data message not rejected")
 	}
 }
 
-func TestCollectiveRejectsTagMismatch(t *testing.T) {
+func TestCollectiveRejectsStaleTag(t *testing.T) {
 	group, err := transport.NewLocalGroup(2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cm0 := comm.New(group.Endpoint(0), comm.Config{})
 	cm1 := comm.New(group.Endpoint(1), comm.Config{})
-	go cm1.SendNow(0, msg.Coll(1, 99, 1)) // wrong tag
-	if _, err := Gather(cm0, 42, 0); err == nil {
-		t.Fatal("tag mismatch not rejected")
+	// Tag 0 is below any operation tag Seq ever assigns (they start at
+	// 1), so it must be rejected as stale, not buffered forever.
+	go cm1.SendNow(0, msg.Coll(1, 0, 7))
+	_, err = New(cm0).Gather(0)
+	if err == nil {
+		t.Fatal("stale tag not rejected")
+	}
+	if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("error = %v, want stale-tag report", err)
+	}
+}
+
+// Early arrivals with future tags must be buffered, not dropped: rank 1
+// sends its contributions to three gathers at once before rank 0 starts
+// the first one.
+func TestEarlyArrivalsBuffered(t *testing.T) {
+	group, err := transport.NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm0 := comm.New(group.Endpoint(0), comm.Config{})
+	cm1 := comm.New(group.Endpoint(1), comm.Config{})
+	s1 := New(cm1)
+	for i := 0; i < 3; i++ {
+		if _, err := s1.Gather(int64(100 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s0 := New(cm0)
+	for i := 0; i < 3; i++ {
+		vs, err := s0.Gather(int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs[0] != int64(i) || vs[1] != int64(100+i) {
+			t.Fatalf("gather %d = %v", i, vs)
+		}
 	}
 }

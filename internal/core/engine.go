@@ -27,6 +27,7 @@ import (
 	"pagen/internal/graph"
 	"pagen/internal/model"
 	"pagen/internal/msg"
+	"pagen/internal/obs"
 	"pagen/internal/partition"
 	"pagen/internal/transport"
 	"pagen/internal/xrand"
@@ -59,6 +60,11 @@ type Options struct {
 	// goroutines (the rank argument identifies the caller), so it must
 	// be safe for concurrent use or dispatch on rank.
 	Sink func(rank int, e graph.Edge)
+	// CollectNodeLoad enables per-node received-message-load counting
+	// (the empirical M_k of Lemma 3.4) in RankStats.NodeLoad. It costs
+	// one slice increment per copy query plus 8 bytes per local node,
+	// so it is opt-in.
+	CollectNodeLoad bool
 }
 
 // DefaultPollEvery is the default generation-loop polling interval.
@@ -88,10 +94,64 @@ type RankStats struct {
 	// simultaneously waiting on resolutions — the empirical counterpart
 	// of the Section 3.4 claim that waiting never idles a processor.
 	MaxPendingSlots int64
+	// WaitChain is the histogram of Q_{k,l} waiter-queue lengths
+	// observed as each local slot resolved (0 = nobody was waiting).
+	// Theorem 3.3's O(log n) dependency-chain bound keeps it shallow.
+	WaitChain obs.Histogram
+	// NodeLoad is the per-local-node received-message load — the
+	// empirical M_k of Lemma 3.4, indexed by the partition's local node
+	// index. Nil unless Options.CollectNodeLoad was set.
+	NodeLoad []int64
 	// BusyTime is wall time minus time spent blocked in Wait.
 	BusyTime time.Duration
 	// WallTime is the rank's total engine time.
 	WallTime time.Duration
+}
+
+// Metrics converts the rank's statistics into the exported obs form.
+func (s RankStats) Metrics() obs.RankMetrics {
+	return obs.RankMetrics{
+		Rank:            s.Rank,
+		Nodes:           s.Nodes,
+		Edges:           s.Edges,
+		RequestsSent:    s.Comm.RequestsSent,
+		RequestsRecv:    s.Comm.RequestsRecv,
+		ResolvedSent:    s.Comm.ResolvedSent,
+		ResolvedRecv:    s.Comm.ResolvedRecv,
+		ControlSent:     s.Comm.ControlSent,
+		ControlRecv:     s.Comm.ControlRecv,
+		FramesSent:      s.Comm.FramesSent,
+		FramesRecv:      s.Comm.FramesRecv,
+		BytesSent:       s.Comm.BytesSent,
+		BytesRecv:       s.Comm.BytesRecv,
+		Retries:         s.Retries,
+		QueuedWaits:     s.QueuedWaits,
+		LocalWaits:      s.LocalWaits,
+		MaxPendingSlots: s.MaxPendingSlots,
+		TotalLoad:       s.TotalLoad(),
+		WallNanos:       s.WallTime.Nanoseconds(),
+		BusyNanos:       s.BusyTime.Nanoseconds(),
+		WaitChain:       s.WaitChain,
+	}
+}
+
+// NodeLoadSamples expands a rank's local NodeLoad counters into global
+// (node id, load) samples using the partition that ran the rank.
+// Clique nodes (k < x, never queried) are included with their zero
+// loads so the samples cover the rank's whole node set.
+func NodeLoadSamples(part partition.Scheme, rank int, load []int64) []obs.KLoad {
+	if load == nil {
+		return nil
+	}
+	out := make([]obs.KLoad, 0, len(load))
+	i := 0
+	part.ForEach(rank, func(u int64) {
+		if i < len(load) {
+			out = append(out, obs.KLoad{K: u, Load: load[i]})
+		}
+		i++
+	})
+	return out
 }
 
 // TotalLoad returns the paper's Section 4.6 load measure for the rank:
@@ -134,6 +194,9 @@ type engine struct {
 
 	// f holds F_t(e) at f[part.Index(rank,t)*x + e]; -1 = NILL.
 	f []int64
+	// nodeLoad counts copy queries received per local node (indexed
+	// like f, but per node not per slot); nil unless CollectNodeLoad.
+	nodeLoad []int64
 	// waiters holds the per-slot resolution queues (Q_{k,l}) in a flat
 	// open-addressed table over a pooled arena — no per-slot allocation.
 	waiters waiterTable
@@ -180,6 +243,7 @@ func RunRank(tr transport.Transport, opts Options) (*RankResult, error) {
 	// counts instead of copying them.
 	e.stats.RequestsTo = e.cm.RequestsToView()
 	e.stats.MaxPendingSlots = e.maxPendingWaiters
+	e.stats.NodeLoad = e.nodeLoad
 	return &RankResult{Stats: e.stats, Edges: e.edges}, nil
 }
 
@@ -305,6 +369,9 @@ func (e *engine) bootstrap() {
 	for i := range e.f {
 		e.f[i] = -1
 	}
+	if e.opts.CollectNodeLoad {
+		e.nodeLoad = make([]int64, e.part.Size(e.rank))
+	}
 	// Pre-size the edge store from the partition's expected per-rank
 	// edge count: every local node emits x edges except clique nodes
 	// (node t < x emits t), so size*x is a tight upper bound and the
@@ -380,6 +447,11 @@ func (e *engine) place(t int64, edge int, rng *xrand.Rand) error {
 		}
 		owner := e.part.Owner(k)
 		if owner == e.rank {
+			if e.nodeLoad != nil {
+				// Same-rank copy query: counts toward node k's
+				// received load (Lemma 3.4's M_k) like a request would.
+				e.nodeLoad[e.part.Index(e.rank, k)]++
+			}
 			v := e.f[e.slot(k, l)]
 			if v < 0 {
 				// Local dependency chain: wait on our own queue.
@@ -413,13 +485,16 @@ func (e *engine) resolveSlot(t int64, edge int, v int64) {
 	// delivery can recurse into place/resolveSlot and push new waiters —
 	// growing the arena or reusing freed nodes — while we iterate.
 	h := e.waiters.take(s)
+	var chain int64
 	for h >= 0 {
 		n := e.waiters.arena[h]
 		e.waiters.freeNode(h)
 		h = n.next
+		chain++
 		e.trackPending(-1)
 		e.deliverResolved(n.t, int(n.e), v)
 	}
+	e.stats.WaitChain.Observe(chain)
 }
 
 // deliverResolved routes a resolution to the owner of the waiting slot —
@@ -452,6 +527,9 @@ func (e *engine) onResolved(t int64, edge int, v int64) {
 // onRequest handles <request, t', e', k', l'> for a locally-owned k'
 // (Algorithm 3.2 lines 16-20).
 func (e *engine) onRequest(m msg.Message) {
+	if e.nodeLoad != nil {
+		e.nodeLoad[e.part.Index(e.rank, m.K)]++
+	}
 	s := e.slot(m.K, int(m.L))
 	v := e.f[s]
 	if v < 0 {

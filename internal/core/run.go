@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"pagen/internal/graph"
 	"pagen/internal/model"
+	"pagen/internal/obs"
 	"pagen/internal/transport"
 )
 
@@ -17,6 +19,10 @@ type Result struct {
 	Graph *graph.Graph
 	// Ranks holds per-rank statistics, indexed by rank.
 	Ranks []RankStats
+	// NodeLoad holds the global per-node received-message-load samples
+	// (Lemma 3.4's M_k) in increasing node-id order, assembled from the
+	// per-rank counters. Nil unless Options.CollectNodeLoad was set.
+	NodeLoad []obs.KLoad
 	// Trace is the decision trace when Options.Trace was requested via
 	// Run's recordTrace flag (nil otherwise).
 	Trace *model.Trace
@@ -77,6 +83,15 @@ func Run(opts Options, recordTrace bool) (*Result, error) {
 		Ranks:   ranks,
 		Trace:   opts.Trace,
 		Elapsed: elapsed,
+	}
+	if opts.CollectNodeLoad {
+		for r := 0; r < p; r++ {
+			res.NodeLoad = append(res.NodeLoad,
+				NodeLoadSamples(opts.Part, r, ranks[r].NodeLoad)...)
+		}
+		sort.Slice(res.NodeLoad, func(i, j int) bool {
+			return res.NodeLoad[i].K < res.NodeLoad[j].K
+		})
 	}
 	if emitted != opts.Params.M() {
 		return nil, fmt.Errorf("core: generated %d edges, want %d", emitted, opts.Params.M())

