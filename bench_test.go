@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -341,7 +342,8 @@ func BenchmarkAblationStreamingSink(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cfg.Seed = uint64(i)
 			if _, err := GenerateStream(cfg, func(rank int, e Edge) {
-				counts[rank]++ // cheap per-rank consumption
+				// Atomic: a rank's workers share the rank's counter.
+				atomic.AddInt64(&counts[rank], 1)
 			}); err != nil {
 				b.Fatal(err)
 			}
@@ -501,6 +503,29 @@ func BenchmarkHotPathMerge(b *testing.B) {
 	}
 	if g.M() != nShards*shardLen {
 		b.Fatalf("merge produced %d edges", g.M())
+	}
+}
+
+// BenchmarkHotPathWorkers sweeps the per-rank worker count over the full
+// in-process run — the worker-sharded generation loop's scaling curve.
+// On a multi-core host higher worker counts should cut wall time; on a
+// single hardware thread the sweep instead measures the sharding
+// overhead (inbox dispatch, atomic slot publishes). The output is
+// byte-identical at every worker count, so this is purely a speed knob.
+func BenchmarkHotPathWorkers(b *testing.B) {
+	pr := model.Params{N: scaledN(500_000), X: 4, P: 0.5}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var eps float64
+			for i := 0; i < b.N; i++ {
+				res, err := Generate(Config{N: pr.N, X: pr.X, Ranks: 4, Workers: workers, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eps = EdgesPerSecond(res)
+			}
+			b.ReportMetric(eps, "edges/s")
+		})
 	}
 }
 

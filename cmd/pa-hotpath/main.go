@@ -4,6 +4,8 @@
 // compare against.
 //
 //	pa-hotpath -n 1000000 -x 4 -ranks 4,8                  # print TSV
+//	pa-hotpath -n 1000000 -x 4 -ranks 1 -workers 1,2,4,8   # worker sweep
+//	pa-hotpath ... -pollevery 0,16,64,1024                 # polling ablation
 //	pa-hotpath ... -label after -baseline old.json -out f  # write trajectory
 package main
 
@@ -21,6 +23,8 @@ func main() {
 		n        = flag.Int64("n", 1_000_000, "nodes")
 		x        = flag.Int("x", 4, "edges per node")
 		ps       = flag.String("ranks", "4,8", "comma-separated rank counts")
+		ws       = flag.String("workers", "1", "comma-separated per-rank worker counts")
+		pe       = flag.String("pollevery", "", "comma-separated polling intervals to sweep (0 = adaptive; empty = engine default)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		label    = flag.String("label", "current", "label recorded in the report")
 		baseline = flag.String("baseline", "", "prior trajectory JSON whose current block becomes this file's baseline")
@@ -33,19 +37,35 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	workerList, err := cliutil.ParseInts(*ws)
+	if err != nil {
+		fatal(err)
+	}
+	var pollList []int
+	if *pe != "" {
+		pollList, err = cliutil.ParseIntsMin(*pe, 0)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	if *fp {
 		for _, p := range rankList {
-			h, err := bench.Fingerprint(*n, *x, p, *seed)
-			if err != nil {
-				fatal(err)
+			for _, w := range workerList {
+				h, err := bench.FingerprintAt(*n, *x, p, w, *seed)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("n=%d x=%d ranks=%d workers=%d seed=%d fingerprint=%016x\n", *n, *x, p, w, *seed, h)
 			}
-			fmt.Printf("n=%d x=%d ranks=%d seed=%d fingerprint=%016x\n", *n, *x, p, *seed, h)
 		}
 		return
 	}
 
-	rep, err := bench.HotPath(*n, *x, rankList, *seed)
+	rep, err := bench.HotPathSweep(bench.HotPathConfig{
+		N: *n, X: *x, Ranks: rankList, Workers: workerList,
+		PollEvery: pollList, Seed: *seed,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -46,6 +46,7 @@ func main() {
 		p         = flag.Float64("p", 0.5, "direct-attachment probability")
 		scheme    = flag.String("scheme", "RRP", "partitioning scheme")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "generation goroutines for this rank (0 = GOMAXPROCS)")
 		out       = flag.String("o", "", "output shard file (binary edge list; default stdout)")
 		stats     = flag.Bool("stats", false, "print rank and cluster statistics to stderr")
 		metrics   = flag.String("metrics", "", "write this rank's metrics JSON to this file (\"-\" = stderr)")
@@ -79,6 +80,7 @@ func main() {
 		Params:          model.Params{N: *n, X: *x, P: *p},
 		Part:            part,
 		Seed:            *seed,
+		Workers:         *workers,
 		CollectNodeLoad: *metrics != "",
 	})
 	if err != nil {

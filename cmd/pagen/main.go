@@ -28,6 +28,7 @@ func main() {
 		x        = flag.Int("x", 4, "edges per new node")
 		p        = flag.Float64("p", 0.5, "direct-attachment probability (0.5 = exact BA)")
 		ranks    = flag.Int("ranks", 4, "number of parallel ranks")
+		workers  = flag.Int("workers", 0, "generation goroutines per rank (0 = GOMAXPROCS)")
 		scheme   = flag.String("scheme", "RRP", "partitioning scheme: UCP, LCP, RRP, ExactCP")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		out      = flag.String("o", "", "output file (default stdout)")
@@ -42,8 +43,8 @@ func main() {
 	if *ranks < 1 {
 		fatal(fmt.Errorf("-ranks %d: need at least 1 rank", *ranks))
 	}
-	cfg := pagen.Config{N: *n, X: *x, P: *p, Ranks: *ranks, Scheme: *scheme, Seed: *seed,
-		CollectNodeLoad: *metrics != ""}
+	cfg := pagen.Config{N: *n, X: *x, P: *p, Ranks: *ranks, Workers: *workers,
+		Scheme: *scheme, Seed: *seed, CollectNodeLoad: *metrics != ""}
 
 	if *seq && *metrics != "" {
 		fatal(fmt.Errorf("-metrics needs the parallel engine (drop -seq)"))

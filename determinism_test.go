@@ -7,16 +7,16 @@ import (
 	"pagen/internal/bench"
 )
 
-// Single-rank runs are fully deterministic: one goroutine consumes the
-// per-node RNG streams in node order, so the emitted edge stream is a
-// pure function of (n, x, seed). These fingerprints were captured from
-// the pre-optimisation engine; the zero-allocation hot path (compact
-// codec, pooled frames, flat waiter queues, parallel merge) must not
-// move them by a single byte.
-//
-// Multi-rank output is NOT pinned: resolved messages arrive in
-// scheduling-dependent order, and each arrival consumes the receiving
-// rank's retry stream, so the edge set varies run to run by design.
+// Output is fully deterministic: every attachment draw — including
+// duplicate retries — comes from the drawing node's own RNG stream, and
+// each node's edge sequence is generated strictly in order (suspending
+// and resuming on unresolved copy sources). The emitted graph is
+// therefore a pure function of (n, x, p, seed), independent of rank
+// count, worker count, partition scheme and message schedule. These
+// fingerprints were captured from the pre-optimisation single-threaded
+// engine; neither the zero-allocation hot path (compact codec, pooled
+// frames, flat waiter queues, parallel merge) nor the worker-sharded
+// generation loop may move them by a single byte, at any worker count.
 func TestSingleRankFingerprintPinned(t *testing.T) {
 	cases := []struct {
 		n    int64
@@ -28,15 +28,43 @@ func TestSingleRankFingerprintPinned(t *testing.T) {
 		{n: 50_000, x: 3, seed: 7, want: 0x13f686b646e23fee},
 	}
 	for _, c := range cases {
-		t.Run(fmt.Sprintf("n=%d/x=%d/seed=%d", c.n, c.x, c.seed), func(t *testing.T) {
-			got, err := bench.Fingerprint(c.n, c.x, 1, c.seed)
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("n=%d/x=%d/seed=%d/workers=%d", c.n, c.x, c.seed, workers), func(t *testing.T) {
+				got, err := bench.FingerprintAt(c.n, c.x, 1, workers, c.seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != c.want {
+					t.Fatalf("single-rank edge-stream fingerprint = %016x, want %016x (output no longer byte-identical)", got, c.want)
+				}
+			})
+		}
+	}
+}
+
+// Worker-count invariance at every rank count: the order-insensitive
+// multi-rank fingerprint must match the workers=1 fingerprint for the
+// same (n, x, ranks, seed) at 2, 4 and 8 workers per rank.
+func TestWorkerCountInvariantFingerprint(t *testing.T) {
+	const (
+		n    = int64(60_000)
+		x    = 3
+		seed = uint64(11)
+	)
+	for _, ranks := range []int{1, 2, 4} {
+		base, err := bench.FingerprintAt(n, x, ranks, 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got, err := bench.FingerprintAt(n, x, ranks, workers, seed)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got != c.want {
-				t.Fatalf("single-rank edge-stream fingerprint = %016x, want %016x (output no longer byte-identical)", got, c.want)
+			if got != base {
+				t.Fatalf("ranks=%d: fingerprint %016x at workers=%d, want %016x (workers=1)", ranks, got, workers, base)
 			}
-		})
+		}
 	}
 }
 

@@ -20,6 +20,8 @@ import (
 // results of the paper experiments.
 type HotPathPoint struct {
 	Ranks         int     `json:"ranks"`
+	Workers       int     `json:"workers"`
+	PollEvery     int     `json:"poll_every,omitempty"`
 	N             int64   `json:"n"`
 	X             int     `json:"x"`
 	Edges         int64   `json:"edges"`
@@ -42,66 +44,107 @@ type HotPathReport struct {
 	Points     []HotPathPoint `json:"points"`
 }
 
+// HotPathConfig describes a hot-path sweep: the cross product of rank,
+// worker and poll-interval settings at fixed n and x. Empty Workers
+// means {1}; empty PollEvery means {core default} (recorded as 0 in the
+// point only when a non-default interval was swept).
+type HotPathConfig struct {
+	N         int64
+	X         int
+	Ranks     []int
+	Workers   []int
+	PollEvery []int
+	Seed      uint64
+}
+
 // HotPath measures the generation hot path at n nodes, x attachments per
-// node, for each rank count in ranks. Allocations are measured process
-// wide (runtime mallocs delta across the run), so the numbers include
-// every layer: engine, communicator, codec and transport.
+// node, for each rank count in ranks, at one worker per rank. It is the
+// single-axis wrapper around HotPathSweep kept for existing callers.
 func HotPath(n int64, x int, ranks []int, seed uint64) (HotPathReport, error) {
+	return HotPathSweep(HotPathConfig{N: n, X: x, Ranks: ranks, Seed: seed})
+}
+
+// HotPathSweep measures the generation hot path over the cross product
+// of cfg.Ranks × cfg.Workers × cfg.PollEvery. Allocations are measured
+// process wide (runtime mallocs delta across the run), so the numbers
+// include every layer: engine, workers, communicator, codec and
+// transport.
+func HotPathSweep(cfg HotPathConfig) (HotPathReport, error) {
 	rep := HotPathReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	pr := model.Params{N: n, X: x, P: 0.5}
+	pr := model.Params{N: cfg.N, X: cfg.X, P: 0.5}
 	if err := pr.Validate(); err != nil {
 		return rep, err
 	}
-	for _, p := range ranks {
-		part, err := partition.New(partition.KindRRP, n, p)
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{1}
+	}
+	polls := cfg.PollEvery
+	if len(polls) == 0 {
+		polls = []int{core.DefaultPollEvery}
+	}
+	for _, p := range cfg.Ranks {
+		part, err := partition.New(partition.KindRRP, cfg.N, p)
 		if err != nil {
 			return rep, err
 		}
-		// Warm run so pools and lazily-grown structures reach steady
-		// state before the measured run.
-		if _, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed}, false); err != nil {
-			return rep, err
-		}
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed}, false)
-		if err != nil {
-			return rep, err
-		}
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&after)
+		for _, nw := range workers {
+			for _, pe := range polls {
+				opts := core.Options{
+					Params: pr, Part: part, Seed: cfg.Seed,
+					Workers: nw, PollEvery: pe,
+				}
+				// Warm run so pools and lazily-grown structures reach
+				// steady state before the measured run.
+				if _, err := core.Run(opts, false); err != nil {
+					return rep, err
+				}
+				runtime.GC()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				res, err := core.Run(opts, false)
+				if err != nil {
+					return rep, err
+				}
+				elapsed := time.Since(start)
+				runtime.ReadMemStats(&after)
 
-		var frames, bytes, msgs, edges int64
-		for _, st := range res.Ranks {
-			frames += st.Comm.FramesSent
-			bytes += st.Comm.BytesSent
-			msgs += st.Comm.MessagesSent()
-			edges += st.Edges
+				var frames, bytes, msgs, edges int64
+				for _, st := range res.Ranks {
+					frames += st.Comm.FramesSent
+					bytes += st.Comm.BytesSent
+					msgs += st.Comm.MessagesSent()
+					edges += st.Edges
+				}
+				pt := HotPathPoint{
+					Ranks:         p,
+					Workers:       nw,
+					N:             cfg.N,
+					X:             cfg.X,
+					Edges:         edges,
+					ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+					NsPerEdge:     float64(elapsed.Nanoseconds()) / float64(edges),
+					AllocsPerEdge: float64(after.Mallocs-before.Mallocs) / float64(edges),
+					FramesSent:    frames,
+					BytesSent:     bytes,
+				}
+				if pe != core.DefaultPollEvery {
+					pt.PollEvery = pe
+				}
+				if frames > 0 {
+					pt.BytesPerFrame = float64(bytes) / float64(frames)
+					pt.MsgsPerFrame = float64(msgs) / float64(frames)
+				}
+				if msgs > 0 {
+					pt.BytesPerMsg = float64(bytes) / float64(msgs)
+				}
+				rep.Points = append(rep.Points, pt)
+			}
 		}
-		pt := HotPathPoint{
-			Ranks:         p,
-			N:             n,
-			X:             x,
-			Edges:         edges,
-			ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
-			NsPerEdge:     float64(elapsed.Nanoseconds()) / float64(edges),
-			AllocsPerEdge: float64(after.Mallocs-before.Mallocs) / float64(edges),
-			FramesSent:    frames,
-			BytesSent:     bytes,
-		}
-		if frames > 0 {
-			pt.BytesPerFrame = float64(bytes) / float64(frames)
-			pt.MsgsPerFrame = float64(msgs) / float64(frames)
-		}
-		if msgs > 0 {
-			pt.BytesPerMsg = float64(bytes) / float64(msgs)
-		}
-		rep.Points = append(rep.Points, pt)
 	}
 	return rep, nil
 }
@@ -140,12 +183,16 @@ func ReadHotPathJSON(path string) (*HotPathReport, error) {
 
 // WriteHotPath prints a hot-path report as a TSV table.
 func WriteHotPath(w io.Writer, rep HotPathReport) error {
-	if _, err := fmt.Fprintln(w, "ranks\tn\tx\twall_ms\tns_per_edge\tallocs_per_edge\tbytes_per_frame\tmsgs_per_frame\tbytes_per_msg"); err != nil {
+	if _, err := fmt.Fprintln(w, "ranks\tworkers\tn\tx\twall_ms\tns_per_edge\tallocs_per_edge\tbytes_per_frame\tmsgs_per_frame\tbytes_per_msg"); err != nil {
 		return err
 	}
 	for _, pt := range rep.Points {
-		if _, err := fmt.Fprintf(w, "%d\t%d\t%d\t%.1f\t%.1f\t%.4f\t%.1f\t%.1f\t%.2f\n",
-			pt.Ranks, pt.N, pt.X, pt.ElapsedMS, pt.NsPerEdge, pt.AllocsPerEdge,
+		workers := pt.Workers
+		if workers == 0 {
+			workers = 1 // reports written before the workers sweep existed
+		}
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.1f\t%.1f\t%.4f\t%.1f\t%.1f\t%.2f\n",
+			pt.Ranks, workers, pt.N, pt.X, pt.ElapsedMS, pt.NsPerEdge, pt.AllocsPerEdge,
 			pt.BytesPerFrame, pt.MsgsPerFrame, pt.BytesPerMsg); err != nil {
 			return err
 		}
@@ -153,13 +200,22 @@ func WriteHotPath(w io.Writer, rep HotPathReport) error {
 	return nil
 }
 
-// Fingerprint hashes the output graph of a run — the exactness regression
-// check behind "single-rank output is byte-identical across hot-path
-// optimisations". For ranks == 1 the hash is order-sensitive (FNV-1a over
-// the edge stream, which single-rank runs emit deterministically); for
-// ranks > 1 it is an order-insensitive XOR of per-edge hashes, since
-// multi-rank merge order is set by rank, not by time.
+// Fingerprint hashes the output graph of a run at one worker per rank —
+// the exactness regression check behind "single-rank output is
+// byte-identical across hot-path optimisations". See FingerprintAt for
+// the hash construction.
 func Fingerprint(n int64, x int, ranks int, seed uint64) (uint64, error) {
+	return FingerprintAt(n, x, ranks, 1, seed)
+}
+
+// FingerprintAt hashes the output graph of a run at an explicit worker
+// count — the regression check behind "output is byte-identical across
+// worker counts". For ranks == 1 the hash is order-sensitive (FNV-1a
+// over the edge stream, which single-rank runs emit in node order at
+// any worker count); for ranks > 1 it is an order-insensitive XOR of
+// per-edge hashes, since multi-rank merge order is set by rank, not by
+// time.
+func FingerprintAt(n int64, x int, ranks, workers int, seed uint64) (uint64, error) {
 	pr := model.Params{N: n, X: x, P: 0.5}
 	if err := pr.Validate(); err != nil {
 		return 0, err
@@ -168,7 +224,7 @@ func Fingerprint(n int64, x int, ranks int, seed uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed}, false)
+	res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed, Workers: workers}, false)
 	if err != nil {
 		return 0, err
 	}

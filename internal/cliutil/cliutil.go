@@ -28,6 +28,12 @@ func ParseKinds(s string) ([]partition.Kind, error) {
 
 // ParseInts parses a comma-separated list of positive integers.
 func ParseInts(s string) ([]int, error) {
+	return ParseIntsMin(s, 1)
+}
+
+// ParseIntsMin parses a comma-separated list of integers, each at least
+// min (min 0 admits sentinel values like the adaptive poll interval).
+func ParseIntsMin(s string, min int) ([]int, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, fmt.Errorf("cliutil: empty integer list")
 	}
@@ -37,8 +43,8 @@ func ParseInts(s string) ([]int, error) {
 		if err != nil {
 			return nil, err
 		}
-		if v <= 0 {
-			return nil, fmt.Errorf("cliutil: value %d must be positive", v)
+		if v < min {
+			return nil, fmt.Errorf("cliutil: value %d must be at least %d", v, min)
 		}
 		out = append(out, v)
 	}

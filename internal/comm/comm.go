@@ -5,6 +5,13 @@
 // operation (Section 3.5.1 "Message Buffering"), message counters for the
 // load analysis of Section 4.6, and batch-oriented receive.
 //
+// Concurrency: the send side is safe for concurrent use — each
+// destination's buffer is an independently locked stripe and the
+// counters are atomic — so a rank's worker goroutines share one Comm.
+// The receive side (Poll, Wait, DecodeFrame) is single-consumer: exactly
+// one goroutine per rank (the dispatcher, or the lone worker) drains the
+// transport.
+//
 // Flush discipline (engine responsibility, supported here): the paper's
 // Section 3.5.2 deadlock rule — resolved messages must leave the buffer
 // after processing every received group — maps to calling FlushAll before
@@ -15,6 +22,8 @@ package comm
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pagen/internal/msg"
 	"pagen/internal/transport"
@@ -60,14 +69,33 @@ func (c Counters) MessagesRecv() int64 {
 	return c.RequestsRecv + c.ResolvedRecv + c.ControlRecv
 }
 
-// Comm is a buffering communicator bound to one transport endpoint. It is
-// not safe for concurrent use: each rank's engine owns its Comm.
+// stripe is one destination's send buffer with its lock. Flush holds the
+// lock through the transport send so per-destination frame order matches
+// buffer order.
+type stripe struct {
+	mu  sync.Mutex
+	buf []msg.Message
+}
+
+// Comm is a buffering communicator bound to one transport endpoint.
 type Comm struct {
+	// send-side counters, atomic (concurrent senders).
+	requestsSent int64
+	resolvedSent int64
+	controlSent  int64
+	framesSent   int64
+	bytesSent    int64
+	// receive-side counters, single consumer.
+	requestsRecv int64
+	resolvedRecv int64
+	controlRecv  int64
+	framesRecv   int64
+	bytesRecv    int64
+
 	tr         transport.Transport
 	cap        int
-	bufs       [][]msg.Message
-	counters   Counters
-	requestsTo []int64
+	stripes    []stripe
+	requestsTo []int64 // atomic
 	scratch    []msg.Message
 	// drainMean is an exponential moving average of messages per drain,
 	// used to shrink scratch after an atypically large backlog so one
@@ -84,7 +112,7 @@ func New(tr transport.Transport, cfg Config) *Comm {
 	return &Comm{
 		tr:         tr,
 		cap:        capacity,
-		bufs:       make([][]msg.Message, tr.Size()),
+		stripes:    make([]stripe, tr.Size()),
 		requestsTo: make([]int64, tr.Size()),
 	}
 }
@@ -95,15 +123,34 @@ func (c *Comm) Rank() int { return c.tr.Rank() }
 // Size returns the number of ranks.
 func (c *Comm) Size() int { return c.tr.Size() }
 
-// Counters returns a snapshot of the traffic counters.
-func (c *Comm) Counters() Counters { return c.counters }
+// Counters returns a snapshot of the traffic counters. Send-side counts
+// are read atomically; receive-side counts are exact once the consumer
+// goroutine has quiesced (the engine snapshots after its run ends).
+func (c *Comm) Counters() Counters {
+	return Counters{
+		RequestsSent: atomic.LoadInt64(&c.requestsSent),
+		RequestsRecv: c.requestsRecv,
+		ResolvedSent: atomic.LoadInt64(&c.resolvedSent),
+		ResolvedRecv: c.resolvedRecv,
+		ControlSent:  atomic.LoadInt64(&c.controlSent),
+		ControlRecv:  c.controlRecv,
+		FramesSent:   atomic.LoadInt64(&c.framesSent),
+		FramesRecv:   c.framesRecv,
+		BytesSent:    atomic.LoadInt64(&c.bytesSent),
+		BytesRecv:    c.bytesRecv,
+	}
+}
 
 // RequestsTo returns a copy of the per-destination request counts — one
 // row of the cluster's request-traffic matrix. Under consecutive
 // partitioning the matrix is strictly lower-triangular (Section 4.6.2:
 // processor i requests only from processors 0..i-1).
 func (c *Comm) RequestsTo() []int64 {
-	return append([]int64(nil), c.requestsTo...)
+	out := make([]int64, len(c.requestsTo))
+	for i := range out {
+		out[i] = atomic.LoadInt64(&c.requestsTo[i])
+	}
+	return out
 }
 
 // RequestsToView returns the live per-destination request counts without
@@ -113,25 +160,58 @@ func (c *Comm) RequestsTo() []int64 {
 // mid-run use RequestsTo.
 func (c *Comm) RequestsToView() []int64 { return c.requestsTo }
 
-// Send buffers m for destination to, flushing automatically when the
-// buffer reaches capacity.
-func (c *Comm) Send(to int, m msg.Message) error {
-	if to < 0 || to >= len(c.bufs) {
-		return fmt.Errorf("comm: send to rank %d outside [0,%d)", to, len(c.bufs))
-	}
+// count tallies one outgoing message.
+func (c *Comm) count(to int, m msg.Message) {
 	switch m.Kind {
 	case msg.KindRequest:
-		c.counters.RequestsSent++
-		c.requestsTo[to]++
+		atomic.AddInt64(&c.requestsSent, 1)
+		atomic.AddInt64(&c.requestsTo[to], 1)
 	case msg.KindResolved:
-		c.counters.ResolvedSent++
+		atomic.AddInt64(&c.resolvedSent, 1)
 	default:
-		c.counters.ControlSent++
+		atomic.AddInt64(&c.controlSent, 1)
 	}
-	c.bufs[to] = append(c.bufs[to], m)
-	if len(c.bufs[to]) >= c.cap {
-		return c.Flush(to)
+}
+
+// Send buffers m for destination to, flushing automatically when the
+// buffer reaches capacity. Safe for concurrent use.
+func (c *Comm) Send(to int, m msg.Message) error {
+	if to < 0 || to >= len(c.stripes) {
+		return fmt.Errorf("comm: send to rank %d outside [0,%d)", to, len(c.stripes))
 	}
+	c.count(to, m)
+	s := &c.stripes[to]
+	s.mu.Lock()
+	s.buf = append(s.buf, m)
+	var err error
+	if len(s.buf) >= c.cap {
+		err = c.flushLocked(to, s)
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// SendBatch buffers every message for destination to under one lock
+// acquisition — the merge path for per-worker send scratch. Capacity
+// flushes happen at the same message boundaries Send would flush at, so
+// framing (and the BufferCap ablation) is independent of batching.
+func (c *Comm) SendBatch(to int, ms []msg.Message) error {
+	if to < 0 || to >= len(c.stripes) {
+		return fmt.Errorf("comm: send to rank %d outside [0,%d)", to, len(c.stripes))
+	}
+	s := &c.stripes[to]
+	s.mu.Lock()
+	for _, m := range ms {
+		c.count(to, m)
+		s.buf = append(s.buf, m)
+		if len(s.buf) >= c.cap {
+			if err := c.flushLocked(to, s); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+	}
+	s.mu.Unlock()
 	return nil
 }
 
@@ -139,34 +219,51 @@ func (c *Comm) Send(to int, m msg.Message) error {
 // destination first so per-pair ordering is preserved. Used for control
 // messages that must not linger in a buffer.
 func (c *Comm) SendNow(to int, m msg.Message) error {
-	if err := c.Send(to, m); err != nil {
-		return err
+	if to < 0 || to >= len(c.stripes) {
+		return fmt.Errorf("comm: send to rank %d outside [0,%d)", to, len(c.stripes))
 	}
-	return c.Flush(to)
+	c.count(to, m)
+	s := &c.stripes[to]
+	s.mu.Lock()
+	s.buf = append(s.buf, m)
+	err := c.flushLocked(to, s)
+	s.mu.Unlock()
+	return err
 }
 
-// Flush transmits the buffered messages for rank to, if any, as one frame.
-func (c *Comm) Flush(to int) error {
-	if to < 0 || to >= len(c.bufs) {
-		return fmt.Errorf("comm: flush rank %d outside [0,%d)", to, len(c.bufs))
-	}
-	if len(c.bufs[to]) == 0 {
+// flushLocked transmits the stripe's buffered messages as one frame.
+// Callers hold the stripe lock, which extends over the transport send so
+// frames leave in buffer order.
+func (c *Comm) flushLocked(to int, s *stripe) error {
+	if len(s.buf) == 0 {
 		return nil
 	}
 	// Lease the frame buffer from the transport pool (the receiving
 	// decode path releases it) and encode compactly: at steady state a
 	// flush allocates nothing.
-	frame := transport.LeaseFrame(1 + len(c.bufs[to])*10)
-	frame = msg.AppendEncodeBatchV2(frame, c.bufs[to])
-	c.bufs[to] = c.bufs[to][:0]
-	c.counters.FramesSent++
-	c.counters.BytesSent += int64(len(frame))
+	frame := transport.LeaseFrame(1 + len(s.buf)*10)
+	frame = msg.AppendEncodeBatchV2(frame, s.buf)
+	s.buf = s.buf[:0]
+	atomic.AddInt64(&c.framesSent, 1)
+	atomic.AddInt64(&c.bytesSent, int64(len(frame)))
 	return c.tr.Send(to, frame)
+}
+
+// Flush transmits the buffered messages for rank to, if any, as one frame.
+func (c *Comm) Flush(to int) error {
+	if to < 0 || to >= len(c.stripes) {
+		return fmt.Errorf("comm: flush rank %d outside [0,%d)", to, len(c.stripes))
+	}
+	s := &c.stripes[to]
+	s.mu.Lock()
+	err := c.flushLocked(to, s)
+	s.mu.Unlock()
+	return err
 }
 
 // FlushAll transmits every non-empty buffer.
 func (c *Comm) FlushAll() error {
-	for to := range c.bufs {
+	for to := range c.stripes {
 		if err := c.Flush(to); err != nil {
 			return err
 		}
@@ -175,7 +272,13 @@ func (c *Comm) FlushAll() error {
 }
 
 // Buffered returns the number of messages currently buffered for to.
-func (c *Comm) Buffered(to int) int { return len(c.bufs[to]) }
+func (c *Comm) Buffered(to int) int {
+	s := &c.stripes[to]
+	s.mu.Lock()
+	n := len(s.buf)
+	s.mu.Unlock()
+	return n
+}
 
 // decode appends the decoded messages of f to dst, updating counters.
 // It consumes the frame: the buffer returns to the transport pool (the
@@ -188,16 +291,16 @@ func (c *Comm) decode(dst []msg.Message, f transport.Frame) ([]msg.Message, erro
 	if err != nil {
 		return dst, fmt.Errorf("comm: frame from rank %d: %w", f.From, err)
 	}
-	c.counters.FramesRecv++
-	c.counters.BytesRecv += size
+	c.framesRecv++
+	c.bytesRecv += size
 	for _, m := range dst[before:] {
 		switch m.Kind {
 		case msg.KindRequest:
-			c.counters.RequestsRecv++
+			c.requestsRecv++
 		case msg.KindResolved:
-			c.counters.ResolvedRecv++
+			c.resolvedRecv++
 		default:
-			c.counters.ControlRecv++
+			c.controlRecv++
 		}
 	}
 	return dst, nil
@@ -226,7 +329,7 @@ func (c *Comm) noteDrain() {
 
 // Poll drains every frame that is immediately available, returning the
 // decoded messages (nil if none). The returned slice is reused by the
-// next Poll/Wait call.
+// next Poll/Wait/DecodeFrame call. Single consumer.
 func (c *Comm) Poll() ([]msg.Message, error) {
 	c.resetScratch()
 	for {
@@ -251,13 +354,23 @@ func (c *Comm) Poll() ([]msg.Message, error) {
 
 // Wait blocks for at least one frame, then also drains whatever else is
 // immediately available, returning the decoded messages. The returned
-// slice is reused by the next Poll/Wait call.
+// slice is reused by the next Poll/Wait/DecodeFrame call. Single consumer.
 func (c *Comm) Wait() ([]msg.Message, error) {
 	f, err := c.tr.Recv()
 	if err != nil {
 		return nil, err
 	}
+	return c.DecodeFrame(f)
+}
+
+// DecodeFrame decodes a frame the consumer received directly from the
+// transport (the dispatcher's requestable-receive path), then also
+// drains whatever else is immediately available — the same batch shape
+// Wait produces. The returned slice is reused by the next
+// Poll/Wait/DecodeFrame call. Single consumer.
+func (c *Comm) DecodeFrame(f transport.Frame) ([]msg.Message, error) {
 	c.resetScratch()
+	var err error
 	c.scratch, err = c.decode(c.scratch, f)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,20 @@
 // points the paper identifies (Algorithm 3.2 lines 7 and 22) by
 // re-running the attachment step.
 //
+// Within a rank, the local node range is sharded across Options.Workers
+// goroutines (the shared-memory multiplier the paper's one-rank-per-core
+// mapping leaves on the table). Each worker owns a contiguous block of
+// local node indices and is the single writer for those nodes' slots,
+// waiter queues and suspension records; cross-worker reads of the shared
+// F table go through atomics, and cross-worker resolution traffic travels
+// over bounded MPSC inboxes, so the Q_{k,l} cascade stays single-writer
+// per shard. Every random draw — including duplicate retries — comes from
+// the owning node's private stream and nodes advance strictly edge by
+// edge (a node blocked on edge e suspends, storing its stream, and
+// resumes exactly there), so the output graph is a pure function of
+// (n, x, p, seed): independent of the worker count, rank count,
+// partition and message schedule.
+//
 // Termination uses the monotonicity of the unresolved-slot count: a
 // rank's count never increases once its generation loop has initiated
 // every local slot, so when it hits zero the rank reports done to rank 0,
@@ -21,6 +35,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pagen/internal/comm"
@@ -30,7 +47,6 @@ import (
 	"pagen/internal/obs"
 	"pagen/internal/partition"
 	"pagen/internal/transport"
-	"pagen/internal/xrand"
 )
 
 // Options configures a parallel generation run.
@@ -39,36 +55,54 @@ type Options struct {
 	Params model.Params
 	// Part assigns nodes to ranks. Its P() fixes the number of ranks.
 	Part partition.Scheme
-	// Seed seeds the per-rank independent random streams.
+	// Seed seeds the per-node independent random streams.
 	Seed uint64
+	// Workers is the number of generation goroutines per rank. Zero or
+	// negative selects runtime.GOMAXPROCS(0); it is clamped to the
+	// rank's local node count. The output graph is identical for every
+	// worker count.
+	Workers int
 	// BufferCap is the per-destination message-buffer capacity
 	// (comm.DefaultBufferCap if zero; 1 disables buffering).
 	BufferCap int
 	// PollEvery is the number of local nodes processed between inbox
-	// polls during the generation loop (DefaultPollEvery if zero).
-	// Polling too rarely lets request queues grow; the ablation
-	// benchmark sweeps this.
+	// polls during the generation loop. Zero (or negative) selects the
+	// adaptive policy: the interval starts at DefaultPollEvery and is
+	// halved (toward 16) while the pending-waiter depth is high, doubled
+	// (toward 1024) while it is zero. Polling too rarely lets request
+	// queues grow; the ablation benchmark sweeps this.
 	PollEvery int
 	// Trace, when non-nil, receives the per-slot attachment decisions.
-	// Slot ranges written by different ranks are disjoint, so a single
-	// shared trace is written without locking.
+	// Slot ranges written by different ranks (and by different workers
+	// within a rank) are disjoint, so a single shared trace is written
+	// without locking.
 	Trace *model.Trace
 	// Sink, when non-nil, receives every edge as it is finalised
 	// instead of the engine accumulating edges in memory — the paper's
 	// Section 3.5 "generate networks on the fly and analyze without
-	// performing disk I/O" mode. It is called concurrently from rank
-	// goroutines (the rank argument identifies the caller), so it must
-	// be safe for concurrent use or dispatch on rank.
+	// performing disk I/O" mode. It is called concurrently from the
+	// worker goroutines of every rank (the rank argument identifies the
+	// owning rank), so it must be safe for concurrent use.
 	Sink func(rank int, e graph.Edge)
 	// CollectNodeLoad enables per-node received-message-load counting
 	// (the empirical M_k of Lemma 3.4) in RankStats.NodeLoad. It costs
-	// one slice increment per copy query plus 8 bytes per local node,
+	// one counter increment per copy query plus 8 bytes per local node,
 	// so it is opt-in.
 	CollectNodeLoad bool
 }
 
-// DefaultPollEvery is the default generation-loop polling interval.
+// DefaultPollEvery is the generation-loop polling interval the adaptive
+// policy starts from (and the old fixed default).
 const DefaultPollEvery = 64
+
+// Adaptive PollEvery policy bounds: the interval is halved toward
+// adaptiveMinPoll while more than adaptiveHighWater waiter entries are
+// pending, and doubled toward adaptiveMaxPoll while none are.
+const (
+	adaptiveMinPoll   = 16
+	adaptiveMaxPoll   = 1024
+	adaptiveHighWater = 128
+)
 
 // RankStats are one rank's load and traffic statistics — the measurements
 // behind Figures 5-7.
@@ -84,7 +118,8 @@ type RankStats struct {
 	// resolved and had to wait in a Q_{k,l} queue.
 	QueuedWaits int64
 	// LocalWaits counts copy attachments whose source was local but
-	// unresolved (same-rank dependency-chain waits).
+	// unresolved (same-rank dependency-chain waits, including
+	// cross-worker waits inside the rank).
 	LocalWaits int64
 	// RequestsTo is the per-destination request count — this rank's row
 	// of the request-traffic matrix (strictly lower-triangular under
@@ -95,14 +130,16 @@ type RankStats struct {
 	// of the Section 3.4 claim that waiting never idles a processor.
 	MaxPendingSlots int64
 	// WaitChain is the histogram of Q_{k,l} waiter-queue lengths
-	// observed as each local slot resolved (0 = nobody was waiting).
-	// Theorem 3.3's O(log n) dependency-chain bound keeps it shallow.
+	// observed as each local slot resolved (0 = nobody was waiting),
+	// merged across the rank's workers. Theorem 3.3's O(log n)
+	// dependency-chain bound keeps it shallow.
 	WaitChain obs.Histogram
 	// NodeLoad is the per-local-node received-message load — the
 	// empirical M_k of Lemma 3.4, indexed by the partition's local node
 	// index. Nil unless Options.CollectNodeLoad was set.
 	NodeLoad []int64
-	// BusyTime is wall time minus time spent blocked in Wait.
+	// BusyTime is wall time minus time spent blocked waiting for
+	// messages (the dispatcher's blocked time when workers > 1).
 	BusyTime time.Duration
 	// WallTime is the rank's total engine time.
 	WallTime time.Duration
@@ -165,10 +202,21 @@ func (s RankStats) TotalLoad() int64 {
 // RankResult is one rank's output.
 type RankResult struct {
 	Stats RankStats
-	// Edges are the edges whose lower... higher endpoint (the attaching
-	// node) is owned by this rank; the union over ranks is the graph.
+	// Edges are the edges whose higher endpoint (the attaching node) is
+	// owned by this rank; the union over ranks is the graph.
 	Edges []graph.Edge
 }
+
+// Internal message kinds for same-rank cross-worker traffic. They share
+// msg.Message as the envelope but never reach the codec or the wire:
+// they only travel through worker inboxes.
+const (
+	// kindReqLocal is a same-rank <request>: worker asking a sibling
+	// worker for one of its slots.
+	kindReqLocal msg.Kind = 100 + iota
+	// kindResLocal is a same-rank <resolved>: sibling worker answering.
+	kindResLocal
+)
 
 // engine is the per-rank state machine.
 type engine struct {
@@ -179,46 +227,57 @@ type engine struct {
 	x64  int64
 	// seed, prob and sink are hoisted from opts so the generation loop
 	// reads them without chasing the Options struct per node.
-	seed uint64
-	prob float64
-	sink func(rank int, e graph.Edge)
-	part partition.Scheme
-	cm   *comm.Comm
-	// retryRng drives the re-drawn steps of deferred duplicate retries
-	// (Algorithm 3.2 lines 27-28). Generation-time draws use per-node
-	// streams instead — see place — so that the output graph does not
-	// depend on the partitioning for x = 1, and single-rank runs
-	// reproduce the sequential copy model exactly.
-	retryRng *xrand.Rand
-	trace    *model.Trace
+	seed  uint64
+	prob  float64
+	sink  func(rank int, e graph.Edge)
+	part  partition.Scheme
+	tr    transport.Transport
+	cm    *comm.Comm
+	trace *model.Trace
 
-	// f holds F_t(e) at f[part.Index(rank,t)*x + e]; -1 = NILL.
+	size int64 // local node count
+	nw   int   // worker count (>= 1, <= size when size > 0)
+	blk  int64 // local indices per worker block
+	// concurrent is nw > 1: selects atomic slot access and the
+	// dispatcher/inbox topology instead of the inline single-worker loop.
+	concurrent bool
+
+	// f holds F_t(e) at f[part.Index(rank,t)*x + e]; -1 = NILL. Each
+	// slot is written exactly once (-1 -> v) by its owning worker; when
+	// concurrent, writes and cross-worker reads are atomic.
 	f []int64
 	// nodeLoad counts copy queries received per local node (indexed
 	// like f, but per node not per slot); nil unless CollectNodeLoad.
 	nodeLoad []int64
-	// waiters holds the per-slot resolution queues (Q_{k,l}) in a flat
-	// open-addressed table over a pooled arena — no per-slot allocation.
-	waiters waiterTable
+
+	workers []*worker
+
 	// pendingWaiters tracks the current and maximum number of queued
-	// waiter entries across all local queues.
+	// waiter entries across all local queues (atomic when concurrent).
 	pendingWaiters    int64
 	maxPendingWaiters int64
-	// unresolved counts local slots still NILL. Monotone non-increasing
-	// after the generation loop has initiated every slot.
-	unresolved int64
 
+	// activeWorkers counts workers that still have unresolved local
+	// slots; the decrement that reaches zero reports the rank done.
+	activeWorkers int32
+	// doneSent latches the rank's done report (CAS 0 -> 1).
+	doneSent int32
+
+	// abortCh broadcasts the first failure to all worker goroutines.
+	abortOnce sync.Once
+	abortCh   chan struct{}
+	errMu     sync.Mutex
+	firstErr  error
+
+	// edges is the rank's output (reconstructed from f after the
+	// protocol ends when no sink streams them).
 	edges     []graph.Edge
-	edgeCount int64
+	bootEdges int64 // edges emitted by bootstrap (sink mode accounting)
 	stats     RankStats
 	blocked   time.Duration
 
-	// doneFlag records that this rank already reported done.
-	doneFlag bool
-	// sendErr latches the first send failure from the resolution
-	// cascade, whose call sites cannot return errors directly.
-	sendErr error
-	// coordinator state (rank 0 only)
+	// coordinator state (dispatcher or single-worker loop).
+	doneFlag  bool
 	doneRanks int
 	stopped   bool
 }
@@ -235,15 +294,10 @@ func RunRank(tr transport.Transport, opts Options) (*RankResult, error) {
 	if err := e.run(); err != nil {
 		return nil, err
 	}
-	e.stats.Rank = e.rank
-	e.stats.Nodes = e.part.Size(e.rank)
-	e.stats.Edges = e.edgeCount
-	e.stats.Comm = e.cm.Counters()
-	// The engine owns its Comm and never sends again, so take the live
-	// counts instead of copying them.
-	e.stats.RequestsTo = e.cm.RequestsToView()
-	e.stats.MaxPendingSlots = e.maxPendingWaiters
-	e.stats.NodeLoad = e.nodeLoad
+	if e.sink == nil {
+		e.collectEdges()
+	}
+	e.finishStats()
 	return &RankResult{Stats: e.stats, Edges: e.edges}, nil
 }
 
@@ -261,51 +315,150 @@ func newEngine(tr transport.Transport, opts Options) (*engine, error) {
 	if opts.Part.P() != tr.Size() {
 		return nil, fmt.Errorf("core: partition has %d ranks but transport has %d", opts.Part.P(), tr.Size())
 	}
-	if opts.PollEvery <= 0 {
-		opts.PollEvery = DefaultPollEvery
+
+	rank := tr.Rank()
+	size := opts.Part.Size(rank)
+	nw := opts.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if int64(nw) > size {
+		nw = int(size)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	blk := int64(1)
+	if size > 0 {
+		blk = (size + int64(nw) - 1) / int64(nw)
 	}
 
 	e := &engine{
-		opts: opts,
-		rank: tr.Rank(),
-		p:    tr.Size(),
-		x:    opts.Params.X,
-		x64:  int64(opts.Params.X),
-		seed: opts.Seed,
-		prob: opts.Params.P,
-		sink: opts.Sink,
-		part: opts.Part,
-		cm:   comm.New(tr, comm.Config{BufferCap: opts.BufferCap}),
-		// Stream ids >= n are reserved for rank-level streams; ids
-		// < n are the per-node generation streams.
-		retryRng: xrand.NewStream(opts.Seed, uint64(opts.Params.N)+uint64(tr.Rank())),
-		trace:    opts.Trace,
+		opts:       opts,
+		rank:       rank,
+		p:          tr.Size(),
+		x:          opts.Params.X,
+		x64:        int64(opts.Params.X),
+		seed:       opts.Seed,
+		prob:       opts.Params.P,
+		sink:       opts.Sink,
+		part:       opts.Part,
+		tr:         tr,
+		cm:         comm.New(tr, comm.Config{BufferCap: opts.BufferCap}),
+		trace:      opts.Trace,
+		size:       size,
+		nw:         nw,
+		blk:        blk,
+		concurrent: nw > 1,
+		abortCh:    make(chan struct{}),
 	}
-	e.waiters.init()
+	e.workers = make([]*worker, nw)
+	for i := 0; i < nw; i++ {
+		lo := int64(i) * blk
+		hi := lo + blk
+		if hi > size {
+			hi = size
+		}
+		e.workers[i] = newWorker(e, i, lo, hi)
+	}
 	return e, nil
-}
-
-// emit finalises one edge: streamed to the sink when configured,
-// accumulated otherwise.
-func (e *engine) emit(ed graph.Edge) {
-	e.edgeCount++
-	if e.sink != nil {
-		e.sink(e.rank, ed)
-		return
-	}
-	e.edges = append(e.edges, ed)
-}
-
-// trackPending adjusts the queued-waiter gauge and its high-water mark.
-func (e *engine) trackPending(delta int64) {
-	e.pendingWaiters += delta
-	if e.pendingWaiters > e.maxPendingWaiters {
-		e.maxPendingWaiters = e.pendingWaiters
-	}
 }
 
 func (e *engine) slot(t int64, edge int) int64 {
 	return e.part.Index(e.rank, t)*e.x64 + int64(edge)
+}
+
+func (e *engine) localIdx(t int64) int64 { return e.part.Index(e.rank, t) }
+
+// workerOf returns the worker owning local node index idx.
+func (e *engine) workerOf(idx int64) int { return int(idx / e.blk) }
+
+// setSlot publishes F value v for flat slot s. Slots are write-once
+// (-1 -> v); under concurrency the store is atomic so sibling workers'
+// optimistic reads see either NILL or the final value.
+func (e *engine) setSlot(s, v int64) {
+	if e.concurrent {
+		atomic.StoreInt64(&e.f[s], v)
+		return
+	}
+	e.f[s] = v
+}
+
+// noteLoad counts one copy query received by local node index kidx.
+func (e *engine) noteLoad(kidx int64) {
+	if e.nodeLoad == nil {
+		return
+	}
+	if e.concurrent {
+		atomic.AddInt64(&e.nodeLoad[kidx], 1)
+		return
+	}
+	e.nodeLoad[kidx]++
+}
+
+// trackPending adjusts the queued-waiter gauge and its high-water mark.
+func (e *engine) trackPending(delta int64) {
+	if !e.concurrent {
+		e.pendingWaiters += delta
+		if e.pendingWaiters > e.maxPendingWaiters {
+			e.maxPendingWaiters = e.pendingWaiters
+		}
+		return
+	}
+	v := atomic.AddInt64(&e.pendingWaiters, delta)
+	if delta > 0 {
+		for {
+			m := atomic.LoadInt64(&e.maxPendingWaiters)
+			if v <= m || atomic.CompareAndSwapInt64(&e.maxPendingWaiters, m, v) {
+				break
+			}
+		}
+	}
+}
+
+// pendingDepth reads the queued-waiter gauge (adaptive-poll input).
+func (e *engine) pendingDepth() int64 {
+	if e.concurrent {
+		return atomic.LoadInt64(&e.pendingWaiters)
+	}
+	return e.pendingWaiters
+}
+
+// fail latches the first error and aborts every worker goroutine:
+// closing abortCh wakes the dispatcher, closing the inboxes wakes
+// blocked workers.
+func (e *engine) fail(err error) {
+	if err == nil {
+		return
+	}
+	e.errMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.errMu.Unlock()
+	e.abortOnce.Do(func() {
+		close(e.abortCh)
+		for _, w := range e.workers {
+			if w.inbox != nil {
+				w.inbox.close()
+			}
+		}
+	})
+}
+
+func (e *engine) aborted() bool {
+	select {
+	case <-e.abortCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *engine) takeErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
 }
 
 func (e *engine) run() error {
@@ -313,37 +466,183 @@ func (e *engine) run() error {
 	defer func() {
 		e.stats.WallTime = time.Since(start)
 		e.stats.BusyTime = e.stats.WallTime - e.blocked
+		if e.stats.BusyTime < 0 {
+			e.stats.BusyTime = 0
+		}
 	}()
 
 	e.bootstrap()
 
-	// Generation loop: initiate every local slot, polling the inbox
-	// periodically so queued requests from other ranks are answered
-	// while we still generate (the MPI program's interleaving).
-	sincePoll := 0
-	var loopErr error
-	var rng xrand.Rand // reused across nodes; re-seeded per node
+	if !e.concurrent {
+		return e.runSingle()
+	}
+
+	// A rank with no generating nodes (every local node is clique or
+	// bootstrap) reports done straight away; its dispatcher still runs
+	// the termination protocol.
+	if atomic.LoadInt32(&e.activeWorkers) == 0 {
+		e.reportDone()
+	}
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.runConcurrent()
+		}(w)
+	}
+	e.dispatch()
+	wg.Wait()
+	return e.takeErr()
+}
+
+// bootstrap emits clique edges for locally-owned clique nodes, fixes
+// node x's attachments if x is local, and splits the unresolved-slot
+// budget across the workers. It runs on the rank goroutine before any
+// worker starts, so plain writes to f are safe.
+func (e *engine) bootstrap() {
+	e.f = make([]int64, e.size*e.x64)
+	for i := range e.f {
+		e.f[i] = -1
+	}
+	if e.opts.CollectNodeLoad {
+		e.nodeLoad = make([]int64, e.size)
+	}
+	i := int64(0)
 	e.part.ForEach(e.rank, func(t int64) {
-		if loopErr != nil || t <= e.x64 {
-			return // clique and bootstrap nodes were handled above
-		}
-		rng.SeedStream(e.seed, uint64(t))
-		for edge := 0; edge < e.x; edge++ {
-			if err := e.place(t, edge, &rng); err != nil {
-				loopErr = err
-				return
+		idx := i
+		i++
+		switch {
+		case t < e.x64:
+			// Clique node: emit its backward clique edges; it has no
+			// attachment slots (mark them resolved so they never count).
+			for j := int64(0); j < t; j++ {
+				e.bootEmit(graph.Edge{U: t, V: j})
 			}
-		}
-		sincePoll++
-		if sincePoll >= e.opts.PollEvery {
-			sincePoll = 0
-			if err := e.drain(false); err != nil {
-				loopErr = err
+			base := idx * e.x64
+			for edge := 0; edge < e.x; edge++ {
+				e.f[base+int64(edge)] = t // self-marker; never queried
 			}
+		case t == e.x64:
+			base := idx * e.x64
+			for edge := 0; edge < e.x; edge++ {
+				v, _ := e.opts.Params.BootstrapF(t, edge)
+				e.f[base+int64(edge)] = v
+				e.bootEmit(graph.Edge{U: t, V: v})
+				if e.trace != nil {
+					e.trace.RecordBootstrap(t, edge)
+				}
+			}
+		default:
+			e.workers[e.workerOf(idx)].unresolved += e.x64
 		}
 	})
-	if loopErr != nil {
-		return loopErr
+	active := int32(0)
+	for _, w := range e.workers {
+		if w.unresolved > 0 {
+			active++
+		} else {
+			w.doneNoted = true
+		}
+	}
+	atomic.StoreInt32(&e.activeWorkers, active)
+}
+
+// bootEmit streams one bootstrap-time edge to the sink. Without a sink
+// the edge is not stored: collectEdges reconstructs the full edge list
+// from f when the run ends.
+func (e *engine) bootEmit(ed graph.Edge) {
+	e.bootEdges++
+	if e.sink != nil {
+		e.sink(e.rank, ed)
+	}
+}
+
+// collectEdges rebuilds the rank's edge list from the resolved F table in
+// increasing node order — exactly the order the pre-worker engine emitted
+// single-rank edges in, which keeps the order-sensitive single-rank
+// fingerprints byte-identical for every worker count.
+func (e *engine) collectEdges() {
+	e.edges = make([]graph.Edge, 0, e.size*e.x64)
+	e.part.ForEach(e.rank, func(t int64) {
+		if t < e.x64 {
+			for j := int64(0); j < t; j++ {
+				e.edges = append(e.edges, graph.Edge{U: t, V: j})
+			}
+			return
+		}
+		base := e.slot(t, 0)
+		for j := int64(0); j < e.x64; j++ {
+			e.edges = append(e.edges, graph.Edge{U: t, V: e.f[base+j]})
+		}
+	})
+}
+
+// finishStats assembles the rank's statistics from the engine, the
+// communicator and the per-worker counters.
+func (e *engine) finishStats() {
+	e.stats.Rank = e.rank
+	e.stats.Nodes = e.size
+	if e.sink == nil {
+		e.stats.Edges = int64(len(e.edges))
+	} else {
+		e.stats.Edges = e.bootEdges
+		for _, w := range e.workers {
+			e.stats.Edges += w.edgeCount
+		}
+	}
+	for _, w := range e.workers {
+		e.stats.Retries += w.retries
+		e.stats.QueuedWaits += w.queuedWaits
+		e.stats.LocalWaits += w.localWaits
+		e.stats.WaitChain.Merge(w.waitChain)
+	}
+	e.stats.Comm = e.cm.Counters()
+	// The engine owns its Comm and never sends again, so take the live
+	// counts instead of copying them.
+	e.stats.RequestsTo = e.cm.RequestsToView()
+	e.stats.MaxPendingSlots = atomic.LoadInt64(&e.maxPendingWaiters)
+	e.stats.NodeLoad = e.nodeLoad
+}
+
+// reportDone sends the rank's done report exactly once. With workers the
+// report goes through the transport even on rank 0 (a self-send) so the
+// dispatcher — the only goroutine allowed to touch coordinator state —
+// counts it like any other rank's.
+func (e *engine) reportDone() {
+	if !atomic.CompareAndSwapInt32(&e.doneSent, 0, 1) {
+		return
+	}
+	if err := e.cm.SendNow(0, msg.Done(e.rank)); err != nil {
+		e.fail(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Single-worker path: the original inline loop. Generation, message
+// processing and coordination all run on the rank goroutine; no inboxes,
+// no atomics, and — on a single rank — no control traffic at all.
+// ---------------------------------------------------------------------
+
+func (e *engine) runSingle() error {
+	w := e.workers[0]
+	sincePoll := 0
+	e.part.ForEach(e.rank, func(t int64) {
+		if w.err != nil || t <= e.x64 {
+			return // clique and bootstrap nodes were handled above
+		}
+		w.genNode(t)
+		sincePoll++
+		if sincePoll >= w.poll {
+			sincePoll = 0
+			if err := e.drainSingle(false); err != nil && w.err == nil {
+				w.err = err
+			}
+			w.adaptPoll()
+		}
+	})
+	if w.err != nil {
+		return w.err
 	}
 
 	// All local slots initiated. From here unresolved is monotone.
@@ -351,7 +650,7 @@ func (e *engine) run() error {
 		return err
 	}
 	for !e.stopped {
-		if err := e.drain(true); err != nil {
+		if err := e.drainSingle(true); err != nil {
 			return err
 		}
 		if err := e.maybeReportDone(); err != nil {
@@ -361,191 +660,12 @@ func (e *engine) run() error {
 	return nil
 }
 
-// bootstrap emits clique edges for locally-owned clique nodes and fixes
-// node x's attachments if x is local.
-func (e *engine) bootstrap() {
-	// Pre-size the F table.
-	e.f = make([]int64, e.part.Size(e.rank)*e.x64)
-	for i := range e.f {
-		e.f[i] = -1
-	}
-	if e.opts.CollectNodeLoad {
-		e.nodeLoad = make([]int64, e.part.Size(e.rank))
-	}
-	// Pre-size the edge store from the partition's expected per-rank
-	// edge count: every local node emits x edges except clique nodes
-	// (node t < x emits t), so size*x is a tight upper bound and the
-	// append path never reallocates.
-	if e.sink == nil {
-		e.edges = make([]graph.Edge, 0, e.part.Size(e.rank)*e.x64)
-	}
-	e.part.ForEach(e.rank, func(t int64) {
-		switch {
-		case t < e.x64:
-			// Clique node: emit its backward clique edges; it has no
-			// attachment slots (mark them resolved so they never count).
-			for j := int64(0); j < t; j++ {
-				e.emit(graph.Edge{U: t, V: j})
-			}
-			base := e.slot(t, 0)
-			for edge := 0; edge < e.x; edge++ {
-				e.f[base+int64(edge)] = t // self-marker; never queried
-			}
-		case t == e.x64:
-			for edge := 0; edge < e.x; edge++ {
-				v, _ := e.opts.Params.BootstrapF(t, edge)
-				e.f[e.slot(t, edge)] = v
-				e.emit(graph.Edge{U: t, V: v})
-				if e.trace != nil {
-					e.trace.RecordBootstrap(t, edge)
-				}
-			}
-		default:
-			e.unresolved += e.x64
-		}
-	})
-}
-
-// isDup reports whether v already appears among t's attachments.
-func (e *engine) isDup(t int64, v int64) bool {
-	base := e.slot(t, 0)
-	for i := 0; i < e.x; i++ {
-		if e.f[base+int64(i)] == v {
-			return true
-		}
-	}
-	return false
-}
-
-// place runs one attachment step for local slot (t, edge): Algorithm 3.2
-// lines 4-14. It either resolves the slot immediately (direct branch, or
-// copy from an already-resolved source) or parks it (request message /
-// local queue) to be finished by onResolved. rng is the node's own
-// stream at generation time and the rank's retry stream for deferred
-// duplicate retries.
-func (e *engine) place(t int64, edge int, rng *xrand.Rand) error {
-	lo, hi := e.opts.Params.KRange(t)
-	span := uint64(hi - lo)
-	for {
-		k := lo + int64(rng.Uint64n(span))
-		if rng.Float64() < e.prob {
-			// Direct branch (lines 6-10).
-			if e.isDup(t, k) {
-				e.stats.Retries++
-				continue
-			}
-			e.resolveSlot(t, edge, k)
-			if e.trace != nil {
-				e.trace.RecordDirect(t, edge, k)
-			}
-			return nil
-		}
-		// Copy branch (lines 11-14).
-		l := int(rng.Uint64n(uint64(e.x)))
-		if e.trace != nil {
-			e.trace.RecordCopy(t, edge, k, l)
-		}
-		owner := e.part.Owner(k)
-		if owner == e.rank {
-			if e.nodeLoad != nil {
-				// Same-rank copy query: counts toward node k's
-				// received load (Lemma 3.4's M_k) like a request would.
-				e.nodeLoad[e.part.Index(e.rank, k)]++
-			}
-			v := e.f[e.slot(k, l)]
-			if v < 0 {
-				// Local dependency chain: wait on our own queue.
-				e.stats.LocalWaits++
-				e.waiters.push(e.slot(k, l), t, uint16(edge))
-				e.trackPending(1)
-				return nil
-			}
-			if e.isDup(t, v) {
-				e.stats.Retries++
-				continue
-			}
-			e.resolveSlot(t, edge, v)
-			return nil
-		}
-		return e.cm.Send(owner, msg.Request(t, edge, k, l))
-	}
-}
-
-// resolveSlot finalises F_t(edge) = v for a local slot: records the edge,
-// decrements the unresolved count, and answers every waiter of this slot
-// (Algorithm 3.1 lines 16-19 / Algorithm 3.2 lines 21-25).
-func (e *engine) resolveSlot(t int64, edge int, v int64) {
-	s := e.slot(t, edge)
-	e.f[s] = v
-	e.unresolved--
-	e.emit(graph.Edge{U: t, V: v})
-
-	// Walk the slot's detached waiter chain in FIFO order. Each node's
-	// fields are copied out and the node freed before delivery, because
-	// delivery can recurse into place/resolveSlot and push new waiters —
-	// growing the arena or reusing freed nodes — while we iterate.
-	h := e.waiters.take(s)
-	var chain int64
-	for h >= 0 {
-		n := e.waiters.arena[h]
-		e.waiters.freeNode(h)
-		h = n.next
-		chain++
-		e.trackPending(-1)
-		e.deliverResolved(n.t, int(n.e), v)
-	}
-	e.stats.WaitChain.Observe(chain)
-}
-
-// deliverResolved routes a resolution to the owner of the waiting slot —
-// locally by direct call, remotely as a resolved message.
-func (e *engine) deliverResolved(t int64, edge int, v int64) {
-	owner := e.part.Owner(t)
-	if owner == e.rank {
-		e.onResolved(t, edge, v)
-		return
-	}
-	if err := e.cm.Send(owner, msg.Resolved(t, edge, v)); err != nil && e.sendErr == nil {
-		e.sendErr = err
-	}
-}
-
-// onResolved handles <resolved, t, e, v> for a local slot: the duplicate
-// check of Algorithm 3.2 line 22, retrying the whole step on conflict
-// (see DESIGN.md for why the retry re-runs the coin).
-func (e *engine) onResolved(t int64, edge int, v int64) {
-	if e.isDup(t, v) {
-		e.stats.Retries++
-		if err := e.place(t, edge, e.retryRng); err != nil && e.sendErr == nil {
-			e.sendErr = err
-		}
-		return
-	}
-	e.resolveSlot(t, edge, v)
-}
-
-// onRequest handles <request, t', e', k', l'> for a locally-owned k'
-// (Algorithm 3.2 lines 16-20).
-func (e *engine) onRequest(m msg.Message) {
-	if e.nodeLoad != nil {
-		e.nodeLoad[e.part.Index(e.rank, m.K)]++
-	}
-	s := e.slot(m.K, int(m.L))
-	v := e.f[s]
-	if v < 0 {
-		e.stats.QueuedWaits++
-		e.waiters.push(s, m.T, m.E)
-		e.trackPending(1)
-		return
-	}
-	e.deliverResolved(m.T, int(m.E), v)
-}
-
-// drain processes incoming messages: all immediately available ones, or —
-// when block is set — at least one batch. Before blocking it flushes all
-// send buffers (the Section 3.5.2 rule generalised: nothing may linger
-// while we sleep).
-func (e *engine) drain(block bool) error {
+// drainSingle processes incoming messages: all immediately available
+// ones, or — when block is set — at least one batch. Before blocking it
+// flushes all send buffers (the Section 3.5.2 rule generalised: nothing
+// may linger while we sleep).
+func (e *engine) drainSingle(block bool) error {
+	w := e.workers[0]
 	var ms []msg.Message
 	var err error
 	if block {
@@ -564,9 +684,9 @@ func (e *engine) drain(block bool) error {
 	for _, m := range ms {
 		switch m.Kind {
 		case msg.KindRequest:
-			e.onRequest(m)
+			w.onRequest(m, true)
 		case msg.KindResolved:
-			e.onResolved(m.T, int(m.E), m.V)
+			w.resume(m.T, int(m.E), m.V)
 		case msg.KindDone:
 			if e.rank != 0 {
 				return fmt.Errorf("core: rank %d received done message", e.rank)
@@ -581,8 +701,8 @@ func (e *engine) drain(block bool) error {
 			return fmt.Errorf("core: unexpected message kind %v", m.Kind)
 		}
 	}
-	if e.sendErr != nil {
-		return e.sendErr
+	if w.err != nil {
+		return w.err
 	}
 	// Answers generated while processing this batch must not wait for
 	// the next blocking point (paper rule: resolved messages are sent
@@ -591,9 +711,10 @@ func (e *engine) drain(block bool) error {
 }
 
 // maybeReportDone sends the rank's done report once all local slots are
-// resolved. Safe to call repeatedly; reports once.
+// resolved. Safe to call repeatedly; reports once. Single-worker only:
+// rank 0 short-circuits the self-send.
 func (e *engine) maybeReportDone() error {
-	if e.unresolved != 0 || e.doneFlag {
+	if e.workers[0].unresolved != 0 || e.doneFlag {
 		return nil
 	}
 	e.doneFlag = true
@@ -616,4 +737,126 @@ func (e *engine) maybeBroadcastStop() error {
 	}
 	e.stopped = true
 	return nil
+}
+
+// ---------------------------------------------------------------------
+// Multi-worker path: the rank goroutine becomes the dispatcher. It is
+// the transport's single consumer, routing each incoming message to the
+// worker owning the addressed node, and it runs the coordinator logic.
+// ---------------------------------------------------------------------
+
+// recvPump turns the blocking transport Recv into a requestable event so
+// the dispatcher can block on either a frame or an abort. The pump only
+// calls Recv when asked (ping-pong), so after a normal stop there is no
+// outstanding Recv to swallow frames a caller (e.g. cmd/pa-tcp's
+// post-run collectives) expects to read from the same transport.
+type recvPump struct {
+	req chan struct{}
+	res chan pumpResult
+}
+
+type pumpResult struct {
+	frame transport.Frame
+	err   error
+}
+
+func startPump(tr transport.Transport) *recvPump {
+	p := &recvPump{req: make(chan struct{}), res: make(chan pumpResult, 1)}
+	go func() {
+		for range p.req {
+			f, err := tr.Recv()
+			p.res <- pumpResult{frame: f, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// shutdown ends the pump. If a request is outstanding (abort), the
+// buffered result channel lets the pump finish its Recv and exit without
+// anyone reading the result.
+func (p *recvPump) shutdown() { close(p.req) }
+
+// dispatch runs the rank's receive loop until stop or abort: decode,
+// route to owning workers, count done reports (rank 0), broadcast stop.
+// On return (normal stop) it closes every inbox, which is the workers'
+// stop signal.
+func (e *engine) dispatch() {
+	pump := startPump(e.tr)
+	defer pump.shutdown()
+	route := make([][]msg.Message, e.nw)
+	for !e.stopped {
+		ms, err := e.cm.Poll()
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		if len(ms) == 0 {
+			pump.req <- struct{}{}
+			t0 := time.Now()
+			select {
+			case r := <-pump.res:
+				e.blocked += time.Since(t0)
+				if r.err != nil {
+					e.fail(r.err)
+					return
+				}
+				ms, err = e.cm.DecodeFrame(r.frame)
+				if err != nil {
+					e.fail(err)
+					return
+				}
+			case <-e.abortCh:
+				e.blocked += time.Since(t0)
+				return
+			}
+		}
+		for i := range route {
+			route[i] = route[i][:0]
+		}
+		for _, m := range ms {
+			switch m.Kind {
+			case msg.KindRequest:
+				wid := e.workerOf(e.localIdx(m.K))
+				route[wid] = append(route[wid], m)
+			case msg.KindResolved:
+				wid := e.workerOf(e.localIdx(m.T))
+				route[wid] = append(route[wid], m)
+			case msg.KindDone:
+				if e.rank != 0 {
+					e.fail(fmt.Errorf("core: rank %d received done message", e.rank))
+					return
+				}
+				e.doneRanks++
+				if e.doneRanks >= e.p && !e.stopped {
+					for r := 1; r < e.p; r++ {
+						if err := e.cm.SendNow(r, msg.Stop()); err != nil {
+							e.fail(err)
+							return
+						}
+					}
+					e.stopped = true
+				}
+			case msg.KindStop:
+				e.stopped = true
+			default:
+				e.fail(fmt.Errorf("core: unexpected message kind %v", m.Kind))
+				return
+			}
+		}
+		for i, b := range route {
+			if len(b) == 0 {
+				continue
+			}
+			if !e.workers[i].inbox.pushBatch(b) {
+				// Inbox closed: abort already under way.
+				return
+			}
+		}
+	}
+	for _, w := range e.workers {
+		w.inbox.close()
+	}
 }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync"
+
+	"pagen/internal/msg"
+)
+
+// inbox is the bounded MPSC queue in front of each worker: the
+// dispatcher and sibling workers produce, the owning worker consumes.
+// The consumer drains everything in one pop that swaps the queue against
+// a spare buffer, so steady-state operation moves slices, not messages.
+//
+// Blocking contract: only the dispatcher may use the blocking pushBatch
+// (a full worker is never itself blocked, so the dispatcher always
+// unblocks); workers use tryPush and park overflow on their side. The
+// consumer may block in pop; close wakes everyone, and pop reports the
+// closed state — the worker's stop signal.
+type inbox struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []msg.Message
+	capacity int
+	closed   bool
+}
+
+func newInbox(capacity int) *inbox {
+	b := &inbox{buf: make([]msg.Message, 0, capacity), capacity: capacity}
+	b.notEmpty.L = &b.mu
+	b.notFull.L = &b.mu
+	return b
+}
+
+// tryPush appends m unless the inbox is full. Pushes to a closed inbox
+// report success and drop the message: close only happens at stop (all
+// queues provably empty) or abort (delivery no longer matters), and
+// "accepted" stops the producer from retrying forever.
+func (b *inbox) tryPush(m msg.Message) bool {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return true
+	}
+	if len(b.buf) >= b.capacity {
+		b.mu.Unlock()
+		return false
+	}
+	b.buf = append(b.buf, m)
+	if len(b.buf) == 1 {
+		b.notEmpty.Signal()
+	}
+	b.mu.Unlock()
+	return true
+}
+
+// pushBatch appends every message, blocking while the inbox is full.
+// It returns false if the inbox closed mid-push (abort).
+func (b *inbox) pushBatch(ms []msg.Message) bool {
+	b.mu.Lock()
+	for _, m := range ms {
+		for len(b.buf) >= b.capacity && !b.closed {
+			// Wake the consumer before sleeping: it may be waiting on
+			// notEmpty while we wait on notFull.
+			b.notEmpty.Signal()
+			b.notFull.Wait()
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return false
+		}
+		b.buf = append(b.buf, m)
+	}
+	b.notEmpty.Signal()
+	b.mu.Unlock()
+	return true
+}
+
+// pop returns every queued message by swapping the queue against spare
+// (the consumer's previous batch, recycled). When block is set it waits
+// for messages or close. open reports whether the inbox can still
+// deliver; (empty, false) means the worker should exit.
+func (b *inbox) pop(spare []msg.Message, block bool) (items []msg.Message, open bool) {
+	b.mu.Lock()
+	if block {
+		for len(b.buf) == 0 && !b.closed {
+			b.notEmpty.Wait()
+		}
+	}
+	if len(b.buf) == 0 {
+		open = !b.closed
+		b.mu.Unlock()
+		return spare[:0], open
+	}
+	items = b.buf
+	b.buf = spare[:0]
+	b.notFull.Broadcast()
+	b.mu.Unlock()
+	return items, true
+}
+
+// close marks the inbox finished and wakes every waiter.
+func (b *inbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+	b.mu.Unlock()
+}

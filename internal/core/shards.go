@@ -31,8 +31,9 @@ func RunToShards(opts Options, dir string) (*Result, error) {
 	}
 	p := opts.Part.P()
 
-	// One streaming writer per rank: the sink dispatches on rank, so no
-	// locking is needed. Each shard file carries the magic + node count
+	// One streaming writer per rank: the sink dispatches on rank, and
+	// the writer locks internally because a rank's workers emit
+	// concurrently. Each shard file carries the magic + node count
 	// header up-front and a placeholder edge count that is rewritten on
 	// close (count is unknown until the run ends).
 	writers := make([]*shardWriter, p)
@@ -76,8 +77,10 @@ func RunToShards(opts Options, dir string) (*Result, error) {
 // shardWriter streams edges of one rank to disk. The binary format must
 // match graph.WriteBinary exactly, but the edge count is only known at
 // the end, so it writes a fixed-width 10-byte uvarint placeholder and
-// patches it on close.
+// patches it on close. append is safe for concurrent use (a rank's
+// worker goroutines share the writer).
 type shardWriter struct {
+	mu       sync.Mutex
 	f        *os.File
 	bw       *bufio.Writer
 	countOff int64
@@ -128,6 +131,8 @@ func encodeFixedUvarint(x uint64) []byte {
 }
 
 func (w *shardWriter) append(e graph.Edge) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.err != nil {
 		return
 	}
@@ -142,6 +147,8 @@ func (w *shardWriter) append(e graph.Edge) {
 }
 
 func (w *shardWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.err == nil {
 		w.err = w.bw.Flush()
 	}

@@ -1,0 +1,509 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"pagen/internal/graph"
+	"pagen/internal/msg"
+	"pagen/internal/obs"
+	"pagen/internal/xrand"
+)
+
+// workerScratchCap is the per-destination size of a worker's private
+// send buffer; full buffers merge into the rank's shared per-destination
+// stripe in one lock acquisition.
+const workerScratchCap = 64
+
+// inboxCap bounds a worker inbox in messages. Only the dispatcher pushes
+// blocking (a full worker is never itself blocked, so the dispatcher
+// always unblocks); sibling workers try-push and park overflow locally.
+const inboxCap = 4096
+
+// worker owns a contiguous block [lo, hi) of the rank's local node
+// indices: it is the single writer for those nodes' F slots, the single
+// owner of their waiter queues and suspension records, and the only
+// goroutine that advances their generation. Cross-worker dependencies
+// travel as kindReqLocal/kindResLocal messages through inboxes, so the
+// whole Q_{k,l} cascade needs no locks.
+type worker struct {
+	e      *engine
+	id     int
+	lo, hi int64
+
+	rng     xrand.Rand // reused across nodes; re-seeded per node
+	waiters waiterTable
+	susp    suspTable
+
+	// inbox receives remote traffic from the dispatcher and sibling
+	// traffic from other workers. Nil when the rank runs one worker.
+	inbox *inbox
+	spare []msg.Message // ping-pong buffer handed to inbox.pop
+
+	// pendingTo parks messages whose destination inbox was full; they
+	// must drain before this worker may block.
+	pendingTo    [][]msg.Message
+	pendingCount int
+
+	// scratch is the per-destination private send buffer (concurrent
+	// mode only; the single-worker path sends straight through comm).
+	scratch [][]msg.Message
+
+	// unresolved counts this worker's still-NILL slots. Single-writer:
+	// only the owning worker resolves its slots.
+	unresolved int64
+	doneNoted  bool
+
+	// poll is the current generation-loop polling interval; adaptive
+	// tracks whether adaptPoll may move it.
+	poll     int
+	adaptive bool
+
+	// stats (merged into RankStats by finishStats)
+	retries     int64
+	queuedWaits int64
+	localWaits  int64
+	edgeCount   int64
+	waitChain   obs.Histogram
+
+	err error
+}
+
+func newWorker(e *engine, id int, lo, hi int64) *worker {
+	w := &worker{e: e, id: id, lo: lo, hi: hi}
+	w.waiters.init()
+	w.susp.init()
+	w.poll = e.opts.PollEvery
+	if w.poll <= 0 {
+		w.poll = DefaultPollEvery
+		w.adaptive = true
+	}
+	if e.concurrent {
+		w.inbox = newInbox(inboxCap)
+		w.spare = make([]msg.Message, 0, 256)
+		w.pendingTo = make([][]msg.Message, e.nw)
+		w.scratch = make([][]msg.Message, e.p)
+	}
+	return w
+}
+
+func (w *worker) owns(idx int64) bool { return idx >= w.lo && idx < w.hi }
+
+func (w *worker) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+	w.e.fail(err)
+}
+
+// adaptPoll retunes the polling interval from the live pending-waiter
+// depth: poll more often while waiters pile up, less while none do.
+func (w *worker) adaptPoll() {
+	if !w.adaptive {
+		return
+	}
+	depth := w.e.pendingDepth()
+	switch {
+	case depth > adaptiveHighWater:
+		if w.poll > adaptiveMinPoll {
+			w.poll /= 2
+		}
+	case depth == 0:
+		if w.poll < adaptiveMaxPoll {
+			w.poll *= 2
+		}
+	}
+}
+
+// emit finalises one edge of a generating node.
+func (w *worker) emit(t, v int64) {
+	w.edgeCount++
+	if w.e.sink != nil {
+		w.e.sink(w.e.rank, graph.Edge{U: t, V: v})
+	}
+}
+
+// isDup reports whether v already appears among t's attachments. Only
+// the owning worker calls it, and a node's slots beyond its current edge
+// are still NILL (strict per-node sequencing), so plain reads suffice.
+func (w *worker) isDup(t, v int64) bool {
+	e := w.e
+	base := e.slot(t, 0)
+	for i := int64(0); i < e.x64; i++ {
+		if e.f[base+i] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// genNode starts node t's generation on its own random stream.
+func (w *worker) genNode(t int64) {
+	w.rng.SeedStream(w.e.seed, uint64(t))
+	w.advance(t, 0, &w.rng)
+}
+
+// advance runs node t's attachment loop from the given edge with rng
+// positioned mid-stream (Algorithm 3.2 lines 4-14, strictly edge by
+// edge). On a copy from an unresolved source the node suspends — the
+// stream state and edge index are parked in the suspension table — and
+// resume continues exactly there when the answer arrives. Every draw,
+// duplicate retries included, comes from this one per-node stream, which
+// is what makes the output independent of workers, ranks and schedule.
+func (w *worker) advance(t int64, edge int, rng *xrand.Rand) {
+	e := w.e
+	lo, hi := e.opts.Params.KRange(t)
+	span := uint64(hi - lo)
+	for ; edge < e.x; edge++ {
+	draw:
+		for {
+			k := lo + int64(rng.Uint64n(span))
+			if rng.Float64() < e.prob {
+				// Direct branch (lines 6-10).
+				if w.isDup(t, k) {
+					w.retries++
+					continue draw
+				}
+				w.resolveLocal(t, edge, k)
+				if e.trace != nil {
+					e.trace.RecordDirect(t, edge, k)
+				}
+				break draw
+			}
+			// Copy branch (lines 11-14).
+			l := int(rng.Uint64n(uint64(e.x)))
+			if e.trace != nil {
+				e.trace.RecordCopy(t, edge, k, l)
+			}
+			owner := e.part.Owner(k)
+			if owner == e.rank {
+				kidx := e.part.Index(e.rank, k)
+				// Same-rank copy query: counts toward node k's received
+				// load (Lemma 3.4's M_k) like a request would.
+				e.noteLoad(kidx)
+				s := kidx*e.x64 + int64(l)
+				var v int64
+				if !e.concurrent || w.owns(kidx) {
+					v = e.f[s]
+				} else {
+					v = atomic.LoadInt64(&e.f[s])
+				}
+				if v >= 0 {
+					if w.isDup(t, v) {
+						w.retries++
+						continue draw
+					}
+					w.resolveLocal(t, edge, v)
+					break draw
+				}
+				// Local dependency chain: park on the owner's queue.
+				w.localWaits++
+				if w.owns(kidx) {
+					w.waiters.push(s, t, uint16(edge))
+					e.trackPending(1)
+				} else {
+					m := msg.Request(t, edge, k, l)
+					m.Kind = kindReqLocal
+					w.toWorker(e.workerOf(kidx), m)
+				}
+				w.suspend(t, edge, rng)
+				return
+			}
+			w.sendData(owner, msg.Request(t, edge, k, l))
+			w.suspend(t, edge, rng)
+			return
+		}
+	}
+}
+
+// suspend parks node t at the given edge with its stream state.
+func (w *worker) suspend(t int64, edge int, rng *xrand.Rand) {
+	w.susp.put(w.e.localIdx(t), suspState{rng: *rng, e: int32(edge)})
+}
+
+// resume continues a suspended node with the resolved value of its
+// pending copy source: the duplicate check of Algorithm 3.2 line 22,
+// re-drawing the whole step from the node's own stream on conflict.
+// Stale deliveries (a duplicated frame answering an already-finished
+// slot) are dropped.
+func (w *worker) resume(t int64, edge int, v int64) {
+	st, ok := w.susp.take(w.e.localIdx(t))
+	if !ok || int(st.e) != edge {
+		if ok {
+			w.susp.put(w.e.localIdx(t), st)
+		}
+		return
+	}
+	if w.isDup(t, v) {
+		w.retries++
+		w.advance(t, edge, &st.rng)
+		return
+	}
+	w.resolveLocal(t, edge, v)
+	w.advance(t, edge+1, &st.rng)
+}
+
+// resolveLocal finalises F_t(edge) = v for a slot this worker owns:
+// records the edge, decrements the shard's unresolved count, and answers
+// every waiter of this slot (Algorithm 3.1 lines 16-19 / Algorithm 3.2
+// lines 21-25).
+func (w *worker) resolveLocal(t int64, edge int, v int64) {
+	e := w.e
+	s := e.slot(t, edge)
+	e.setSlot(s, v)
+	w.unresolved--
+	w.emit(t, v)
+
+	// Walk the slot's detached waiter chain in FIFO order. Each node's
+	// fields are copied out and the node freed before delivery, because
+	// delivery can recurse into advance/resolveLocal and push new
+	// waiters — growing the arena or reusing freed nodes — while we
+	// iterate.
+	h := w.waiters.take(s)
+	var chain int64
+	for h >= 0 {
+		n := w.waiters.arena[h]
+		w.waiters.freeNode(h)
+		h = n.next
+		chain++
+		e.trackPending(-1)
+		w.deliverResolved(n.t, int(n.e), v)
+	}
+	w.waitChain.Observe(chain)
+
+	if w.unresolved == 0 && !w.doneNoted {
+		w.doneNoted = true
+		w.noteShardDone()
+	}
+}
+
+// noteShardDone marks this worker's shard fully resolved; the last shard
+// reports the rank done (after flushing so no answer lingers).
+func (w *worker) noteShardDone() {
+	e := w.e
+	if !e.concurrent {
+		return // maybeReportDone drives the single-worker protocol
+	}
+	if atomic.AddInt32(&e.activeWorkers, -1) != 0 {
+		return
+	}
+	w.quiesce()
+	e.reportDone()
+}
+
+// deliverResolved routes a resolution to the owner of the waiting slot —
+// by direct call for this worker's own nodes, through an inbox for a
+// sibling's, as a resolved message for a remote rank's.
+func (w *worker) deliverResolved(t int64, edge int, v int64) {
+	e := w.e
+	owner := e.part.Owner(t)
+	if owner != e.rank {
+		w.sendData(owner, msg.Resolved(t, edge, v))
+		return
+	}
+	tw := e.workerOf(e.localIdx(t))
+	if tw == w.id {
+		w.resume(t, edge, v)
+		return
+	}
+	m := msg.Resolved(t, edge, v)
+	m.Kind = kindResLocal
+	w.toWorker(tw, m)
+}
+
+// onRequest handles a <request, t', e', k', l'> for a slot this worker
+// owns (Algorithm 3.2 lines 16-20). remote distinguishes wire requests
+// from sibling-worker ones: the latter were already counted (localWaits,
+// node load) at the requesting worker.
+func (w *worker) onRequest(m msg.Message, remote bool) {
+	e := w.e
+	kidx := e.part.Index(e.rank, m.K)
+	if remote {
+		e.noteLoad(kidx)
+	}
+	s := kidx*e.x64 + int64(m.L)
+	v := e.f[s]
+	if v < 0 {
+		if remote {
+			w.queuedWaits++
+		}
+		w.waiters.push(s, m.T, m.E)
+		e.trackPending(1)
+		return
+	}
+	w.deliverResolved(m.T, int(m.E), v)
+}
+
+// sendData sends a data message to a remote rank: directly through comm
+// when single-worker, via the private scratch buffer otherwise.
+func (w *worker) sendData(to int, m msg.Message) {
+	e := w.e
+	if !e.concurrent {
+		if err := e.cm.Send(to, m); err != nil && w.err == nil {
+			w.err = err
+		}
+		return
+	}
+	buf := append(w.scratch[to], m)
+	if len(buf) >= workerScratchCap {
+		w.scratch[to] = buf[:0]
+		if err := e.cm.SendBatch(to, buf); err != nil {
+			w.fail(err)
+		}
+		return
+	}
+	w.scratch[to] = buf
+}
+
+// flushScratch merges every non-empty private buffer into the shared
+// per-destination stripes.
+func (w *worker) flushScratch() {
+	for to, buf := range w.scratch {
+		if len(buf) == 0 {
+			continue
+		}
+		w.scratch[to] = buf[:0]
+		if err := w.e.cm.SendBatch(to, buf); err != nil {
+			w.fail(err)
+			return
+		}
+	}
+}
+
+// quiesce pushes everything outbound onto the wire: private scratch into
+// the stripes, stripes into transport frames. Required after processing
+// a message group and before blocking (Section 3.5.2: answers must not
+// wait for the next blocking point).
+func (w *worker) quiesce() {
+	w.flushScratch()
+	if err := w.e.cm.FlushAll(); err != nil {
+		w.fail(err)
+	}
+}
+
+// toWorker hands a message to a sibling worker, parking it locally when
+// the sibling's inbox is full. Workers never block pushing — that is
+// what makes the bounded-inbox topology deadlock-free.
+func (w *worker) toWorker(dst int, m msg.Message) {
+	if w.e.workers[dst].inbox.tryPush(m) {
+		return
+	}
+	w.pendingTo[dst] = append(w.pendingTo[dst], m)
+	w.pendingCount++
+}
+
+// drainPending retries parked sibling messages in arrival order.
+func (w *worker) drainPending() {
+	if w.pendingCount == 0 {
+		return
+	}
+	for dst := range w.pendingTo {
+		q := w.pendingTo[dst]
+		if len(q) == 0 {
+			continue
+		}
+		i := 0
+		for i < len(q) && w.e.workers[dst].inbox.tryPush(q[i]) {
+			i++
+		}
+		if i > 0 {
+			w.pendingCount -= i
+			w.pendingTo[dst] = append(q[:0], q[i:]...)
+		}
+	}
+}
+
+// processBatch runs one inbox batch through the protocol handlers, then
+// retries parked messages and flushes outbound answers.
+func (w *worker) processBatch(ms []msg.Message) {
+	for _, m := range ms {
+		switch m.Kind {
+		case msg.KindRequest:
+			w.onRequest(m, true)
+		case kindReqLocal:
+			w.onRequest(m, false)
+		case msg.KindResolved, kindResLocal:
+			w.resume(m.T, int(m.E), m.V)
+		}
+	}
+	w.drainPending()
+	w.quiesce()
+}
+
+// pollPoint is the generation loop's periodic service stop: retry parked
+// sibling messages, process whatever the inbox holds, retune the poll
+// interval.
+func (w *worker) pollPoint() {
+	w.drainPending()
+	ms, _ := w.inbox.pop(w.spare, false)
+	w.spare = ms
+	if len(ms) > 0 {
+		w.processBatch(ms)
+	}
+	w.adaptPoll()
+}
+
+// genPass runs the generation loop over this worker's node block,
+// servicing the inbox every poll interval. It never blocks: nodes that
+// cannot finish an edge suspend and the pass moves on.
+func (w *worker) genPass() {
+	e := w.e
+	var i int64
+	sincePoll := 0
+	e.part.ForEach(e.rank, func(t int64) {
+		idx := i
+		i++
+		if w.err != nil || idx < w.lo || idx >= w.hi || t <= e.x64 {
+			return
+		}
+		w.genNode(t)
+		sincePoll++
+		if sincePoll >= w.poll {
+			sincePoll = 0
+			if e.aborted() {
+				w.err = e.takeErr()
+				return
+			}
+			w.pollPoint()
+		}
+	})
+}
+
+// runConcurrent is a worker goroutine's whole life: one generation pass,
+// then serve the inbox until the dispatcher closes it (stop) or the
+// engine aborts. Parked sibling messages must drain before blocking;
+// the worker keeps serving its own inbox while they do, so two workers
+// with mutually full inboxes still make progress.
+func (w *worker) runConcurrent() {
+	w.genPass()
+	for {
+		if w.err != nil || w.e.aborted() {
+			return
+		}
+		ms, open := w.inbox.pop(w.spare, false)
+		w.spare = ms
+		if len(ms) > 0 {
+			w.processBatch(ms)
+			continue
+		}
+		if !open {
+			return
+		}
+		if w.pendingCount > 0 {
+			w.drainPending()
+			runtime.Gosched()
+			continue
+		}
+		w.quiesce()
+		if w.err != nil {
+			return
+		}
+		ms, open = w.inbox.pop(w.spare, true)
+		w.spare = ms
+		if len(ms) > 0 {
+			w.processBatch(ms)
+		} else if !open {
+			return
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pagen/internal/graph"
+	"pagen/internal/model"
+	"pagen/internal/partition"
+	"pagen/internal/seq"
+	"pagen/internal/transport"
+)
+
+// edgeKey is a canonical edge for set comparison.
+type edgeKey struct{ u, v int64 }
+
+func edgeSet(t *testing.T, edges []graph.Edge) map[edgeKey]struct{} {
+	t.Helper()
+	s := make(map[edgeKey]struct{}, len(edges))
+	for _, e := range edges {
+		c := e.Canonical()
+		k := edgeKey{c.U, c.V}
+		if _, dup := s[k]; dup {
+			t.Fatalf("duplicate edge (%d,%d)", c.U, c.V)
+		}
+		s[k] = struct{}{}
+	}
+	return s
+}
+
+func sameEdgeSet(t *testing.T, label string, got []graph.Edge, want map[edgeKey]struct{}) {
+	t.Helper()
+	gs := edgeSet(t, got)
+	if len(gs) != len(want) {
+		t.Fatalf("%s: %d edges, want %d", label, len(gs), len(want))
+	}
+	for k := range gs {
+		if _, ok := want[k]; !ok {
+			t.Fatalf("%s: edge (%d,%d) not in sequential output", label, k.u, k.v)
+		}
+	}
+}
+
+// The headline determinism property of the worker-sharded engine: for
+// every (workers, ranks) combination the output edge set equals the
+// sequential copy model's, node for node. Per-node streams plus strict
+// per-node edge sequencing (suspension/resume) make the output a pure
+// function of (n, x, p, seed) — independent of worker count, rank
+// count, partition and message schedule.
+func TestWorkersMatchSequential(t *testing.T) {
+	pr := model.Params{N: 12_000, X: 4, P: 0.5}
+	sg, _, err := seq.CopyModel(pr, 11, seq.CopyModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := edgeSet(t, sg.Edges)
+	for _, ranks := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("ranks=%d/workers=%d", ranks, workers), func(t *testing.T) {
+				part, err := partition.New(partition.KindRRP, pr.N, ranks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(Options{Params: pr, Part: part, Seed: 11, Workers: workers}, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameEdgeSet(t, t.Name(), res.Graph.Edges, want)
+			})
+		}
+	}
+}
+
+// Same property under every partition scheme at a fixed worker count —
+// the partition changes which rank (and worker) computes each node, and
+// the edge set must not notice.
+func TestWorkersAllSchemes(t *testing.T) {
+	pr := model.Params{N: 6_000, X: 3, P: 0.5}
+	sg, _, err := seq.CopyModel(pr, 5, seq.CopyModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := edgeSet(t, sg.Edges)
+	kinds := []partition.Kind{partition.KindUCP, partition.KindLCP, partition.KindRRP, partition.KindExactCP}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			part, err := partition.New(kind, pr.N, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Options{Params: pr, Part: part, Seed: 5, Workers: 3}, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameEdgeSet(t, kind.String(), res.Graph.Edges, want)
+		})
+	}
+}
+
+// Determinism must survive a hostile message schedule: a chaos transport
+// delaying 30% of frames reorders resolution arrivals across ranks and
+// workers, and the output must still be byte-for-byte the sequential
+// edge set.
+func TestWorkersChaosDeterministic(t *testing.T) {
+	pr := model.Params{N: 6_000, X: 3, P: 0.5}
+	sg, _, err := seq.CopyModel(pr, 9, seq.CopyModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := edgeSet(t, sg.Edges)
+
+	const p = 4
+	part, err := partition.New(partition.KindRRP, pr.N, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := transport.NewLocalGroup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*RankResult, p)
+	errs := make([]error, p)
+	done := make(chan int, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			tr := transport.NewChaos(group.Endpoint(r), transport.ChaosConfig{
+				Seed:      900 + uint64(r),
+				DelayProb: 0.3,
+				MaxDelay:  500 * time.Microsecond,
+			})
+			results[r], errs[r] = RunRank(tr, Options{
+				Params: pr, Part: part, Seed: 9, Workers: 2,
+			})
+			done <- r
+		}(r)
+	}
+	var all []graph.Edge
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	for r := 0; r < p; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		all = append(all, results[r].Edges...)
+	}
+	sameEdgeSet(t, "chaos", all, want)
+}
+
+// The streaming sink contract: with workers > 1 the sink is called
+// concurrently from a rank's worker goroutines (run under -race this
+// checks the engine's side of the contract), and the streamed edges are
+// exactly the sequential edge set.
+func TestWorkersSinkConcurrent(t *testing.T) {
+	pr := model.Params{N: 8_000, X: 3, P: 0.5}
+	sg, _, err := seq.CopyModel(pr, 21, seq.CopyModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.New(partition.KindUCP, pr.N, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int64
+	var sum int64
+	res, err := Run(Options{
+		Params: pr, Part: part, Seed: 21, Workers: 4,
+		Sink: func(rank int, e graph.Edge) {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt64(&sum, e.U^(e.V<<1))
+		},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph != nil {
+		t.Fatal("sink run materialised a graph")
+	}
+	if count != pr.M() {
+		t.Fatalf("sink saw %d edges, want %d", count, pr.M())
+	}
+	var wantSum int64
+	for _, e := range sg.Edges {
+		wantSum += e.U ^ (e.V << 1)
+	}
+	if sum != wantSum {
+		t.Fatalf("sink edge checksum %d, want sequential %d", sum, wantSum)
+	}
+}
+
+// RunToShards with workers exercises the locked shard writer; the shards
+// must union to a valid graph with exactly M edges.
+func TestWorkersToShards(t *testing.T) {
+	pr := model.Params{N: 5_000, X: 3, P: 0.5}
+	part, err := partition.New(partition.KindRRP, pr.N, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "shards")
+	if _, err := RunToShards(Options{Params: pr, Part: part, Seed: 3, Workers: 4}, dir); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadShards(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != pr.M() {
+		t.Fatalf("shards union to %d edges, want %d", g.M(), pr.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Adaptive polling (PollEvery == 0) must not change the output — only
+// the service schedule. Exercised at both 1 and >1 workers.
+func TestAdaptivePollEveryDeterministic(t *testing.T) {
+	pr := model.Params{N: 6_000, X: 3, P: 0.5}
+	sg, _, err := seq.CopyModel(pr, 13, seq.CopyModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := edgeSet(t, sg.Edges)
+	for _, workers := range []int{1, 3} {
+		part, err := partition.New(partition.KindUCP, pr.N, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Options{Params: pr, Part: part, Seed: 13, Workers: workers, PollEvery: 0}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameEdgeSet(t, fmt.Sprintf("adaptive workers=%d", workers), res.Graph.Edges, want)
+	}
+}
+
+// Worker-count resolution: more workers than local nodes clamps instead
+// of spinning up empty shards, and stats still add up.
+func TestWorkersClampAndStats(t *testing.T) {
+	pr := model.Params{N: 40, X: 3, P: 0.5}
+	part, err := partition.New(partition.KindRRP, pr.N, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Params: pr, Part: part, Seed: 2, Workers: 64}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges int64
+	for _, st := range res.Ranks {
+		edges += st.Edges
+		if st.BusyTime < 0 || st.BusyTime > st.WallTime {
+			t.Fatalf("rank %d: busy %v outside [0, wall %v]", st.Rank, st.BusyTime, st.WallTime)
+		}
+	}
+	if edges != pr.M() {
+		t.Fatalf("ranks report %d edges, want %d", edges, pr.M())
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Trace collection with workers: per-slot decisions land in the shared
+// trace without racing (disjoint slot ranges per worker), and the copy
+// fraction stays where p puts it.
+func TestWorkersTrace(t *testing.T) {
+	pr := model.Params{N: 8_000, X: 4, P: 0.5}
+	part, err := partition.New(partition.KindRRP, pr.N, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Params: pr, Part: part, Seed: 17, Workers: 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace collected")
+	}
+	copied := 0
+	for _, c := range res.Trace.Copied {
+		if c {
+			copied++
+		}
+	}
+	frac := float64(copied) / float64(res.Trace.Slots())
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("copied fraction %.3f outside [0.35, 0.65]", frac)
+	}
+}

@@ -64,6 +64,20 @@ func (h *Histogram) Observe(v int64) {
 	h.Buckets[bits.Len64(uint64(v))]++
 }
 
+// Merge folds another histogram into h — the per-worker counter merge:
+// each worker observes into its own histogram on the hot path and the
+// rank combines them once at the end, so observation never contends.
+func (h *Histogram) Merge(o Histogram) {
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
 // Mean returns the average observed value (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if h.Count == 0 {

@@ -74,6 +74,11 @@ type Config struct {
 	// Ranks is the number of parallel processors to simulate
 	// (default 1).
 	Ranks int
+	// Workers is the number of generation goroutines per rank. Zero or
+	// negative selects runtime.GOMAXPROCS(0); the engine clamps it to
+	// the rank's local node count. Output is byte-identical across
+	// worker counts.
+	Workers int
 	// Scheme is the node-partitioning scheme: "RRP" (default), "LCP",
 	// "UCP" or "ExactCP".
 	Scheme string
@@ -83,8 +88,10 @@ type Config struct {
 	// BufferCap is the per-destination message-buffer capacity
 	// (0 = default; 1 disables buffering).
 	BufferCap int
-	// PollEvery is the generation-loop inbox polling interval
-	// (0 = default).
+	// PollEvery is the generation-loop inbox polling interval. Zero or
+	// negative selects adaptive polling: the engine starts at the
+	// default interval and retunes it against the observed pending-wait
+	// depth. A positive value fixes the interval.
 	PollEvery int
 	// RecordTrace collects the attachment-decision trace in the result
 	// (costs ~13 bytes per edge).
@@ -138,6 +145,7 @@ func Generate(cfg Config) (*Result, error) {
 		Params:          pr,
 		Part:            part,
 		Seed:            cfg.Seed,
+		Workers:         cfg.Workers,
 		BufferCap:       cfg.BufferCap,
 		PollEvery:       cfg.PollEvery,
 		CollectNodeLoad: cfg.CollectNodeLoad,
@@ -197,8 +205,10 @@ func NewPartition(scheme string, n int64, ranks int) (Partition, error) {
 // GenerateStream runs the parallel generator but streams every finalised
 // edge to sink instead of materialising the graph — the paper's
 // "generate on the fly and analyze without disk I/O" mode. sink is
-// called concurrently from rank goroutines (rank identifies the caller),
-// so it must be safe for concurrent use or dispatch on rank. The
+// called concurrently from rank goroutines — and, with Workers > 1,
+// from the worker goroutines within a rank (rank identifies the calling
+// rank, not the worker) — so it must be safe for fully concurrent use;
+// dispatching on rank alone is only enough at Workers <= 1. The
 // returned Result has a nil Graph; per-rank stats are still collected.
 func GenerateStream(cfg Config, sink func(rank int, e Edge)) (*Result, error) {
 	pr, err := cfg.params()
@@ -213,6 +223,7 @@ func GenerateStream(cfg Config, sink func(rank int, e Edge)) (*Result, error) {
 		Params:    pr,
 		Part:      part,
 		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
 		BufferCap: cfg.BufferCap,
 		PollEvery: cfg.PollEvery,
 		Sink:      sink,
@@ -236,6 +247,7 @@ func GenerateToShards(cfg Config, dir string) (*Result, error) {
 		Params:    pr,
 		Part:      part,
 		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
 		BufferCap: cfg.BufferCap,
 		PollEvery: cfg.PollEvery,
 	}, dir)

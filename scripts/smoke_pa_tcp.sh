@@ -3,6 +3,9 @@
 # processes, real TCP mesh, the full generation protocol plus the
 # post-run collective sequence (the stats gather that the unsequenced
 # tag protocol used to kill at 4 ranks), plus per-rank metrics export.
+# Each rank runs with 2 generation workers, so the worker-sharded loop
+# (inbox dispatch, striped send buffers, per-worker Done accounting) is
+# exercised against the real TCP transport, not just the in-process one.
 # Exits non-zero if any rank fails, hangs past the timeout, or the
 # output shards don't union to the expected edge count.
 set -eu
@@ -10,6 +13,7 @@ set -eu
 N=${N:-50000}
 X=${X:-4}
 RANKS=4
+WORKERS=${WORKERS:-2}
 BASE_PORT=${BASE_PORT:-9700}
 TIMEOUT=${TIMEOUT:-120}
 
@@ -29,13 +33,13 @@ pids=""
 i=1
 while [ $i -lt $RANKS ]; do
     timeout "$TIMEOUT" "$workdir/pa-tcp" -rank $i -addrs "$addrs" \
-        -n "$N" -x "$X" -o "$workdir/shard$i.bin" \
+        -n "$N" -x "$X" -workers "$WORKERS" -o "$workdir/shard$i.bin" \
         -metrics "$workdir/metrics$i.json" &
     pids="$pids $!"
     i=$((i + 1))
 done
 timeout "$TIMEOUT" "$workdir/pa-tcp" -rank 0 -addrs "$addrs" \
-    -n "$N" -x "$X" -o "$workdir/shard0.bin" -stats \
+    -n "$N" -x "$X" -workers "$WORKERS" -o "$workdir/shard0.bin" -stats \
     -metrics "$workdir/metrics0.json"
 
 for pid in $pids; do
@@ -54,4 +58,4 @@ while [ $i -lt $RANKS ]; do
     i=$((i + 1))
 done
 
-echo "pa-tcp smoke: $RANKS ranks over localhost completed (n=$N, x=$X)"
+echo "pa-tcp smoke: $RANKS ranks x $WORKERS workers over localhost completed (n=$N, x=$X)"
