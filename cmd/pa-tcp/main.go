@@ -17,6 +17,22 @@
 // wait-chain histogram, per-node received-message load) as JSON, "-"
 // meaning stderr.
 //
+// Long runs can checkpoint: -checkpoint-dir DIR -checkpoint-every N
+// makes every rank snapshot its engine state to DIR at cooperative
+// epochs, and -resume restarts the cluster from the newest epoch all
+// ranks committed (see docs/CHECKPOINT_FORMAT.md and
+// docs/OPERATIONS.md). The resumed run produces the byte-identical
+// graph an uninterrupted run would have.
+//
+// -supervise turns pa-tcp into a single-host cluster supervisor: it
+// spawns one child rank per address, and when any child dies it kills
+// the survivors and relaunches the whole cluster with -resume, up to
+// -max-restarts times:
+//
+//	pa-tcp -supervise -addrs 127.0.0.1:9500,127.0.0.1:9501 \
+//	    -n 1000000 -x 4 -checkpoint-dir ck -checkpoint-every 5000000 \
+//	    -shard-dir out
+//
 // See examples/distributed for a driver that spawns the ranks and merges
 // the shards.
 package main
@@ -25,8 +41,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strconv"
 	"strings"
+	"time"
 
+	"pagen/internal/ckpt"
 	"pagen/internal/coll"
 	"pagen/internal/comm"
 	"pagen/internal/core"
@@ -52,12 +72,41 @@ func main() {
 		metrics   = flag.String("metrics", "", "write this rank's metrics JSON to this file (\"-\" = stderr)")
 		handshake = flag.Duration("handshake-timeout", transport.DefaultHandshakeTimeout,
 			"mesh-establishment deadline (a peer missing past it is an error, not a hang)")
+		ckptDir     = flag.String("checkpoint-dir", "", "write per-rank snapshots to this directory (shared across ranks)")
+		ckptN       = flag.Int64("checkpoint-every", 0, "protocol events between checkpoint epochs (requires -checkpoint-dir)")
+		ckptKeep    = flag.Int("checkpoint-keep", 0, "committed epochs to retain per rank (0 = default)")
+		resume      = flag.Bool("resume", false, "resume from the latest complete epoch in -checkpoint-dir")
+		supervise   = flag.Bool("supervise", false, "run as a supervisor: spawn all ranks locally, restart the cluster from the last checkpoint on crash")
+		maxRestarts = flag.Int("max-restarts", 3, "restart attempts before the supervisor gives up")
+		shardDir    = flag.String("shard-dir", "", "supervisor mode: directory the child ranks write their shards to")
 	)
 	flag.Parse()
 
 	addrList := strings.Split(*addrs, ",")
 	if len(addrList) < 1 || *addrs == "" {
 		fatal(fmt.Errorf("need -addrs with one address per rank"))
+	}
+
+	ck := checkpointOptions(*ckptDir, *ckptN, *ckptKeep, *resume)
+	if ck != nil && *metrics != "" {
+		fatal(fmt.Errorf("checkpointing is incompatible with -metrics (node-load counters are not captured in snapshots)"))
+	}
+
+	if *supervise {
+		runSupervisor(addrList, supervisorConfig{
+			n: *n, x: *x, p: *p, scheme: *scheme, seed: *seed,
+			workers: *workers, stats: *stats, handshake: *handshake,
+			ckptDir: *ckptDir, ckptN: *ckptN, ckptKeep: *ckptKeep,
+			resume: *resume, maxRestarts: *maxRestarts, shardDir: *shardDir,
+		})
+		return
+	}
+	if *shardDir != "" {
+		fatal(fmt.Errorf("-shard-dir is a supervisor-mode flag (use -o for a single rank)"))
+	}
+
+	if ck != nil && ck.Resume {
+		reportResumeScan(*ckptDir, *rank)
 	}
 	kind, err := partition.ParseKind(*scheme)
 	if err != nil {
@@ -82,6 +131,7 @@ func main() {
 		Seed:            *seed,
 		Workers:         *workers,
 		CollectNodeLoad: *metrics != "",
+		Checkpoint:      ck,
 	})
 	if err != nil {
 		fatal(err)
@@ -183,6 +233,161 @@ func writeMetrics(path string, rank int, res *core.RankResult, part partition.Sc
 		return err
 	}
 	return f.Close()
+}
+
+// checkpointOptions translates the checkpoint flags to engine options
+// (nil when checkpointing is not requested).
+func checkpointOptions(dir string, every int64, keep int, resume bool) *core.CheckpointOptions {
+	if dir == "" && every == 0 && !resume {
+		return nil
+	}
+	return &core.CheckpointOptions{Dir: dir, Every: every, Keep: keep, Resume: resume}
+}
+
+// reportResumeScan previews what a resume will find for this rank:
+// which epoch its newest complete snapshot holds, and which snapshot
+// files were skipped as torn or corrupt (each is a warning — the run
+// falls back past them, but an operator should know the newest data was
+// damaged). The engine re-reads and cross-validates the snapshot during
+// resume negotiation; this scan only exists for the operator.
+func reportResumeScan(dir string, rank int) {
+	snap, skipped, err := ckpt.Latest(dir, rank)
+	if err != nil {
+		fatal(fmt.Errorf("resume pre-scan: %w", err))
+	}
+	for _, name := range skipped {
+		fmt.Fprintf(os.Stderr, "pa-tcp: rank %d: warning: skipping damaged snapshot %s\n", rank, name)
+	}
+	switch {
+	case snap == nil:
+		fmt.Fprintf(os.Stderr, "pa-tcp: rank %d: no usable snapshot in %s, starting fresh\n", rank, dir)
+	default:
+		fmt.Fprintf(os.Stderr, "pa-tcp: rank %d: newest complete snapshot is epoch %d (cluster resumes from the minimum across ranks)\n",
+			rank, snap.Epoch)
+	}
+}
+
+// supervisorConfig carries the parsed flags a supervisor forwards to its
+// child ranks.
+type supervisorConfig struct {
+	n           int64
+	x           int
+	p           float64
+	scheme      string
+	seed        uint64
+	workers     int
+	stats       bool
+	handshake   time.Duration
+	ckptDir     string
+	ckptN       int64
+	ckptKeep    int
+	resume      bool
+	maxRestarts int
+	shardDir    string
+}
+
+// runSupervisor spawns one pa-tcp child process per address on this
+// host and babysits the cluster: if any child exits non-zero, the
+// survivors are killed (a rank cannot finish without its peers anyway)
+// and the whole cluster is relaunched with -resume, restarting from the
+// newest epoch every rank committed. Attempts are bounded by
+// -max-restarts. Checkpointing must be enabled — without snapshots a
+// restart would silently redo all work.
+func runSupervisor(addrList []string, sc supervisorConfig) {
+	if sc.ckptDir == "" || sc.ckptN <= 0 {
+		fatal(fmt.Errorf("-supervise needs -checkpoint-dir and -checkpoint-every > 0 (restarts resume from snapshots)"))
+	}
+	if sc.shardDir == "" {
+		fatal(fmt.Errorf("-supervise needs -shard-dir for the child ranks' output"))
+	}
+	if err := os.MkdirAll(sc.shardDir, 0o755); err != nil {
+		fatal(err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	resume := sc.resume
+	for attempt := 0; ; attempt++ {
+		err := superviseOnce(exe, addrList, sc, resume)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "pa-tcp: supervisor: all %d ranks completed\n", len(addrList))
+			return
+		}
+		if attempt >= sc.maxRestarts {
+			fatal(fmt.Errorf("supervisor: giving up after %d restarts: %w", sc.maxRestarts, err))
+		}
+		fmt.Fprintf(os.Stderr, "pa-tcp: supervisor: cluster failed (%v), restart %d/%d from last checkpoint\n",
+			err, attempt+1, sc.maxRestarts)
+		resume = true // every relaunch resumes from the newest complete epoch
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+// superviseOnce launches the full cluster once and waits for it. On the
+// first child failure the remaining children are killed and the first
+// error is returned after every process has been reaped.
+func superviseOnce(exe string, addrList []string, sc supervisorConfig, resume bool) error {
+	ranks := len(addrList)
+	cmds := make([]*exec.Cmd, ranks)
+	for i := 0; i < ranks; i++ {
+		args := []string{
+			"-rank", strconv.Itoa(i),
+			"-addrs", strings.Join(addrList, ","),
+			"-n", strconv.FormatInt(sc.n, 10),
+			"-x", strconv.Itoa(sc.x),
+			"-p", strconv.FormatFloat(sc.p, 'g', -1, 64),
+			"-scheme", sc.scheme,
+			"-seed", strconv.FormatUint(sc.seed, 10),
+			"-workers", strconv.Itoa(sc.workers),
+			"-handshake-timeout", sc.handshake.String(),
+			"-checkpoint-dir", sc.ckptDir,
+			"-checkpoint-every", strconv.FormatInt(sc.ckptN, 10),
+			"-checkpoint-keep", strconv.Itoa(sc.ckptKeep),
+			"-o", graph.ShardPath(sc.shardDir, i, ranks),
+		}
+		if resume {
+			args = append(args, "-resume")
+		}
+		if sc.stats && i == 0 {
+			args = append(args, "-stats")
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:i] {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return fmt.Errorf("spawn rank %d: %w", i, err)
+		}
+		cmds[i] = cmd
+	}
+
+	type exit struct {
+		rank int
+		err  error
+	}
+	exits := make(chan exit, ranks)
+	for i, cmd := range cmds {
+		go func(i int, cmd *exec.Cmd) {
+			exits <- exit{i, cmd.Wait()}
+		}(i, cmd)
+	}
+	var firstErr error
+	for done := 0; done < ranks; done++ {
+		e := <-exits
+		if e.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d: %w", e.rank, e.err)
+			// Peers cannot terminate without the dead rank; take the
+			// whole cluster down so the restart starts from a clean slate.
+			for _, cmd := range cmds {
+				cmd.Process.Kill()
+			}
+		}
+	}
+	return firstErr
 }
 
 func fatal(err error) {

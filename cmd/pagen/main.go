@@ -6,11 +6,18 @@
 //	pagen -n 1000000 -x 4 -ranks 8 -scheme RRP -o graph.txt
 //	pagen -n 1000000 -x 4 -format binary -o graph.bin -stats
 //	pagen -n 1000000 -x 4 -ranks 8 -metrics metrics.json -o graph.txt
+//	pagen -n 1000000 -x 4 -checkpoint-dir ck -checkpoint-every 5000000 -o graph.txt
+//	pagen -n 1000000 -x 4 -checkpoint-dir ck -resume -o graph.txt
 //
 // -metrics FILE exports the run's observability record (per-rank
 // counters, wait-chain histograms, and the per-node received-message
 // load with the Lemma 3.4 prediction alongside) as JSON; "-" writes it
 // to stderr.
+//
+// -checkpoint-dir DIR with -checkpoint-every N snapshots every rank's
+// engine state roughly every N protocol events; a later invocation with
+// the same parameters plus -resume continues from the newest complete
+// epoch and produces the identical graph. See docs/OPERATIONS.md.
 package main
 
 import (
@@ -37,6 +44,10 @@ func main() {
 		seq      = flag.Bool("seq", false, "use the sequential copy model instead")
 		shardDir = flag.String("shard-dir", "", "stream per-rank edge shards to this directory instead of a single output")
 		metrics  = flag.String("metrics", "", "write run metrics JSON to this file (\"-\" = stderr)")
+		ckptDir  = flag.String("checkpoint-dir", "", "write per-rank snapshots to this directory (see docs/OPERATIONS.md)")
+		ckptN    = flag.Int64("checkpoint-every", 0, "protocol events between checkpoint epochs (requires -checkpoint-dir)")
+		ckptKeep = flag.Int("checkpoint-keep", 0, "committed epochs to retain per rank (0 = default)")
+		resume   = flag.Bool("resume", false, "resume from the latest complete epoch in -checkpoint-dir")
 	)
 	flag.Parse()
 
@@ -44,10 +55,22 @@ func main() {
 		fatal(fmt.Errorf("-ranks %d: need at least 1 rank", *ranks))
 	}
 	cfg := pagen.Config{N: *n, X: *x, P: *p, Ranks: *ranks, Workers: *workers,
-		Scheme: *scheme, Seed: *seed, CollectNodeLoad: *metrics != ""}
+		Scheme: *scheme, Seed: *seed, CollectNodeLoad: *metrics != "",
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptN,
+		CheckpointKeep: *ckptKeep, Resume: *resume}
 
 	if *seq && *metrics != "" {
 		fatal(fmt.Errorf("-metrics needs the parallel engine (drop -seq)"))
+	}
+	if *ckptDir != "" || *ckptN != 0 || *resume {
+		switch {
+		case *seq:
+			fatal(fmt.Errorf("checkpointing needs the parallel engine (drop -seq)"))
+		case *shardDir != "":
+			fatal(fmt.Errorf("checkpointing is incompatible with -shard-dir (snapshots cannot rewind streamed edges)"))
+		case *metrics != "":
+			fatal(fmt.Errorf("checkpointing is incompatible with -metrics (node-load counters are not captured in snapshots)"))
+		}
 	}
 
 	if *shardDir != "" {

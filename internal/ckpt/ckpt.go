@@ -1,0 +1,619 @@
+// Package ckpt serializes per-rank engine state into versioned,
+// CRC-protected snapshot files — the storage half of the generator's
+// checkpoint/restart subsystem. One snapshot captures everything a rank
+// needs to resume generation mid-run at a consistent cut: the resolved
+// prefix of the F attachment table, every suspended node's private RNG
+// stream position and edge index, the pending waiter queues, any
+// not-yet-flushed outbound message batches, and the collective tag
+// counter. The format is streamed (the writer needs O(1) memory beyond
+// the state it serializes, dominated by varint-packed F), byte-for-byte
+// specified in docs/CHECKPOINT_FORMAT.md, and verified on read by a
+// whole-file CRC-32C so a torn write is detected rather than resumed
+// from.
+//
+// The package is pure serialization: which state goes into a snapshot,
+// and when all ranks' snapshots form a mutually consistent cut, is
+// internal/core's business (DESIGN.md §9).
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Magic opens every snapshot file.
+const Magic = "PAGENCK1"
+
+// Version is the current snapshot format version. Readers reject any
+// other value: the format carries no compat shims yet, and resuming
+// from a mis-parsed snapshot would silently corrupt the output graph.
+const Version = 1
+
+// castagnoli is the CRC-32C table (iSCSI polynomial) shared by writer
+// and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta identifies the run a snapshot belongs to. A resume validates
+// every field against the new run's parameters: the output is a pure
+// function of (n, x, p, seed), so resuming under different parameters
+// would splice two different graphs.
+type Meta struct {
+	N      int64
+	X      int
+	P      float64
+	Seed   uint64
+	Ranks  int
+	Rank   int
+	Scheme string
+}
+
+// SuspRecord is one suspended node: its local index, the edge it is
+// blocked on, and its private RNG stream state positioned right after
+// the draws of the blocked attempt.
+type SuspRecord struct {
+	Idx  int64
+	Edge int
+	RNG  [4]uint64
+}
+
+// WaiterRecord is one queued waiter of slot Slot: when the slot
+// resolves, node T's edge E gets the answer. Records of one slot appear
+// in FIFO order.
+type WaiterRecord struct {
+	Slot int64
+	T    int64
+	E    uint16
+}
+
+// WorkerState is one worker shard's suspended nodes and waiter queues
+// at the cut, tagged with the block [Lo, Hi) the writing run used. A
+// resuming run redistributes the records by its own worker layout, so
+// restoring at a different worker count is exact.
+type WorkerState struct {
+	Lo, Hi  int64
+	Susp    []SuspRecord
+	Waiters []WaiterRecord
+}
+
+// OutboundBatch is a per-destination batch of messages that were
+// buffered but not yet flushed at the cut, stored as one wire-format-v2
+// frame. Global quiescence means these are empty in practice; the
+// section exists as defense in depth — a resume re-injects them, which
+// is exact because a buffered message is by definition not yet sent.
+type OutboundBatch struct {
+	To    int
+	Frame []byte
+}
+
+// Stats carries the cumulative engine counters that cannot be
+// recomputed from F, so resumed runs report run-lifetime totals.
+type Stats struct {
+	Retries     int64
+	QueuedWaits int64
+	LocalWaits  int64
+}
+
+// Snapshot is one rank's full checkpoint state.
+type Snapshot struct {
+	Meta    Meta
+	Epoch   int64
+	NextTag int64 // coll.Seq tag counter for the resumed run
+	// F is the rank's flat attachment table (slot s holds F, -1 = NILL).
+	F        []int64
+	Workers  []WorkerState
+	Outbound []OutboundBatch
+	Stats    Stats
+}
+
+// Path returns the snapshot filename for (rank, epoch) under dir. The
+// fixed-width fields make lexicographic and numeric order agree.
+func Path(dir string, rank int, epoch int64) string {
+	return filepath.Join(dir, fmt.Sprintf("rank%04d-epoch%08d.ckpt", rank, epoch))
+}
+
+// parseName extracts (rank, epoch) from a snapshot filename, reporting
+// whether it matches the Path pattern exactly. Sscanf alone would stop
+// at the pattern's end and accept trailing junk — in particular a
+// ".ckpt.tmp" torn temporary — so the name is re-rendered and compared,
+// which anchors both ends.
+func parseName(name string) (rank int, epoch int64, ok bool) {
+	var r int
+	var e int64
+	n, err := fmt.Sscanf(name, "rank%04d-epoch%08d.ckpt", &r, &e)
+	if err != nil || n != 2 || r < 0 || e < 0 {
+		return 0, 0, false
+	}
+	if fmt.Sprintf("rank%04d-epoch%08d.ckpt", r, e) != name {
+		return 0, 0, false
+	}
+	return r, e, true
+}
+
+// crcWriter streams bytes into a buffered file while folding them into
+// a running CRC-32C, so the trailer covers exactly what hit the file.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+	n   int64
+	err error
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	cw.crc = crc32.Update(cw.crc, castagnoli, p)
+	cw.n += int64(len(p))
+	_, cw.err = cw.w.Write(p)
+	return len(p), cw.err
+}
+
+func (cw *crcWriter) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	cw.Write(buf[:binary.PutUvarint(buf[:], v)])
+}
+
+func (cw *crcWriter) varint(v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	cw.Write(buf[:binary.PutVarint(buf[:], v)])
+}
+
+func (cw *crcWriter) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	cw.Write(buf[:])
+}
+
+// Write serializes s to Path(dir, s.Meta.Rank, s.Epoch) atomically:
+// stream into a temporary file, fsync, rename. It returns the final
+// path and the file size. A crash at any point leaves either no file or
+// a complete one; a torn temporary never carries the final name.
+func Write(dir string, s *Snapshot) (path string, size int64, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, err
+	}
+	path = Path(dir, s.Meta.Rank, s.Epoch)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", 0, err
+	}
+	cw := &crcWriter{w: bufio.NewWriterSize(f, 1<<16)}
+
+	cw.Write([]byte(Magic))
+	cw.uvarint(Version)
+
+	// 'M': run identity + epoch + collective tag counter.
+	cw.Write([]byte{'M'})
+	cw.uvarint(uint64(s.Meta.N))
+	cw.uvarint(uint64(s.Meta.X))
+	cw.u64(math.Float64bits(s.Meta.P))
+	cw.u64(s.Meta.Seed)
+	cw.uvarint(uint64(s.Meta.Ranks))
+	cw.uvarint(uint64(s.Meta.Rank))
+	cw.uvarint(uint64(len(s.Meta.Scheme)))
+	cw.Write([]byte(s.Meta.Scheme))
+	cw.uvarint(uint64(s.Epoch))
+	cw.uvarint(uint64(s.NextTag))
+
+	// 'F': the attachment table, varint-packed as value+1 so NILL (-1)
+	// costs one byte.
+	cw.Write([]byte{'F'})
+	cw.uvarint(uint64(len(s.F)))
+	for _, v := range s.F {
+		cw.uvarint(uint64(v + 1))
+	}
+
+	// 'W' (repeated): one section per worker shard of the writing run.
+	for _, ws := range s.Workers {
+		cw.Write([]byte{'W'})
+		cw.uvarint(uint64(ws.Lo))
+		cw.uvarint(uint64(ws.Hi))
+		cw.uvarint(uint64(len(ws.Susp)))
+		for _, sr := range ws.Susp {
+			cw.uvarint(uint64(sr.Idx))
+			cw.uvarint(uint64(sr.Edge))
+			for _, w := range sr.RNG {
+				cw.u64(w)
+			}
+		}
+		cw.uvarint(uint64(len(ws.Waiters)))
+		for _, wr := range ws.Waiters {
+			cw.uvarint(uint64(wr.Slot))
+			cw.uvarint(uint64(wr.T))
+			cw.uvarint(uint64(wr.E))
+		}
+	}
+
+	// 'O': unflushed outbound batches (empty at a quiescent cut).
+	cw.Write([]byte{'O'})
+	cw.uvarint(uint64(len(s.Outbound)))
+	for _, ob := range s.Outbound {
+		cw.uvarint(uint64(ob.To))
+		cw.uvarint(uint64(len(ob.Frame)))
+		cw.Write(ob.Frame)
+	}
+
+	// 'S': cumulative counters, then the end marker and CRC trailer.
+	cw.Write([]byte{'S'})
+	cw.uvarint(uint64(s.Stats.Retries))
+	cw.uvarint(uint64(s.Stats.QueuedWaits))
+	cw.uvarint(uint64(s.Stats.LocalWaits))
+	cw.Write([]byte{'Z'})
+
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], cw.crc)
+	if cw.err == nil {
+		_, cw.err = cw.w.Write(trailer[:])
+	}
+	if cw.err == nil {
+		cw.err = cw.w.Flush()
+	}
+	if cw.err == nil {
+		cw.err = f.Sync()
+	}
+	if cerr := f.Close(); cw.err == nil {
+		cw.err = cerr
+	}
+	if cw.err != nil {
+		os.Remove(tmp)
+		return "", 0, fmt.Errorf("ckpt: write %s: %w", path, cw.err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	return path, cw.n + 4, nil
+}
+
+// reader parses a snapshot from an in-memory buffer (the CRC already
+// verified over the whole file).
+type reader struct {
+	b []byte
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, fmt.Errorf("truncated u64")
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *reader) bytes(n uint64) ([]byte, error) {
+	if uint64(len(r.b)) < n {
+		return nil, fmt.Errorf("truncated %d-byte field", n)
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *reader) tag() (byte, error) {
+	if len(r.b) == 0 {
+		return 0, fmt.Errorf("missing section tag")
+	}
+	t := r.b[0]
+	r.b = r.b[1:]
+	return t, nil
+}
+
+// Read loads and fully validates the snapshot at path: magic, version,
+// whole-file CRC-32C, and structural parse. Any failure — including a
+// torn or truncated file — returns an error naming the file.
+func Read(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+func parse(data []byte) (*Snapshot, error) {
+	if len(data) < len(Magic)+4 {
+		return nil, fmt.Errorf("file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("bad magic %q", data[:len(Magic)])
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("CRC mismatch: file says %08x, content is %08x (torn or corrupted snapshot)", want, got)
+	}
+	r := &reader{b: body[len(Magic):]}
+	ver, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("unsupported snapshot version %d (reader supports %d)", ver, Version)
+	}
+
+	s := &Snapshot{}
+	for {
+		t, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case 'M':
+			if err := s.parseMeta(r); err != nil {
+				return nil, fmt.Errorf("meta: %w", err)
+			}
+		case 'F':
+			n, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			// Every entry costs at least one byte: reject inflated counts
+			// before allocating.
+			if n > uint64(len(r.b)) {
+				return nil, fmt.Errorf("F count %d exceeds file", n)
+			}
+			s.F = make([]int64, n)
+			for i := range s.F {
+				v, err := r.uvarint()
+				if err != nil {
+					return nil, fmt.Errorf("F[%d]: %w", i, err)
+				}
+				s.F[i] = int64(v) - 1
+			}
+		case 'W':
+			ws, err := parseWorker(r)
+			if err != nil {
+				return nil, fmt.Errorf("worker section %d: %w", len(s.Workers), err)
+			}
+			s.Workers = append(s.Workers, ws)
+		case 'O':
+			n, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			for i := uint64(0); i < n; i++ {
+				to, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				sz, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				frame, err := r.bytes(sz)
+				if err != nil {
+					return nil, fmt.Errorf("outbound frame: %w", err)
+				}
+				s.Outbound = append(s.Outbound, OutboundBatch{
+					To: int(to), Frame: append([]byte(nil), frame...),
+				})
+			}
+		case 'S':
+			if v, err := r.uvarint(); err != nil {
+				return nil, err
+			} else {
+				s.Stats.Retries = int64(v)
+			}
+			if v, err := r.uvarint(); err != nil {
+				return nil, err
+			} else {
+				s.Stats.QueuedWaits = int64(v)
+			}
+			if v, err := r.uvarint(); err != nil {
+				return nil, err
+			} else {
+				s.Stats.LocalWaits = int64(v)
+			}
+		case 'Z':
+			if len(r.b) != 0 {
+				return nil, fmt.Errorf("%d trailing bytes after end marker", len(r.b))
+			}
+			return s, nil
+		default:
+			return nil, fmt.Errorf("unknown section tag %q", t)
+		}
+	}
+}
+
+func (s *Snapshot) parseMeta(r *reader) error {
+	var err error
+	var v uint64
+	if v, err = r.uvarint(); err != nil {
+		return err
+	}
+	s.Meta.N = int64(v)
+	if v, err = r.uvarint(); err != nil {
+		return err
+	}
+	s.Meta.X = int(v)
+	if v, err = r.u64(); err != nil {
+		return err
+	}
+	s.Meta.P = math.Float64frombits(v)
+	if s.Meta.Seed, err = r.u64(); err != nil {
+		return err
+	}
+	if v, err = r.uvarint(); err != nil {
+		return err
+	}
+	s.Meta.Ranks = int(v)
+	if v, err = r.uvarint(); err != nil {
+		return err
+	}
+	s.Meta.Rank = int(v)
+	if v, err = r.uvarint(); err != nil {
+		return err
+	}
+	name, err := r.bytes(v)
+	if err != nil {
+		return err
+	}
+	s.Meta.Scheme = string(name)
+	if v, err = r.uvarint(); err != nil {
+		return err
+	}
+	s.Epoch = int64(v)
+	if v, err = r.uvarint(); err != nil {
+		return err
+	}
+	s.NextTag = int64(v)
+	return nil
+}
+
+func parseWorker(r *reader) (WorkerState, error) {
+	var ws WorkerState
+	v, err := r.uvarint()
+	if err != nil {
+		return ws, err
+	}
+	ws.Lo = int64(v)
+	if v, err = r.uvarint(); err != nil {
+		return ws, err
+	}
+	ws.Hi = int64(v)
+	n, err := r.uvarint()
+	if err != nil {
+		return ws, err
+	}
+	// A suspension record is at least 34 bytes (two varints + 32 bytes
+	// of RNG state); bound the allocation by the remaining bytes.
+	if n > uint64(len(r.b))/34+1 {
+		return ws, fmt.Errorf("suspension count %d exceeds file", n)
+	}
+	ws.Susp = make([]SuspRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var sr SuspRecord
+		if v, err = r.uvarint(); err != nil {
+			return ws, err
+		}
+		sr.Idx = int64(v)
+		if v, err = r.uvarint(); err != nil {
+			return ws, err
+		}
+		sr.Edge = int(v)
+		for j := range sr.RNG {
+			if sr.RNG[j], err = r.u64(); err != nil {
+				return ws, err
+			}
+		}
+		ws.Susp = append(ws.Susp, sr)
+	}
+	if n, err = r.uvarint(); err != nil {
+		return ws, err
+	}
+	if n > uint64(len(r.b)) {
+		return ws, fmt.Errorf("waiter count %d exceeds file", n)
+	}
+	ws.Waiters = make([]WaiterRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var wr WaiterRecord
+		if v, err = r.uvarint(); err != nil {
+			return ws, err
+		}
+		wr.Slot = int64(v)
+		if v, err = r.uvarint(); err != nil {
+			return ws, err
+		}
+		wr.T = int64(v)
+		if v, err = r.uvarint(); err != nil {
+			return ws, err
+		}
+		if v > 0xffff {
+			return ws, fmt.Errorf("waiter edge %d overflows uint16", v)
+		}
+		wr.E = uint16(v)
+		ws.Waiters = append(ws.Waiters, wr)
+	}
+	return ws, nil
+}
+
+// Latest returns the newest valid snapshot for rank under dir, walking
+// epochs newest-first and skipping (with a reason) any file that fails
+// validation — the torn-latest-epoch fallback. It returns (nil, skipped,
+// nil) when the rank has no valid snapshot, and an error only when the
+// directory itself cannot be read.
+func Latest(dir string, rank int) (snap *Snapshot, skipped []string, err error) {
+	epochs, err := Epochs(dir, rank)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	for i := len(epochs) - 1; i >= 0; i-- {
+		path := Path(dir, rank, epochs[i])
+		s, err := Read(path)
+		if err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		return s, skipped, nil
+	}
+	return nil, skipped, nil
+}
+
+// Epochs lists the epochs with a snapshot file for rank under dir, in
+// increasing order. It does not validate the files.
+func Epochs(dir string, rank int) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, e := range entries {
+		r, ep, ok := parseName(e.Name())
+		if ok && r == rank {
+			out = append(out, ep)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Prune deletes rank's snapshot files under dir beyond the keep newest
+// epochs. Keeping at least two epochs is what makes the torn-latest
+// fallback possible.
+func Prune(dir string, rank int, keep int) error {
+	epochs, err := Epochs(dir, rank)
+	if err != nil {
+		return err
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	for i := 0; i+keep < len(epochs); i++ {
+		if err := os.Remove(Path(dir, rank, epochs[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove deletes rank's snapshot of the given epoch, ignoring a missing
+// file (an aborted epoch may have failed before its write).
+func Remove(dir string, rank int, epoch int64) error {
+	err := os.Remove(Path(dir, rank, epoch))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

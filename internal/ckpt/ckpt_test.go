@@ -1,0 +1,241 @@
+package ckpt
+
+import (
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample(rank int, epoch int64) *Snapshot {
+	return &Snapshot{
+		Meta: Meta{
+			N: 1_000_000, X: 4, P: 0.5, Seed: 0xdeadbeefcafe,
+			Ranks: 8, Rank: rank, Scheme: "RRP",
+		},
+		Epoch:   epoch,
+		NextTag: 42,
+		F:       []int64{-1, 0, 7, -1, 123456789, 3},
+		Workers: []WorkerState{
+			{
+				Lo: 0, Hi: 300,
+				Susp: []SuspRecord{
+					{Idx: 17, Edge: 2, RNG: [4]uint64{1, ^uint64(0), 3, 4}},
+				},
+				Waiters: []WaiterRecord{
+					{Slot: 99, T: 200, E: 1},
+					{Slot: 99, T: 201, E: 0},
+				},
+			},
+			// Empty (not nil) slices: the parser always materializes
+			// them, and DeepEqual distinguishes nil from empty.
+			{Lo: 300, Hi: 625, Susp: []SuspRecord{}, Waiters: []WaiterRecord{}},
+		},
+		Outbound: []OutboundBatch{{To: 3, Frame: []byte{0xca, 0xfe, 0x00}}},
+		Stats:    Stats{Retries: 5, QueuedWaits: 6, LocalWaits: 7},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sample(2, 9)
+	path, size, err := Write(dir, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != Path(dir, 2, 9) {
+		t.Fatalf("wrote %s, want %s", path, Path(dir, 2, 9))
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != size {
+		t.Fatalf("reported size %d, file is %d", size, fi.Size())
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := Write(dir, sample(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temporary file %s left behind", e.Name())
+		}
+	}
+}
+
+// Every single-byte corruption anywhere in the file must be caught by
+// the CRC (or, for the trailer bytes themselves, by the CRC comparison).
+func TestReadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path, _, err := Write(dir, sample(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, len(Magic), len(clean) / 2, len(clean) - 5, len(clean) - 1} {
+		data := append([]byte(nil), clean...)
+		data[pos] ^= 0x01
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(path); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", pos)
+		}
+	}
+}
+
+func TestReadDetectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path, _, err := Write(dir, sample(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, len(Magic), len(clean) / 3, len(clean) - 1} {
+		if err := os.WriteFile(path, clean[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(path); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+func TestReadRejectsVersionAndMagic(t *testing.T) {
+	if _, err := parse([]byte("NOTPAGEN\x01whatever....")); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	// A version-2 file with a correct CRC must be rejected by version,
+	// not CRC.
+	dir := t.TempDir()
+	path, _, err := Write(dir, sample(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(Magic)] = 2 // version uvarint
+	body := data[: len(data)-4 : len(data)-4]
+	sum := crc32.Checksum(body, castagnoli)
+	data = append(body, byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24))
+	if _, err := parse(data); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: err = %v", err)
+	}
+}
+
+func TestLatestSkipsTornNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, epoch := range []int64{1, 2, 3} {
+		if _, _, err := Write(dir, sample(0, epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear epoch 3.
+	path := Path(dir, 0, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, skipped, err := Latest(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Epoch != 2 {
+		t.Fatalf("Latest = %+v, want epoch 2", snap)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "epoch00000003") {
+		t.Fatalf("skipped = %v, want the epoch-3 file", skipped)
+	}
+}
+
+func TestLatestEmptyAndMissing(t *testing.T) {
+	snap, skipped, err := Latest(filepath.Join(t.TempDir(), "nonexistent"), 0)
+	if snap != nil || skipped != nil || err != nil {
+		t.Fatalf("missing dir: (%v, %v, %v), want all nil", snap, skipped, err)
+	}
+	snap, _, err = Latest(t.TempDir(), 0)
+	if snap != nil || err != nil {
+		t.Fatalf("empty dir: (%v, %v), want nil snapshot, nil error", snap, err)
+	}
+}
+
+func TestEpochsPruneRemove(t *testing.T) {
+	dir := t.TempDir()
+	for _, epoch := range []int64{5, 1, 3} {
+		if _, _, err := Write(dir, sample(0, epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := Write(dir, sample(1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	epochs, err := Epochs(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(epochs, []int64{1, 3, 5}) {
+		t.Fatalf("Epochs = %v, want [1 3 5]", epochs)
+	}
+	if err := Prune(dir, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if epochs, _ = Epochs(dir, 0); !reflect.DeepEqual(epochs, []int64{3, 5}) {
+		t.Fatalf("after prune: %v, want [3 5]", epochs)
+	}
+	// Rank 1's file is untouched by rank 0 operations.
+	if epochs, _ = Epochs(dir, 1); !reflect.DeepEqual(epochs, []int64{9}) {
+		t.Fatalf("rank 1 epochs: %v, want [9]", epochs)
+	}
+	if err := Remove(dir, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(dir, 0, 5); err != nil {
+		t.Fatalf("double remove: %v, want nil", err)
+	}
+	if epochs, _ = Epochs(dir, 0); !reflect.DeepEqual(epochs, []int64{3}) {
+		t.Fatalf("after remove: %v, want [3]", epochs)
+	}
+}
+
+func TestPathNameRoundTrip(t *testing.T) {
+	name := filepath.Base(Path("d", 12, 345))
+	rank, epoch, ok := parseName(name)
+	if !ok || rank != 12 || epoch != 345 {
+		t.Fatalf("parseName(%q) = (%d, %d, %v)", name, rank, epoch, ok)
+	}
+	if _, _, ok := parseName("rank0001-epoch00000001.ckpt.tmp"); ok {
+		t.Fatal("parseName accepted a .tmp file")
+	}
+	if _, _, ok := parseName("unrelated.txt"); ok {
+		t.Fatal("parseName accepted an unrelated file")
+	}
+}

@@ -1,5 +1,7 @@
 // Package cliutil holds the small flag-parsing helpers shared by the
-// pa-* command-line tools.
+// pa-* command-line tools: human-friendly numeric forms (scientific
+// notation, k/M/G suffixes) for the node- and edge-count flags, parsed
+// into the exact integers the generator needs.
 package cliutil
 
 import (

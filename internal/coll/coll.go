@@ -56,6 +56,11 @@ type Seq struct {
 	cm      *comm.Comm
 	next    int64
 	pending []pendingContrib
+	// recv, when set, replaces cm.Wait as the blocking receive. The
+	// engine's dispatcher installs its requestable recv pump here so
+	// mid-run collectives (checkpoint commit votes) respect the
+	// single-transport-consumer invariant.
+	recv func() ([]msg.Message, error)
 }
 
 // New creates a collective-operation context over cm. All ranks must
@@ -72,6 +77,28 @@ func (s *Seq) nextTag() int64 {
 	s.next++
 	return t
 }
+
+// NextTag returns the tag the next operation phase would consume. A
+// checkpoint records it so a restarted run can resume the tag sequence
+// instead of reusing tags a peer may still associate with old phases.
+func (s *Seq) NextTag() int64 { return s.next }
+
+// SetNextTag moves the tag counter, e.g. to a value restored from a
+// checkpoint. Every rank must set the same value at the same protocol
+// point or subsequent collectives will disagree on their tags.
+func (s *Seq) SetNextTag(tag int64) { s.next = tag }
+
+// SetRecv overrides the blocking receive collectives use (cm.Wait by
+// default). The engine's dispatcher routes all transport receives
+// through one recv pump; installing it here lets collectives run while
+// the dispatcher owns the transport.
+func (s *Seq) SetRecv(recv func() ([]msg.Message, error)) { s.recv = recv }
+
+// Stash buffers a collective contribution that arrived outside a
+// collective — e.g. decoded by the engine's dispatcher in the same batch
+// as the protocol message that triggers the collective — so the next
+// operation with that tag consumes it.
+func (s *Seq) Stash(from int, tag, value int64) { s.stash(tag, from, value) }
 
 // takePending removes and returns one buffered contribution with the
 // given tag, if any.
@@ -101,7 +128,13 @@ func (s *Seq) recvColl(wantTag int64) (from int, payload int64, err error) {
 		return p.from, p.val, nil
 	}
 	for {
-		ms, err := s.cm.Wait()
+		var ms []msg.Message
+		var err error
+		if s.recv != nil {
+			ms, err = s.recv()
+		} else {
+			ms, err = s.cm.Wait()
+		}
 		if err != nil {
 			return 0, 0, err
 		}
@@ -235,6 +268,18 @@ func (s *Seq) AllReduceSum(value int64) (int64, error) {
 func (s *Seq) AllReduceMax(value int64) (int64, error) {
 	return s.reduce(value, func(acc, v int64) int64 {
 		if v > acc {
+			return v
+		}
+		return acc
+	})
+}
+
+// AllReduceMin returns the minimum of every rank's value on every rank.
+// Resume negotiation uses it to pick the newest checkpoint epoch every
+// rank holds a valid snapshot of.
+func (s *Seq) AllReduceMin(value int64) (int64, error) {
+	return s.reduce(value, func(acc, v int64) int64 {
+		if v < acc {
 			return v
 		}
 		return acc

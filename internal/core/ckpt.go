@@ -1,0 +1,500 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pagen/internal/msg"
+)
+
+// CheckpointOptions enables cooperative checkpointing: the engine
+// periodically pauses generation at a globally quiescent point (a
+// consistent cut — see DESIGN.md §9), writes one snapshot file per rank
+// under Dir, and resumes. A later run with Resume set restarts from the
+// newest epoch every rank holds a valid snapshot of, producing output
+// byte-identical to an uninterrupted run.
+type CheckpointOptions struct {
+	// Dir is the snapshot directory (one file per rank per epoch).
+	Dir string
+	// Every triggers an epoch each time rank 0's progress metric
+	// (initiated nodes plus received data messages) grows by this much.
+	// Zero disables triggering — useful with Resume to restart a run
+	// without further checkpoints.
+	Every int64
+	// Keep is the number of committed epochs retained per rank (older
+	// ones are pruned). Values below 2 are raised to 2 so one torn
+	// latest epoch still leaves a common fallback. 0 selects the default.
+	Keep int
+	// Resume makes the run restart from the newest epoch all ranks can
+	// read; with no usable snapshots the run starts fresh.
+	Resume bool
+}
+
+// DefaultCheckpointKeep is the default number of retained epochs.
+const DefaultCheckpointKeep = 2
+
+// Checkpoint-epoch phases (ckptRun.phase, atomic: workers read it at
+// poll points, the coordinator goroutine writes it).
+const (
+	ckIdle int32 = iota
+	// ckPaused: an epoch is active — generation is paused, the rank
+	// keeps serving the resolution cascade until globally quiescent.
+	ckPaused
+)
+
+// ckptMaxRounds bounds the quiescence-probe rounds per epoch. The
+// protocol converges once in-flight traffic drains, so hitting the
+// bound means a protocol bug, not a slow network; erroring out beats
+// looping forever (and keeps the round number inside its uint16 field).
+const ckptMaxRounds = 10000
+
+// errAborted reports that the engine aborted while a receive was
+// blocked; the first real error is latched in engine.firstErr.
+var errAborted = errors.New("core: engine aborted")
+
+// ckptRun is the per-rank state of the checkpoint protocol. All fields
+// except the atomics belong to the rank's coordinator goroutine (the
+// dispatcher, or the single-worker loop).
+type ckptRun struct {
+	dir   string
+	every int64
+	keep  int
+	// kick wakes a dispatcher blocked on the transport when a worker
+	// crosses the trigger threshold or parks during an epoch.
+	kick chan struct{}
+
+	phase       int32 // atomic: ckIdle / ckPaused
+	initiated   int64 // atomic: nodes whose generation has started
+	nextTrigger int64 // atomic: metric value that opens the next epoch
+
+	epochNext int64 // next epoch number to open (rank 0)
+	epoch     int64 // epoch currently active (all ranks)
+	lastGood  int64 // newest committed epoch
+
+	// Quiescence-detection state. Rank 0 collects per-rank (sent, recv)
+	// data-message counters round by round; two consecutive identical,
+	// globally balanced rounds prove no data message is in flight.
+	round         int                // current counter round (rank 0)
+	pendingRound  int                // newest round this rank must report for
+	reportedRound int                // newest round this rank has reported
+	cutAsked      bool               // CkptCut received, snapshot due
+	cutSent       bool               // rank 0: cut already broadcast
+	cur, prev     map[int][2]int64   // per-rank (sent, recv) this/last round
+
+	// doneRecv counts Done reports received over the wire (rank 0), so
+	// the balance counters cover the termination protocol's traffic too.
+	doneRecv int64
+	// held parks non-collective messages that arrive while the cut's
+	// commit collectives own the receive path; they are delivered after
+	// the epoch ends.
+	held []msg.Message
+
+	pauseStart time.Time
+	// scanPush/scanPop hold the first pass of the two-pass inbox scan
+	// that establishes local quiescence.
+	scanPush, scanPop []int64
+
+	// metrics
+	epochs, failed, bytes, writeNanos, pauseNanos int64
+}
+
+// kickNow wakes the dispatcher without blocking (the channel holds one
+// pending kick; more carry no extra information).
+func (ck *ckptRun) kickNow() {
+	select {
+	case ck.kick <- struct{}{}:
+	default:
+	}
+}
+
+// ckptNoteInit counts one initiated node and kicks the dispatcher when
+// the count alone crosses the trigger (the authoritative check, which
+// also includes received-message counts, runs on the dispatcher).
+func (e *engine) ckptNoteInit() {
+	ck := e.ck
+	v := atomic.AddInt64(&ck.initiated, 1)
+	if v >= atomic.LoadInt64(&ck.nextTrigger) && atomic.LoadInt32(&ck.phase) == ckIdle {
+		ck.kickNow()
+	}
+}
+
+// ckptMetric is rank 0's monotone progress measure: initiated local
+// nodes plus received data messages. The received term keeps epochs
+// firing after rank 0 finishes generating while other ranks still run.
+func (e *engine) ckptMetric() int64 {
+	c := e.cm.Counters()
+	return atomic.LoadInt64(&e.ck.initiated) + c.RequestsRecv + c.ResolvedRecv
+}
+
+// ckptBegin (rank 0) opens a new epoch: pause generation everywhere,
+// then detect global quiescence via counter rounds.
+func (e *engine) ckptBegin() error {
+	ck := e.ck
+	ck.epoch = ck.epochNext
+	ck.epochNext++
+	if ck.every > 0 {
+		atomic.StoreInt64(&ck.nextTrigger, e.ckptMetric()+ck.every)
+	}
+	ck.round = 1
+	ck.pendingRound = 1
+	ck.reportedRound = 0
+	ck.cutAsked = false
+	ck.cutSent = false
+	ck.cur = make(map[int][2]int64, e.p)
+	ck.prev = nil
+	ck.pauseStart = time.Now()
+	atomic.StoreInt32(&ck.phase, ckPaused)
+	for r := 1; r < e.p; r++ {
+		if err := e.cm.SendNow(r, msg.Ckpt(e.rank, msg.CkptBegin, 1, ck.epoch, 0)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ckptOnMsg handles one received checkpoint-protocol message.
+func (e *engine) ckptOnMsg(m msg.Message) error {
+	ck := e.ck
+	op := msg.CkptOp(m.E)
+	if ck == nil {
+		return fmt.Errorf("core: rank %d received checkpoint message (op %d) with checkpointing disabled", e.rank, op)
+	}
+	switch op {
+	case msg.CkptBegin:
+		if e.rank == 0 {
+			return fmt.Errorf("core: rank 0 received checkpoint begin")
+		}
+		if atomic.LoadInt32(&ck.phase) != ckIdle {
+			return fmt.Errorf("core: checkpoint begin for epoch %d while epoch %d active", m.K, ck.epoch)
+		}
+		ck.epoch = m.K
+		ck.pendingRound = int(m.L)
+		ck.reportedRound = 0
+		ck.cutAsked = false
+		ck.pauseStart = time.Now()
+		atomic.StoreInt32(&ck.phase, ckPaused)
+	case msg.CkptProbe:
+		ck.pendingRound = int(m.L)
+	case msg.CkptReport:
+		if e.rank != 0 {
+			return fmt.Errorf("core: rank %d received checkpoint report", e.rank)
+		}
+		if int(m.L) != ck.round {
+			return fmt.Errorf("core: checkpoint report for round %d in round %d", m.L, ck.round)
+		}
+		ck.cur[int(m.T)] = [2]int64{m.K, m.V}
+	case msg.CkptCut:
+		ck.cutAsked = true
+	default:
+		return fmt.Errorf("core: unknown checkpoint op %d", op)
+	}
+	return nil
+}
+
+// ckptBalance returns this rank's cumulative data-message (sent, recv)
+// counters, including the termination protocol's Done reports — any
+// message type that can be in flight between ranks mid-run. (Stop is
+// excluded: it is deferred while an epoch is active, so it is never in
+// flight during one.)
+func (e *engine) ckptBalance() (sent, recv int64) {
+	c := e.cm.Counters()
+	sent = c.RequestsSent + c.ResolvedSent
+	recv = c.RequestsRecv + c.ResolvedRecv
+	if e.concurrent {
+		// Concurrent done reports always travel the wire (rank 0
+		// self-sends), so the latch counts for every rank.
+		if atomic.LoadInt32(&e.doneSent) == 1 {
+			sent++
+		}
+	} else if e.doneFlag && e.rank != 0 {
+		// Single-worker rank 0 short-circuits its own report; only
+		// other ranks' reports travel.
+		sent++
+	}
+	recv += e.ck.doneRecv
+	return sent, recv
+}
+
+// ckptQuiescentNow reports whether this rank is locally quiescent: every
+// worker parked on an empty inbox, with no push or pop in between two
+// scans (the counters are monotone, so equality across both passes
+// proves no message moved while we looked). The single-worker loop is
+// quiescent by construction whenever it runs the protocol.
+func (e *engine) ckptQuiescentNow() bool {
+	if !e.concurrent {
+		return true
+	}
+	ck := e.ck
+	if len(ck.scanPush) < e.nw {
+		ck.scanPush = make([]int64, e.nw)
+		ck.scanPop = make([]int64, e.nw)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, w := range e.workers {
+			parked, empty, pushes, pops := w.inbox.scanState()
+			if !parked || !empty {
+				return false
+			}
+			if pass == 0 {
+				ck.scanPush[i], ck.scanPop[i] = pushes, pops
+			} else if ck.scanPush[i] != pushes || ck.scanPop[i] != pops {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ckptReport sends this rank's counter report for the pending round.
+// Rank 0 reports to itself over the wire rather than recording directly:
+// every round advance then costs a real receive, which keeps the
+// coordinator returning to the transport between rounds so in-flight
+// traffic (the very thing the rounds are waiting out) gets delivered
+// instead of the rounds spinning to the bound against a stale balance.
+func (e *engine) ckptReport() error {
+	ck := e.ck
+	ck.reportedRound = ck.pendingRound
+	sent, recv := e.ckptBalance()
+	return e.cm.SendNow(0, msg.Ckpt(e.rank, msg.CkptReport, ck.reportedRound, sent, recv))
+}
+
+// balancedStable reports whether the current round matches the previous
+// one rank for rank and the global sent/recv totals agree — the
+// two-consecutive-identical-balanced-rounds criterion for global
+// quiescence.
+func (ck *ckptRun) balancedStable(p int) bool {
+	if ck.prev == nil {
+		return false
+	}
+	var sent, recv int64
+	for r := 0; r < p; r++ {
+		cur, ok := ck.cur[r]
+		if !ok {
+			return false
+		}
+		if prev, ok := ck.prev[r]; !ok || prev != cur {
+			return false
+		}
+		sent += cur[0]
+		recv += cur[1]
+	}
+	return sent == recv
+}
+
+// ckptEvaluate (rank 0) advances the quiescence detection once all
+// ranks have reported the current round: either declare the cut or
+// start another round. Returns whether it made progress.
+func (e *engine) ckptEvaluate() (bool, error) {
+	ck := e.ck
+	if ck.cutSent || len(ck.cur) < e.p {
+		return false, nil
+	}
+	if ck.round >= 2 && ck.balancedStable(e.p) {
+		// Global quiescence. The cut goes to every rank including rank
+		// 0 itself (a transport self-send) so all ranks process it
+		// uniformly on their receive path.
+		for r := 0; r < e.p; r++ {
+			if err := e.cm.SendNow(r, msg.Ckpt(e.rank, msg.CkptCut, ck.round, ck.epoch, 0)); err != nil {
+				return false, err
+			}
+		}
+		ck.cutSent = true
+		return true, nil
+	}
+	if ck.round >= ckptMaxRounds {
+		return false, fmt.Errorf("core: checkpoint epoch %d failed to quiesce after %d rounds (cur %v, prev %v)",
+			ck.epoch, ck.round, ck.cur, ck.prev)
+	}
+	ck.prev = ck.cur
+	ck.cur = make(map[int][2]int64, e.p)
+	ck.round++
+	// The probe goes to rank 0 itself as well (see ckptReport): its next
+	// report is then paced by the receive path like everyone else's.
+	for r := 0; r < e.p; r++ {
+		if err := e.cm.SendNow(r, msg.Ckpt(e.rank, msg.CkptProbe, ck.round, ck.epoch, 0)); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// ckptStep runs as much of the checkpoint protocol as can proceed
+// without receiving: open a due epoch (rank 0), report quiescence,
+// evaluate rounds, execute a requested cut. The coordinator calls it
+// once per receive-loop iteration.
+func (e *engine) ckptStep() error {
+	ck := e.ck
+	if ck == nil {
+		return nil
+	}
+	if e.rank == 0 && ck.every > 0 && !e.stopped &&
+		atomic.LoadInt32(&ck.phase) == ckIdle &&
+		e.ckptMetric() >= atomic.LoadInt64(&ck.nextTrigger) {
+		if err := e.ckptBegin(); err != nil {
+			return err
+		}
+	}
+	if atomic.LoadInt32(&ck.phase) != ckPaused {
+		return nil
+	}
+	for {
+		progressed := false
+		if ck.reportedRound < ck.pendingRound && e.ckptQuiescentNow() {
+			if err := e.ckptReport(); err != nil {
+				return err
+			}
+			progressed = true
+		}
+		if e.rank == 0 {
+			p, err := e.ckptEvaluate()
+			if err != nil {
+				return err
+			}
+			progressed = progressed || p
+		}
+		if ck.cutAsked {
+			ck.cutAsked = false
+			return e.ckptCut()
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}
+
+// ckptFilter splits a received batch while commit collectives own the
+// receive path: collective messages pass through, everything else is
+// held (copied — the input aliases comm's reused scratch) for delivery
+// after the epoch ends.
+func (e *engine) ckptFilter(ms []msg.Message) []msg.Message {
+	colls := ms[:0]
+	for _, m := range ms {
+		if m.Kind == msg.KindColl {
+			colls = append(colls, m)
+		} else {
+			e.ck.held = append(e.ck.held, m)
+		}
+	}
+	return colls
+}
+
+// ckptFlushHeld delivers the messages parked during the cut's commit
+// collectives through the normal receive path.
+func (e *engine) ckptFlushHeld() error {
+	ck := e.ck
+	if len(ck.held) == 0 {
+		return nil
+	}
+	held := ck.held
+	ck.held = nil
+	if e.concurrent {
+		return e.deliver(held)
+	}
+	for _, m := range held {
+		if err := e.handleSingle(m); err != nil {
+			return err
+		}
+	}
+	if w := e.workers[0]; w.err != nil {
+		return w.err
+	}
+	return e.cm.FlushAll()
+}
+
+// ckptCut executes a declared cut: write the snapshot, vote on the
+// commit, prune or discard, and resume generation. Every rank is
+// globally quiescent here, so the snapshots form a consistent cut.
+func (e *engine) ckptCut() error {
+	ck := e.ck
+	snap := e.buildSnapshot()
+	t0 := time.Now()
+	_, size, werr := ckptWrite(ck.dir, snap)
+	ck.writeNanos += time.Since(t0).Nanoseconds()
+
+	// Commit vote: all-or-nothing, so ranks never disagree about the
+	// newest committed epoch (modulo later file corruption, which
+	// resume detects via CRC and falls back across).
+	ok := int64(1)
+	if werr != nil {
+		ok = 0
+	}
+	votes, err := e.seq.Gather(ok)
+	if err != nil {
+		return err
+	}
+	commit := int64(1)
+	if e.rank == 0 {
+		for _, v := range votes {
+			if v != 1 {
+				commit = 0
+			}
+		}
+	}
+	commit, err = e.seq.Broadcast(commit)
+	if err != nil {
+		return err
+	}
+	if commit == 1 {
+		ck.lastGood = ck.epoch
+		ck.epochs++
+		ck.bytes += size
+		if err := ckptPrune(ck.dir, e.rank, ck.keep); err != nil {
+			return err
+		}
+	} else {
+		// Some rank failed to write (e.g. disk full): the epoch is
+		// abandoned, the run continues, and this rank's own file — if
+		// it made it to disk — is removed so resume never sees a
+		// partial epoch.
+		ck.failed++
+		if werr == nil {
+			ckptRemove(ck.dir, e.rank, ck.epoch)
+		}
+	}
+
+	// Resume: unpause, wake the workers, release held traffic, retry
+	// the stop broadcast the pause may have deferred.
+	atomic.StoreInt32(&ck.phase, ckIdle)
+	ck.pauseNanos += time.Since(ck.pauseStart).Nanoseconds()
+	if e.rank == 0 && ck.every > 0 {
+		atomic.StoreInt64(&ck.nextTrigger, e.ckptMetric()+ck.every)
+	}
+	if e.concurrent {
+		resume := []msg.Message{{Kind: kindCkptResume}}
+		for _, w := range e.workers {
+			if !w.inbox.pushBatch(resume) {
+				return e.takeErr()
+			}
+		}
+	}
+	if err := e.ckptFlushHeld(); err != nil {
+		return err
+	}
+	if err := e.cm.FlushAll(); err != nil {
+		return err
+	}
+	if e.rank == 0 {
+		return e.maybeBroadcastStop()
+	}
+	return nil
+}
+
+// ckptServe drives the single-worker loop through an active epoch:
+// alternate protocol steps with blocking receives until the cut
+// completes and generation may resume.
+func (e *engine) ckptServe() error {
+	for atomic.LoadInt32(&e.ck.phase) != ckIdle {
+		if err := e.ckptStep(); err != nil {
+			return err
+		}
+		if atomic.LoadInt32(&e.ck.phase) == ckIdle {
+			return nil
+		}
+		if err := e.drainSingle(true); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -40,6 +40,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pagen/internal/ckpt"
+	"pagen/internal/coll"
 	"pagen/internal/comm"
 	"pagen/internal/graph"
 	"pagen/internal/model"
@@ -89,6 +91,11 @@ type Options struct {
 	// one counter increment per copy query plus 8 bytes per local node,
 	// so it is opt-in.
 	CollectNodeLoad bool
+	// Checkpoint, when non-nil, enables cooperative checkpoint/restart
+	// (see CheckpointOptions and DESIGN.md §9). Incompatible with Sink,
+	// Trace and CollectNodeLoad, whose side effects are not captured by
+	// a snapshot.
+	Checkpoint *CheckpointOptions
 }
 
 // DefaultPollEvery is the generation-loop polling interval the adaptive
@@ -143,6 +150,16 @@ type RankStats struct {
 	BusyTime time.Duration
 	// WallTime is the rank's total engine time.
 	WallTime time.Duration
+	// CkptEpochs counts committed checkpoint epochs; CkptFailed counts
+	// abandoned ones (some rank's snapshot write failed). CkptBytes is
+	// the committed snapshot bytes written by this rank, CkptWriteTime
+	// the time spent writing them, and CkptPauseTime the total
+	// generation pause across epochs (quiescence wait + write + vote).
+	CkptEpochs    int64
+	CkptFailed    int64
+	CkptBytes     int64
+	CkptWriteTime time.Duration
+	CkptPauseTime time.Duration
 }
 
 // Metrics converts the rank's statistics into the exported obs form.
@@ -169,6 +186,11 @@ func (s RankStats) Metrics() obs.RankMetrics {
 		WallNanos:       s.WallTime.Nanoseconds(),
 		BusyNanos:       s.BusyTime.Nanoseconds(),
 		WaitChain:       s.WaitChain,
+		CkptEpochs:      s.CkptEpochs,
+		CkptFailed:      s.CkptFailed,
+		CkptBytes:       s.CkptBytes,
+		CkptWriteNanos:  s.CkptWriteTime.Nanoseconds(),
+		CkptPauseNanos:  s.CkptPauseTime.Nanoseconds(),
 	}
 }
 
@@ -216,6 +238,9 @@ const (
 	kindReqLocal msg.Kind = 100 + iota
 	// kindResLocal is a same-rank <resolved>: sibling worker answering.
 	kindResLocal
+	// kindCkptResume wakes a worker parked by a checkpoint epoch: the
+	// cut is committed (or abandoned) and generation may continue.
+	kindCkptResume
 )
 
 // engine is the per-rank state machine.
@@ -280,6 +305,23 @@ type engine struct {
 	doneFlag  bool
 	doneRanks int
 	stopped   bool
+
+	// Checkpoint/restart state (nil ck disables the whole machinery).
+	ck  *ckptRun
+	seq *coll.Seq // mid-run collectives (checkpoint commit votes)
+	// ckTrig gates the per-node initiated counter: set only on rank 0
+	// with a trigger interval, so other ranks pay nothing in the loop.
+	ckTrig bool
+	// restored marks a resumed run: the generation pass skips nodes the
+	// snapshot already initiated.
+	restored   bool
+	resumeSnap *ckpt.Snapshot
+	// pump and reqOut track the dispatcher's requestable receive: a
+	// kick can interrupt the wait, leaving the pump request outstanding
+	// for the next receive to consume.
+	pump   *recvPump
+	reqOut bool
+	route  [][]msg.Message
 }
 
 // RunRank executes one rank of the parallel algorithm over the given
@@ -290,6 +332,11 @@ func RunRank(tr transport.Transport, opts Options) (*RankResult, error) {
 	e, err := newEngine(tr, opts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Checkpoint != nil && opts.Checkpoint.Resume {
+		if err := e.negotiateResume(); err != nil {
+			return nil, err
+		}
 	}
 	if err := e.run(); err != nil {
 		return nil, err
@@ -360,6 +407,47 @@ func newEngine(tr transport.Transport, opts Options) (*engine, error) {
 			hi = size
 		}
 		e.workers[i] = newWorker(e, i, lo, hi)
+	}
+	if c := opts.Checkpoint; c != nil {
+		switch {
+		case c.Dir == "":
+			return nil, fmt.Errorf("core: checkpointing requires a directory")
+		case c.Every < 0:
+			return nil, fmt.Errorf("core: negative checkpoint interval %d", c.Every)
+		case opts.Sink != nil:
+			return nil, fmt.Errorf("core: checkpointing is incompatible with a streaming sink (already-streamed edges cannot be unsent on restart)")
+		case opts.Trace != nil:
+			return nil, fmt.Errorf("core: checkpointing is incompatible with tracing")
+		case opts.CollectNodeLoad:
+			return nil, fmt.Errorf("core: checkpointing is incompatible with node-load collection")
+		}
+		keep := c.Keep
+		if keep == 0 {
+			keep = DefaultCheckpointKeep
+		}
+		if keep < 2 {
+			keep = 2
+		}
+		e.ck = &ckptRun{
+			dir:       c.Dir,
+			every:     c.Every,
+			keep:      keep,
+			kick:      make(chan struct{}, 1),
+			epochNext: 1,
+		}
+		e.seq = coll.New(e.cm)
+		e.ckTrig = rank == 0 && c.Every > 0
+		atomic.StoreInt64(&e.ck.nextTrigger, c.Every)
+		if e.concurrent {
+			ck := e.ck
+			for _, w := range e.workers {
+				w.inbox.onIdle = func() {
+					if atomic.LoadInt32(&ck.phase) == ckPaused {
+						ck.kickNow()
+					}
+				}
+			}
+		}
 	}
 	return e, nil
 }
@@ -472,6 +560,19 @@ func (e *engine) run() error {
 	}()
 
 	e.bootstrap()
+	if e.resumeSnap != nil {
+		if err := e.restore(); err != nil {
+			return err
+		}
+	}
+	// Data messages a faster peer generated while this rank was still
+	// inside the resume-negotiation collectives were parked in ck.held;
+	// deliver them now that the restored state they refer to exists.
+	if e.ck != nil {
+		if err := e.ckptFlushHeld(); err != nil {
+			return err
+		}
+	}
 
 	if !e.concurrent {
 		return e.runSingle()
@@ -603,6 +704,13 @@ func (e *engine) finishStats() {
 	e.stats.RequestsTo = e.cm.RequestsToView()
 	e.stats.MaxPendingSlots = atomic.LoadInt64(&e.maxPendingWaiters)
 	e.stats.NodeLoad = e.nodeLoad
+	if ck := e.ck; ck != nil {
+		e.stats.CkptEpochs = ck.epochs
+		e.stats.CkptFailed = ck.failed
+		e.stats.CkptBytes = ck.bytes
+		e.stats.CkptWriteTime = time.Duration(ck.writeNanos)
+		e.stats.CkptPauseTime = time.Duration(ck.pauseNanos)
+	}
 }
 
 // reportDone sends the rank's done report exactly once. With workers the
@@ -626,23 +734,31 @@ func (e *engine) reportDone() {
 
 func (e *engine) runSingle() error {
 	w := e.workers[0]
-	sincePoll := 0
-	e.part.ForEach(e.rank, func(t int64) {
-		if w.err != nil || t <= e.x64 {
-			return // clique and bootstrap nodes were handled above
-		}
-		w.genNode(t)
-		sincePoll++
-		if sincePoll >= w.poll {
-			sincePoll = 0
-			if err := e.drainSingle(false); err != nil && w.err == nil {
-				w.err = err
+	if e.ck != nil {
+		// Commit collectives share the loop's receive path; traffic
+		// that races them is held for delivery after the cut.
+		e.seq.SetRecv(func() ([]msg.Message, error) {
+			if err := e.cm.FlushAll(); err != nil {
+				return nil, err
 			}
-			w.adaptPoll()
+			ms, err := e.cm.Wait()
+			if err != nil {
+				return nil, err
+			}
+			return e.ckptFilter(ms), nil
+		})
+	}
+	for {
+		done := e.genSingle()
+		if w.err != nil {
+			return w.err
 		}
-	})
-	if w.err != nil {
-		return w.err
+		if done {
+			break
+		}
+		if err := e.ckptServe(); err != nil {
+			return err
+		}
 	}
 
 	// All local slots initiated. From here unresolved is monotone.
@@ -653,11 +769,53 @@ func (e *engine) runSingle() error {
 		if err := e.drainSingle(true); err != nil {
 			return err
 		}
+		if err := e.ckptStep(); err != nil {
+			return err
+		}
 		if err := e.maybeReportDone(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// genSingle advances the single worker's generation cursor until the
+// block is exhausted (returns true) or a checkpoint epoch pauses the
+// run (returns false; ckptServe drives the epoch, then the cursor
+// resumes exactly where it stopped).
+func (e *engine) genSingle() bool {
+	w := e.workers[0]
+	sincePoll := 0
+	for w.cursor < w.hi {
+		if w.err != nil {
+			return true
+		}
+		idx := w.cursor
+		w.cursor++
+		if t := e.part.NodeAt(e.rank, idx); t > e.x64 && !(e.restored && e.nodeInitiated(idx)) {
+			w.genNode(t)
+			if e.ckTrig {
+				e.ckptNoteInit()
+			}
+		}
+		sincePoll++
+		if sincePoll >= w.poll {
+			sincePoll = 0
+			if err := e.drainSingle(false); err != nil && w.err == nil {
+				w.err = err
+			}
+			w.adaptPoll()
+			if e.ck != nil {
+				if err := e.ckptStep(); err != nil && w.err == nil {
+					w.err = err
+				}
+				if atomic.LoadInt32(&e.ck.phase) == ckPaused {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // drainSingle processes incoming messages: all immediately available
@@ -682,23 +840,8 @@ func (e *engine) drainSingle(block bool) error {
 		return err
 	}
 	for _, m := range ms {
-		switch m.Kind {
-		case msg.KindRequest:
-			w.onRequest(m, true)
-		case msg.KindResolved:
-			w.resume(m.T, int(m.E), m.V)
-		case msg.KindDone:
-			if e.rank != 0 {
-				return fmt.Errorf("core: rank %d received done message", e.rank)
-			}
-			e.doneRanks++
-			if err := e.maybeBroadcastStop(); err != nil {
-				return err
-			}
-		case msg.KindStop:
-			e.stopped = true
-		default:
-			return fmt.Errorf("core: unexpected message kind %v", m.Kind)
+		if err := e.handleSingle(m); err != nil {
+			return err
 		}
 	}
 	if w.err != nil {
@@ -708,6 +851,40 @@ func (e *engine) drainSingle(block bool) error {
 	// the next blocking point (paper rule: resolved messages are sent
 	// out after processing every group).
 	return e.cm.FlushAll()
+}
+
+// handleSingle routes one received message on the single-worker path.
+func (e *engine) handleSingle(m msg.Message) error {
+	w := e.workers[0]
+	switch m.Kind {
+	case msg.KindRequest:
+		w.onRequest(m, true)
+	case msg.KindResolved:
+		w.resume(m.T, int(m.E), m.V)
+	case msg.KindDone:
+		if e.rank != 0 {
+			return fmt.Errorf("core: rank %d received done message", e.rank)
+		}
+		e.doneRanks++
+		if e.ck != nil {
+			e.ck.doneRecv++
+		}
+		return e.maybeBroadcastStop()
+	case msg.KindStop:
+		e.stopped = true
+	case msg.KindCkpt:
+		return e.ckptOnMsg(m)
+	case msg.KindColl:
+		// A commit-vote contribution that raced ahead of this rank
+		// entering the cut's collectives; buffer it for them.
+		if e.ck == nil {
+			return fmt.Errorf("core: unexpected message kind %v", m.Kind)
+		}
+		e.seq.Stash(int(m.T), m.K, m.V)
+	default:
+		return fmt.Errorf("core: unexpected message kind %v", m.Kind)
+	}
+	return nil
 }
 
 // maybeReportDone sends the rank's done report once all local slots are
@@ -726,8 +903,13 @@ func (e *engine) maybeReportDone() error {
 }
 
 // maybeBroadcastStop (rank 0) broadcasts stop once every rank reported.
+// While a checkpoint epoch is active the broadcast is deferred — ranks
+// mid-epoch must finish the cut — and ckptCut retries it after resuming.
 func (e *engine) maybeBroadcastStop() error {
-	if e.doneRanks < e.p {
+	if e.doneRanks < e.p || e.stopped {
+		return nil
+	}
+	if e.ck != nil && atomic.LoadInt32(&e.ck.phase) != ckIdle {
 		return nil
 	}
 	for r := 1; r < e.p; r++ {
@@ -779,81 +961,185 @@ func startPump(tr transport.Transport) *recvPump {
 // anyone reading the result.
 func (p *recvPump) shutdown() { close(p.req) }
 
+// pumpRecv blocks for one transport frame via the pump and returns the
+// decoded batch. A pump request left outstanding by an interrupted wait
+// (kick) is consumed by the next call instead of issuing another. When
+// kickable, a checkpoint kick interrupts the wait with (nil, true, nil)
+// so the dispatcher can run the epoch protocol; the commit collectives'
+// receive path is not kickable.
+func (e *engine) pumpRecv(kickable bool) (ms []msg.Message, kicked bool, err error) {
+	if !e.reqOut {
+		e.pump.req <- struct{}{}
+		e.reqOut = true
+	}
+	var kickCh chan struct{}
+	if kickable && e.ck != nil {
+		kickCh = e.ck.kick
+	}
+	t0 := time.Now()
+	select {
+	case r := <-e.pump.res:
+		e.blocked += time.Since(t0)
+		e.reqOut = false
+		if r.err != nil {
+			return nil, false, r.err
+		}
+		ms, err = e.cm.DecodeFrame(r.frame)
+		return ms, false, err
+	case <-kickCh:
+		e.blocked += time.Since(t0)
+		return nil, true, nil
+	case <-e.abortCh:
+		e.blocked += time.Since(t0)
+		return nil, false, errAborted
+	}
+}
+
+// pumpDrain consumes a pump result left behind by a kick-interrupted
+// pumpRecv, if one is ready, and returns its decoded batch (nil when
+// there is nothing parked). Without this, a frame the pump captured just
+// before a kick could starve: during a checkpoint epoch the protocol's
+// self-sent probes and reports keep Poll returning fresh frames every
+// iteration, so the dispatcher would never block on pumpRecv again — and
+// the parked frame (say, a Done report the quiescence balance is waiting
+// for) would never be delivered.
+func (e *engine) pumpDrain() ([]msg.Message, error) {
+	if !e.reqOut {
+		return nil, nil
+	}
+	select {
+	case r := <-e.pump.res:
+		e.reqOut = false
+		if r.err != nil {
+			return nil, r.err
+		}
+		return e.cm.DecodeFrame(r.frame)
+	default:
+		return nil, nil
+	}
+}
+
+// deliver routes one received batch: protocol traffic to the owning
+// workers' inboxes, coordination messages to the coordinator state.
+// Shared by the dispatcher's main loop and the post-cut release of held
+// messages.
+func (e *engine) deliver(ms []msg.Message) error {
+	if e.route == nil {
+		// First delivery can precede dispatch when the startup flush
+		// releases messages held during resume negotiation.
+		e.route = make([][]msg.Message, e.nw)
+	}
+	route := e.route
+	for i := range route {
+		route[i] = route[i][:0]
+	}
+	for _, m := range ms {
+		switch m.Kind {
+		case msg.KindRequest:
+			wid := e.workerOf(e.localIdx(m.K))
+			route[wid] = append(route[wid], m)
+		case msg.KindResolved:
+			wid := e.workerOf(e.localIdx(m.T))
+			route[wid] = append(route[wid], m)
+		case msg.KindDone:
+			if e.rank != 0 {
+				return fmt.Errorf("core: rank %d received done message", e.rank)
+			}
+			e.doneRanks++
+			if e.ck != nil {
+				e.ck.doneRecv++
+			}
+			if err := e.maybeBroadcastStop(); err != nil {
+				return err
+			}
+		case msg.KindStop:
+			e.stopped = true
+		case msg.KindCkpt:
+			if err := e.ckptOnMsg(m); err != nil {
+				return err
+			}
+		case msg.KindColl:
+			// A commit-vote contribution that raced ahead of this rank
+			// entering the cut's collectives; buffer it for them.
+			if e.ck == nil {
+				return fmt.Errorf("core: unexpected message kind %v", m.Kind)
+			}
+			e.seq.Stash(int(m.T), m.K, m.V)
+		default:
+			return fmt.Errorf("core: unexpected message kind %v", m.Kind)
+		}
+	}
+	for i, b := range route {
+		if len(b) == 0 {
+			continue
+		}
+		if !e.workers[i].inbox.pushBatch(b) {
+			// Inbox closed: abort already under way.
+			return e.takeErr()
+		}
+	}
+	return nil
+}
+
 // dispatch runs the rank's receive loop until stop or abort: decode,
-// route to owning workers, count done reports (rank 0), broadcast stop.
-// On return (normal stop) it closes every inbox, which is the workers'
-// stop signal.
+// route to owning workers, count done reports (rank 0), broadcast stop,
+// and drive the checkpoint protocol. On return (normal stop) it closes
+// every inbox, which is the workers' stop signal.
 func (e *engine) dispatch() {
-	pump := startPump(e.tr)
-	defer pump.shutdown()
-	route := make([][]msg.Message, e.nw)
+	e.pump = startPump(e.tr)
+	defer e.pump.shutdown()
+	if e.route == nil {
+		// Normally built here, but the startup held-flush (resume
+		// negotiation traffic) may have routed batches already.
+		e.route = make([][]msg.Message, e.nw)
+	}
+	if e.ck != nil {
+		// Commit collectives share the pump; traffic that races them
+		// is held for delivery after the cut.
+		e.seq.SetRecv(func() ([]msg.Message, error) {
+			ms, _, err := e.pumpRecv(false)
+			if err != nil {
+				return nil, err
+			}
+			return e.ckptFilter(ms), nil
+		})
+	}
 	for !e.stopped {
-		ms, err := e.cm.Poll()
+		if err := e.ckptStep(); err != nil {
+			e.fail(err)
+			return
+		}
+		if e.stopped {
+			break
+		}
+		ms, err := e.pumpDrain()
 		if err != nil {
 			e.fail(err)
 			return
 		}
 		if len(ms) == 0 {
-			pump.req <- struct{}{}
-			t0 := time.Now()
-			select {
-			case r := <-pump.res:
-				e.blocked += time.Since(t0)
-				if r.err != nil {
-					e.fail(r.err)
-					return
-				}
-				ms, err = e.cm.DecodeFrame(r.frame)
-				if err != nil {
+			ms, err = e.cm.Poll()
+			if err != nil {
+				e.fail(err)
+				return
+			}
+		}
+		if len(ms) == 0 {
+			var kicked bool
+			ms, kicked, err = e.pumpRecv(true)
+			if err != nil {
+				if err != errAborted {
 					e.fail(err)
-					return
 				}
-			case <-e.abortCh:
-				e.blocked += time.Since(t0)
 				return
 			}
-		}
-		for i := range route {
-			route[i] = route[i][:0]
-		}
-		for _, m := range ms {
-			switch m.Kind {
-			case msg.KindRequest:
-				wid := e.workerOf(e.localIdx(m.K))
-				route[wid] = append(route[wid], m)
-			case msg.KindResolved:
-				wid := e.workerOf(e.localIdx(m.T))
-				route[wid] = append(route[wid], m)
-			case msg.KindDone:
-				if e.rank != 0 {
-					e.fail(fmt.Errorf("core: rank %d received done message", e.rank))
-					return
-				}
-				e.doneRanks++
-				if e.doneRanks >= e.p && !e.stopped {
-					for r := 1; r < e.p; r++ {
-						if err := e.cm.SendNow(r, msg.Stop()); err != nil {
-							e.fail(err)
-							return
-						}
-					}
-					e.stopped = true
-				}
-			case msg.KindStop:
-				e.stopped = true
-			default:
-				e.fail(fmt.Errorf("core: unexpected message kind %v", m.Kind))
-				return
-			}
-		}
-		for i, b := range route {
-			if len(b) == 0 {
+			if kicked {
 				continue
 			}
-			if !e.workers[i].inbox.pushBatch(b) {
-				// Inbox closed: abort already under way.
-				return
-			}
+		}
+		if err := e.deliver(ms); err != nil {
+			e.fail(err)
+			return
 		}
 	}
 	for _, w := range e.workers {

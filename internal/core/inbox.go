@@ -23,6 +23,19 @@ type inbox struct {
 	buf      []msg.Message
 	capacity int
 	closed   bool
+
+	// parked marks the consumer blocked in pop with an empty queue;
+	// pushes/pops count messages ever enqueued/dequeued. Together they
+	// let the checkpoint protocol's two-pass scan prove local
+	// quiescence: all workers parked on empty inboxes with identical
+	// counters across both passes means no message moved in between.
+	parked bool
+	pushes int64
+	pops   int64
+	// onIdle, when set, fires (under the lock) as the consumer parks —
+	// the checkpoint protocol's cue to re-examine quiescence. It must
+	// not block; the kick it delivers is a buffered non-blocking send.
+	onIdle func()
 }
 
 func newInbox(capacity int) *inbox {
@@ -47,6 +60,7 @@ func (b *inbox) tryPush(m msg.Message) bool {
 		return false
 	}
 	b.buf = append(b.buf, m)
+	b.pushes++
 	if len(b.buf) == 1 {
 		b.notEmpty.Signal()
 	}
@@ -70,6 +84,7 @@ func (b *inbox) pushBatch(ms []msg.Message) bool {
 			return false
 		}
 		b.buf = append(b.buf, m)
+		b.pushes++
 	}
 	b.notEmpty.Signal()
 	b.mu.Unlock()
@@ -84,19 +99,37 @@ func (b *inbox) pop(spare []msg.Message, block bool) (items []msg.Message, open 
 	b.mu.Lock()
 	if block {
 		for len(b.buf) == 0 && !b.closed {
+			if !b.parked {
+				b.parked = true
+				if b.onIdle != nil {
+					b.onIdle()
+				}
+			}
 			b.notEmpty.Wait()
 		}
+		b.parked = false
 	}
 	if len(b.buf) == 0 {
 		open = !b.closed
 		b.mu.Unlock()
 		return spare[:0], open
 	}
+	b.pops += int64(len(b.buf))
 	items = b.buf
 	b.buf = spare[:0]
 	b.notFull.Broadcast()
 	b.mu.Unlock()
 	return items, true
+}
+
+// scanState reports the inbox's quiescence-relevant state under the
+// lock: consumer parked, queue empty, and the monotone push/pop
+// counters the two-pass scan compares.
+func (b *inbox) scanState() (parked, empty bool, pushes, pops int64) {
+	b.mu.Lock()
+	parked, empty, pushes, pops = b.parked, len(b.buf) == 0, b.pushes, b.pops
+	b.mu.Unlock()
+	return parked, empty, pushes, pops
 }
 
 // close marks the inbox finished and wakes every waiter.

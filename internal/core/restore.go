@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+
+	"pagen/internal/ckpt"
+	"pagen/internal/msg"
+	"pagen/internal/transport"
+)
+
+// Thin indirections so the protocol file stays free of the snapshot
+// package's namespace.
+func ckptWrite(dir string, s *ckpt.Snapshot) (string, int64, error) { return ckpt.Write(dir, s) }
+func ckptPrune(dir string, rank, keep int) error                    { return ckpt.Prune(dir, rank, keep) }
+func ckptRemove(dir string, rank int, epoch int64)                  { ckpt.Remove(dir, rank, epoch) }
+
+// negotiateResume picks the epoch to restart from: the newest epoch
+// every rank holds a valid snapshot of (an all-reduce minimum over
+// per-rank latest epochs, so a rank whose newest file is torn pulls the
+// whole job back to the previous committed epoch). Leaves resumeSnap
+// nil when any rank has no usable snapshot — the run starts fresh.
+//
+// The collectives run over the engine's own communicator with the held
+// filter installed: a rank that learns the negotiated epoch first
+// starts generating immediately, and its data messages can reach peers
+// still inside the all-reduce. Those messages are parked in ck.held and
+// delivered through the normal receive path once the restored state
+// exists (run's startup flush), instead of aborting the collective.
+func (e *engine) negotiateResume() error {
+	dir := e.opts.Checkpoint.Dir
+	snap, skipped, err := ckpt.Latest(dir, e.rank)
+	if err != nil {
+		return fmt.Errorf("core: resume: %w", err)
+	}
+	_ = skipped // surfaced by CLI pre-scan; harmless to ignore here
+	mine := int64(0)
+	if snap != nil {
+		mine = snap.Epoch
+	}
+	e.seq.SetRecv(func() ([]msg.Message, error) {
+		if err := e.cm.FlushAll(); err != nil {
+			return nil, err
+		}
+		ms, err := e.cm.Wait()
+		if err != nil {
+			return nil, err
+		}
+		return e.ckptFilter(ms), nil
+	})
+	defer e.seq.SetRecv(nil)
+	chosen, err := e.seq.AllReduceMin(mine)
+	if err != nil {
+		return fmt.Errorf("core: resume negotiation: %w", err)
+	}
+	if chosen <= 0 {
+		return nil // some rank has nothing: fresh start everywhere
+	}
+	if snap.Epoch != chosen {
+		snap, err = ckpt.Read(ckpt.Path(dir, e.rank, chosen))
+		if err != nil {
+			return fmt.Errorf("core: resume: rank %d has no valid snapshot for negotiated epoch %d: %w", e.rank, chosen, err)
+		}
+	}
+	if err := validateSnapshot(snap, e.tr, e.opts); err != nil {
+		return err
+	}
+	e.resumeSnap = snap
+	return nil
+}
+
+// validateSnapshot checks that a snapshot belongs to this run: same
+// parameters, seed, rank geometry and partition scheme. A mismatch
+// means the operator pointed -resume at the wrong directory or changed
+// the run parameters, either of which would silently corrupt output.
+func validateSnapshot(s *ckpt.Snapshot, tr transport.Transport, opts Options) error {
+	m := s.Meta
+	switch {
+	case m.N != opts.Params.N:
+		return fmt.Errorf("core: resume: snapshot has n=%d, run has n=%d", m.N, opts.Params.N)
+	case m.X != opts.Params.X:
+		return fmt.Errorf("core: resume: snapshot has x=%d, run has x=%d", m.X, opts.Params.X)
+	case m.P != opts.Params.P:
+		return fmt.Errorf("core: resume: snapshot has p=%v, run has p=%v", m.P, opts.Params.P)
+	case m.Seed != opts.Seed:
+		return fmt.Errorf("core: resume: snapshot has seed=%d, run has seed=%d", m.Seed, opts.Seed)
+	case m.Ranks != tr.Size():
+		return fmt.Errorf("core: resume: snapshot taken with %d ranks, run has %d", m.Ranks, tr.Size())
+	case m.Rank != tr.Rank():
+		return fmt.Errorf("core: resume: snapshot belongs to rank %d, not rank %d", m.Rank, tr.Rank())
+	case m.Scheme != opts.Part.Name():
+		return fmt.Errorf("core: resume: snapshot used partition %s, run uses %s", m.Scheme, opts.Part.Name())
+	}
+	return nil
+}
+
+// buildSnapshot assembles this rank's snapshot at a cut. The rank is
+// globally quiescent: workers are parked, inboxes are empty, and no
+// data message is in flight, so every piece of protocol state lives in
+// exactly one of the structures captured here.
+func (e *engine) buildSnapshot() *ckpt.Snapshot {
+	s := &ckpt.Snapshot{
+		Meta: ckpt.Meta{
+			N:      e.opts.Params.N,
+			X:      e.x,
+			P:      e.prob,
+			Seed:   e.seed,
+			Ranks:  e.p,
+			Rank:   e.rank,
+			Scheme: e.part.Name(),
+		},
+		Epoch: e.ck.epoch,
+		// The cut's own commit vote (Gather + Broadcast) consumes two
+		// tags after this point; the resumed run's counter must start
+		// beyond them so tags never collide across the restart.
+		NextTag: e.seq.NextTag() + 2,
+		F:       e.f,
+		Workers: make([]ckpt.WorkerState, 0, e.nw),
+	}
+	for _, w := range e.workers {
+		ws := ckpt.WorkerState{Lo: w.lo, Hi: w.hi}
+		w.susp.forEach(func(idx int64, st suspState) {
+			ws.Susp = append(ws.Susp, ckpt.SuspRecord{Idx: idx, Edge: int(st.e), RNG: st.rng.State()})
+		})
+		w.waiters.forEach(func(slot, t int64, e16 uint16) {
+			ws.Waiters = append(ws.Waiters, ckpt.WaiterRecord{Slot: slot, T: t, E: e16})
+		})
+		s.Workers = append(s.Workers, ws)
+		s.Stats.Retries += w.retries
+		s.Stats.QueuedWaits += w.queuedWaits
+		s.Stats.LocalWaits += w.localWaits
+	}
+	for to := 0; to < e.p; to++ {
+		if frame := e.cm.BufferedFrame(to); frame != nil {
+			s.Outbound = append(s.Outbound, ckpt.OutboundBatch{To: to, Frame: frame})
+		}
+	}
+	return s
+}
+
+// nodeInitiated reports whether local node idx's generation has started:
+// either its last slot is resolved (complete — slots resolve strictly in
+// order) or it is suspended mid-node. At a cut every initiated node is
+// in exactly one of those states, which is what lets a resumed run skip
+// it in the generation pass.
+func (e *engine) nodeInitiated(idx int64) bool {
+	if e.f[idx*e.x64+e.x64-1] >= 0 {
+		return true
+	}
+	return e.workers[e.workerOf(idx)].susp.has(idx)
+}
+
+// restore rebuilds the engine's state from the negotiated snapshot. It
+// runs after bootstrap and before any worker starts, so plain writes
+// are safe. Worker-count independence: suspension and waiter records
+// are redistributed by each node's owning block in this run's layout,
+// not the layout that wrote the snapshot.
+func (e *engine) restore() error {
+	s := e.resumeSnap
+	if int64(len(s.F)) != e.size*e.x64 {
+		return fmt.Errorf("core: resume: snapshot F has %d slots, rank owns %d", len(s.F), e.size*e.x64)
+	}
+	copy(e.f, s.F)
+
+	for _, ws := range s.Workers {
+		for _, sr := range ws.Susp {
+			w := e.workers[e.workerOf(sr.Idx)]
+			var st suspState
+			st.e = int32(sr.Edge)
+			st.rng.SetState(sr.RNG)
+			w.susp.put(sr.Idx, st)
+		}
+		for _, wr := range ws.Waiters {
+			w := e.workers[e.workerOf(wr.Slot/e.x64)]
+			w.waiters.push(wr.Slot, wr.T, wr.E)
+			e.trackPending(1)
+		}
+	}
+
+	// Recount each worker's unresolved slots from the restored table;
+	// the counts are layout-dependent, so the snapshot does not carry
+	// them.
+	active := int32(0)
+	for _, w := range e.workers {
+		w.unresolved = 0
+		for slot := w.lo * e.x64; slot < w.hi*e.x64; slot++ {
+			if e.f[slot] < 0 {
+				w.unresolved++
+			}
+		}
+		w.doneNoted = w.unresolved == 0
+		if w.unresolved > 0 {
+			active++
+		}
+	}
+	e.activeWorkers = active
+
+	// Buffered-but-unsent messages from the snapshotting run re-enter
+	// this run's send buffers: they were never transmitted, so sending
+	// them (exactly once) now is exact.
+	for _, ob := range s.Outbound {
+		ms, err := msg.DecodeBatch(nil, ob.Frame)
+		if err != nil {
+			return fmt.Errorf("core: resume: outbound batch for rank %d: %w", ob.To, err)
+		}
+		if err := e.cm.SendBatch(ob.To, ms); err != nil {
+			return err
+		}
+	}
+
+	// Fold run-lifetime counters into worker 0 so finishStats reports
+	// totals across restarts.
+	e.workers[0].retries += s.Stats.Retries
+	e.workers[0].queuedWaits += s.Stats.QueuedWaits
+	e.workers[0].localWaits += s.Stats.LocalWaits
+
+	e.restored = true
+	e.seq.SetNextTag(s.NextTag)
+	if ck := e.ck; ck != nil {
+		ck.lastGood = s.Epoch
+		ck.epochNext = s.Epoch + 1
+		if e.rank == 0 && ck.every > 0 {
+			// Re-derive the trigger base: initiated nodes are exactly
+			// the complete-or-suspended ones (recv counters restart at
+			// zero with the fresh communicator).
+			var initiated int64
+			for idx := int64(0); idx < e.size; idx++ {
+				if t := e.part.NodeAt(e.rank, idx); t > e.x64 && e.nodeInitiated(idx) {
+					initiated++
+				}
+			}
+			ck.initiated = initiated
+			ck.nextTrigger = initiated + ck.every
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -55,16 +56,37 @@ func Run(opts Options, recordTrace bool) (*Result, error) {
 	results := make([]*RankResult, p)
 	errs := make([]error, p)
 	start := time.Now()
+	// A failed rank's peers block on receives that will never be
+	// satisfied; closing every endpoint turns those into ErrClosed so
+	// the whole run unwinds instead of deadlocking on wg.Wait.
+	var closeOnce sync.Once
+	abort := func() {
+		closeOnce.Do(func() {
+			for r := 0; r < p; r++ {
+				group.Endpoint(r).Close()
+			}
+		})
+	}
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			results[r], errs[r] = RunRank(group.Endpoint(r), opts)
+			if errs[r] != nil {
+				abort()
+			}
 		}(r)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	// Prefer a root-cause error over the ErrClosed cascade the abort
+	// broadcast induces in the other ranks.
+	for r, err := range errs {
+		if err != nil && !errors.Is(err, transport.ErrClosed) {
+			return nil, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+	}
 	for r, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: rank %d: %w", r, err)

@@ -91,6 +91,32 @@ func (s *suspTable) take(key int64) (suspState, bool) {
 	}
 }
 
+// has reports whether key has a live suspension without removing it.
+func (s *suspTable) has(key int64) bool {
+	mask := uint64(len(s.keys) - 1)
+	i := hashSlot(key) & mask
+	for {
+		switch s.keys[i] {
+		case suspEmpty:
+			return false
+		case key:
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// forEach visits every live suspension (checkpoint serialization; order
+// is table order, not meaningful). fn must not mutate the table.
+func (s *suspTable) forEach(fn func(key int64, st suspState)) {
+	for i, k := range s.keys {
+		if k == suspEmpty || k == suspTomb {
+			continue
+		}
+		fn(k, s.vals[i])
+	}
+}
+
 // rehash rebuilds the table at a size fitted to the live suspensions,
 // dropping tombstones.
 func (s *suspTable) rehash() {

@@ -132,6 +132,20 @@ func (w *waiterTable) freeNode(n int32) {
 	w.free = n
 }
 
+// forEach visits every queued waiter, chain by chain in FIFO order
+// (checkpoint serialization; a restored table re-pushes in this order,
+// preserving answer order). fn must not mutate the table.
+func (w *waiterTable) forEach(fn func(slot, t int64, e uint16)) {
+	for i, k := range w.keys {
+		if k == emptyKey || w.heads[i] == nilNode {
+			continue
+		}
+		for n := w.heads[i]; n != nilNode; n = w.arena[n].next {
+			fn(k, w.arena[n].t, w.arena[n].e)
+		}
+	}
+}
+
 // rehash rebuilds the table at a size fitted to the live chains,
 // dropping tombstones.
 func (w *waiterTable) rehash() {

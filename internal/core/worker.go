@@ -54,6 +54,14 @@ type worker struct {
 	unresolved int64
 	doneNoted  bool
 
+	// cursor is the next local index the generation pass will visit; a
+	// checkpoint pause stops the pass mid-block and a later pass (or a
+	// restored run) continues from here.
+	cursor int64
+	// resumed latches a kindCkptResume delivery: the epoch ended and a
+	// paused generation pass may continue.
+	resumed bool
+
 	// poll is the current generation-loop polling interval; adaptive
 	// tracks whether adaptPoll may move it.
 	poll     int
@@ -70,7 +78,7 @@ type worker struct {
 }
 
 func newWorker(e *engine, id int, lo, hi int64) *worker {
-	w := &worker{e: e, id: id, lo: lo, hi: hi}
+	w := &worker{e: e, id: id, lo: lo, hi: hi, cursor: lo}
 	w.waiters.init()
 	w.susp.init()
 	w.poll = e.opts.PollEvery
@@ -424,6 +432,8 @@ func (w *worker) processBatch(ms []msg.Message) {
 			w.onRequest(m, false)
 		case msg.KindResolved, kindResLocal:
 			w.resume(m.T, int(m.E), m.V)
+		case kindCkptResume:
+			w.resumed = true
 		}
 	}
 	w.drainPending()
@@ -443,42 +453,72 @@ func (w *worker) pollPoint() {
 	w.adaptPoll()
 }
 
-// genPass runs the generation loop over this worker's node block,
+// genPass advances the generation cursor over this worker's node block,
 // servicing the inbox every poll interval. It never blocks: nodes that
-// cannot finish an edge suspend and the pass moves on.
-func (w *worker) genPass() {
+// cannot finish an edge suspend and the pass moves on. It returns true
+// when the block is exhausted, false when a checkpoint epoch paused the
+// pass mid-block (the cursor stays put; the next pass continues there).
+func (w *worker) genPass() bool {
 	e := w.e
-	var i int64
 	sincePoll := 0
-	e.part.ForEach(e.rank, func(t int64) {
-		idx := i
-		i++
-		if w.err != nil || idx < w.lo || idx >= w.hi || t <= e.x64 {
-			return
+	for w.cursor < w.hi {
+		if w.err != nil {
+			return true
 		}
-		w.genNode(t)
+		idx := w.cursor
+		w.cursor++
+		if t := e.part.NodeAt(e.rank, idx); t > e.x64 && !(e.restored && e.nodeInitiated(idx)) {
+			w.genNode(t)
+			if e.ckTrig {
+				e.ckptNoteInit()
+			}
+		}
 		sincePoll++
 		if sincePoll >= w.poll {
 			sincePoll = 0
 			if e.aborted() {
 				w.err = e.takeErr()
-				return
+				return true
 			}
 			w.pollPoint()
+			if e.ck != nil && atomic.LoadInt32(&e.ck.phase) == ckPaused {
+				// Flush outbound answers before pausing: local
+				// quiescence means parked with nothing buffered.
+				w.quiesce()
+				return false
+			}
 		}
-	})
+	}
+	return true
 }
 
-// runConcurrent is a worker goroutine's whole life: one generation pass,
-// then serve the inbox until the dispatcher closes it (stop) or the
-// engine aborts. Parked sibling messages must drain before blocking;
-// the worker keeps serving its own inbox while they do, so two workers
-// with mutually full inboxes still make progress.
+// runConcurrent is a worker goroutine's whole life: generation passes
+// interleaved with checkpoint pauses (serve the cascade until the cut
+// commits, then continue the pass), then serve the inbox until the
+// dispatcher closes it (stop) or the engine aborts.
 func (w *worker) runConcurrent() {
-	w.genPass()
+	for !w.genPass() {
+		if !w.serve(true) {
+			return
+		}
+	}
+	w.serve(false)
+}
+
+// serve processes the inbox until the dispatcher closes it or the
+// engine aborts (returns false), or — when untilResume is set — until a
+// checkpoint-resume message arrives (returns true). Parked sibling
+// messages must drain before blocking; the worker keeps serving its own
+// inbox while they do, so two workers with mutually full inboxes still
+// make progress.
+func (w *worker) serve(untilResume bool) bool {
 	for {
 		if w.err != nil || w.e.aborted() {
-			return
+			return false
+		}
+		if untilResume && w.resumed {
+			w.resumed = false
+			return true
 		}
 		ms, open := w.inbox.pop(w.spare, false)
 		w.spare = ms
@@ -487,7 +527,7 @@ func (w *worker) runConcurrent() {
 			continue
 		}
 		if !open {
-			return
+			return false
 		}
 		if w.pendingCount > 0 {
 			w.drainPending()
@@ -496,14 +536,14 @@ func (w *worker) runConcurrent() {
 		}
 		w.quiesce()
 		if w.err != nil {
-			return
+			return false
 		}
 		ms, open = w.inbox.pop(w.spare, true)
 		w.spare = ms
 		if len(ms) > 0 {
 			w.processBatch(ms)
 		} else if !open {
-			return
+			return false
 		}
 	}
 }

@@ -1,0 +1,54 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCkptConstructor(t *testing.T) {
+	m := Ckpt(3, CkptReport, 7, 100, 95)
+	want := Message{Kind: KindCkpt, T: 3, E: uint16(CkptReport), L: 7, K: 100, V: 95}
+	if m != want {
+		t.Fatalf("Ckpt = %+v, want %+v", m, want)
+	}
+}
+
+// Checkpoint messages must survive both codecs alongside every other
+// kind — they share frames with data traffic on the wire.
+func TestCkptCodecRoundTrip(t *testing.T) {
+	batch := []Message{
+		Ckpt(0, CkptBegin, 1, 5, 0),
+		Request(1000, 2, 77, 1),
+		Ckpt(2, CkptReport, 12, 1<<40, -(1 << 40)),
+		Resolved(1000, 2, 55),
+		Ckpt(0, CkptProbe, 13, 5, 0),
+		Done(3),
+		Ckpt(0, CkptCut, 13, 5, 0),
+		Coll(1, 9, -42),
+		Stop(),
+	}
+	for name, frame := range map[string][]byte{
+		"v1": EncodeBatch(batch),
+		"v2": EncodeBatchV2(batch),
+	} {
+		got, err := DecodeBatch(nil, frame)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, batch) {
+			t.Fatalf("%s round trip:\n got %+v\nwant %+v", name, got, batch)
+		}
+	}
+}
+
+func TestCkptSingleCodecRoundTrip(t *testing.T) {
+	m := Ckpt(5, CkptCut, 999, 1234567, 7654321)
+	b := AppendEncode(nil, m)
+	got, rest, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || got != m {
+		t.Fatalf("Decode = %+v (rest %d bytes), want %+v", got, len(rest), m)
+	}
+}

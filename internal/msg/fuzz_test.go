@@ -12,6 +12,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add(AppendEncode(nil, Request(1, 2, 3, 4)))
 	f.Add(AppendEncode(nil, Resolved(5, 0, -1)))
 	f.Add(AppendEncode(nil, Stop()))
+	f.Add(AppendEncode(nil, Ckpt(2, CkptReport, 3, 100, 99)))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, EncodedSize))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -37,6 +38,7 @@ func FuzzDecode(f *testing.F) {
 func FuzzDecodeBatch(f *testing.F) {
 	f.Add(EncodeBatch([]Message{Request(1, 0, 2, 1), Done(3)}))
 	f.Add(EncodeBatchV2([]Message{Request(1, 0, 2, 1), Done(3)}))
+	f.Add(EncodeBatchV2([]Message{Ckpt(0, CkptBegin, 1, 4, 0), Ckpt(1, CkptCut, 2, 4, 0)}))
 	f.Add([]byte{1})
 	f.Add([]byte{FrameV2Magic})
 	f.Fuzz(func(t *testing.T, frame []byte) {
@@ -62,6 +64,7 @@ func FuzzDecodeBatchV2(f *testing.F) {
 	f.Add(EncodeBatchV2(nil))
 	f.Add(EncodeBatchV2([]Message{Request(1, 0, 2, 1), Request(2, 1, 2, 0), Done(3)}))
 	f.Add(EncodeBatchV2([]Message{Resolved(9, 2, 1<<40), Coll(1, 2, 3), Stop()}))
+	f.Add(EncodeBatchV2([]Message{Ckpt(3, CkptProbe, 9, 1<<33, -5), Request(1, 0, 2, 1)}))
 	f.Add(EncodeBatch([]Message{Request(1, 0, 2, 1)}))
 	f.Add([]byte{FrameV2Magic})
 	f.Add([]byte{FrameV2Magic, byte(KindRequest), 0xff, 0xff, 0xff})

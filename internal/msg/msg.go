@@ -28,6 +28,11 @@ const (
 	// KindColl carries a collective-operation step (internal/coll):
 	// T = sender rank, K = operation tag, V = payload.
 	KindColl
+	// KindCkpt carries a checkpoint-epoch protocol step (internal/core's
+	// consistent-cut machinery): T = sender rank, E = CkptOp, L = probe
+	// round, K/V = op-dependent payloads (epoch number, or the sender's
+	// sent/received data-message counters).
+	KindCkpt
 )
 
 // String returns the kind's name.
@@ -43,10 +48,31 @@ func (k Kind) String() string {
 		return "stop"
 	case KindColl:
 		return "coll"
+	case KindCkpt:
+		return "ckpt"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
 }
+
+// CkptOp identifies the checkpoint-protocol step a KindCkpt message
+// carries in its E field.
+type CkptOp uint16
+
+const (
+	// CkptBegin (rank 0 -> all) opens epoch K: pause generation, keep
+	// serving the resolution cascade, report when locally quiescent.
+	CkptBegin CkptOp = 1 + iota
+	// CkptReport (any -> rank 0) is the sender's round-L quiescence
+	// report: K = data messages sent, V = data messages received.
+	CkptReport
+	// CkptProbe (rank 0 -> all) starts counter round L: report again
+	// when locally quiescent.
+	CkptProbe
+	// CkptCut (rank 0 -> all, itself included) declares global
+	// quiescence for epoch K: write the snapshot, then resume.
+	CkptCut
+)
 
 // Message is one protocol message. Field use by kind:
 //
@@ -89,6 +115,13 @@ func Coll(rank int, tag int64, payload int64) Message {
 	return Message{Kind: KindColl, T: int64(rank), K: tag, V: payload}
 }
 
+// Ckpt constructs a checkpoint-protocol message from the given rank:
+// op selects the step, round the counter round (reports and probes),
+// and k/v carry the op's payloads.
+func Ckpt(rank int, op CkptOp, round int, k, v int64) Message {
+	return Message{Kind: KindCkpt, T: int64(rank), E: uint16(op), L: uint16(round), K: k, V: v}
+}
+
 // EncodedSize is the fixed encoded size of one message in bytes:
 // kind(1) + T(8) + K(8) + V(8) + E(2) + L(2).
 const EncodedSize = 1 + 8 + 8 + 8 + 2 + 2
@@ -120,10 +153,35 @@ func Decode(b []byte) (Message, []byte, error) {
 		E:    binary.LittleEndian.Uint16(b[25:]),
 		L:    binary.LittleEndian.Uint16(b[27:]),
 	}
-	if m.Kind < KindRequest || m.Kind > KindColl {
+	if m.Kind < KindRequest || m.Kind > KindCkpt {
 		return Message{}, b, fmt.Errorf("msg: bad kind %d", b[0])
 	}
+	if !deadFieldsZero(m) {
+		return Message{}, b, fmt.Errorf("msg: %v message with nonzero unused fields", m.Kind)
+	}
 	return m, b[EncodedSize:], nil
+}
+
+// deadFieldsZero reports whether every field m's kind does not carry is
+// zero. The compact format drops those fields outright and the
+// fixed-width format must carry zeros for them; a nonzero dead field
+// therefore means a corrupt or forged frame, and accepting it would
+// make the two codecs disagree about the same message.
+func deadFieldsZero(m Message) bool {
+	switch m.Kind {
+	case KindRequest:
+		return m.V == 0
+	case KindResolved:
+		return m.K == 0 && m.L == 0
+	case KindColl:
+		return m.E == 0 && m.L == 0
+	case KindDone, KindStop:
+		// Both carry only T on the wire (T is zero for stop as built,
+		// but the delta coding transports whatever it holds).
+		return m.K == 0 && m.V == 0 && m.E == 0 && m.L == 0
+	default: // ckpt uses every field
+		return true
+	}
 }
 
 // EncodeBatch encodes a slice of messages as one v1 (fixed-width) frame.
@@ -151,6 +209,7 @@ const FrameV2Magic = 0xC2
 //	request:  varint(ΔT) varint(K)  uvarint(E) uvarint(L)
 //	resolved: varint(ΔT) varint(V)  uvarint(E)
 //	coll:     varint(ΔT) varint(K)  varint(V)
+//	ckpt:     varint(ΔT) uvarint(E) uvarint(L) varint(K) varint(V)
 //	done:     varint(ΔT)
 //	stop:     varint(ΔT)
 //
@@ -189,6 +248,11 @@ func AppendEncodeBatchV2(dst []byte, ms []Message) []byte {
 			case KindColl:
 				dst = binary.AppendVarint(dst, m.K)
 				dst = binary.AppendVarint(dst, m.V)
+			case KindCkpt:
+				dst = binary.AppendUvarint(dst, uint64(m.E))
+				dst = binary.AppendUvarint(dst, uint64(m.L))
+				dst = binary.AppendVarint(dst, m.K)
+				dst = binary.AppendVarint(dst, m.V)
 			}
 		}
 		i = j
@@ -224,7 +288,7 @@ func DecodeBatch(dst []Message, frame []byte) ([]Message, error) {
 func decodeBatchV2(dst []Message, b []byte) ([]Message, error) {
 	for len(b) > 0 {
 		kind := Kind(b[0])
-		if kind < KindRequest || kind > KindColl {
+		if kind < KindRequest || kind > KindCkpt {
 			return dst, fmt.Errorf("msg: bad group kind %d", b[0])
 		}
 		b = b[1:]
@@ -268,6 +332,19 @@ func decodeBatchV2(dst []Message, b []byte) ([]Message, error) {
 					return dst, fmt.Errorf("msg: truncated E")
 				}
 			case KindColl:
+				if m.K, b, ok = takeVarint(b); !ok {
+					return dst, fmt.Errorf("msg: truncated K")
+				}
+				if m.V, b, ok = takeVarint(b); !ok {
+					return dst, fmt.Errorf("msg: truncated V")
+				}
+			case KindCkpt:
+				if m.E, b, ok = takeUint16(b); !ok {
+					return dst, fmt.Errorf("msg: truncated E")
+				}
+				if m.L, b, ok = takeUint16(b); !ok {
+					return dst, fmt.Errorf("msg: truncated L")
+				}
 				if m.K, b, ok = takeVarint(b); !ok {
 					return dst, fmt.Errorf("msg: truncated K")
 				}

@@ -127,18 +127,54 @@ func TestBatchRejectsRaggedFrame(t *testing.T) {
 	}
 }
 
-// Property: any message with a valid kind round-trips through the codec.
+// clearDeadFields zeroes the fields m's kind does not carry, yielding
+// the constructor-shaped form the codecs accept.
+func clearDeadFields(m Message) Message {
+	switch m.Kind {
+	case KindRequest:
+		m.V = 0
+	case KindResolved:
+		m.K, m.L = 0, 0
+	case KindColl:
+		m.E, m.L = 0, 0
+	case KindDone, KindStop:
+		m.K, m.V, m.E, m.L = 0, 0, 0, 0
+	}
+	return m
+}
+
+// Property: any constructor-shaped message (dead fields zero) with a
+// valid kind round-trips through the codec. The decoder rejects junk in
+// dead fields, so the accepted set is exactly what both codecs agree on.
 func TestRoundTripProperty(t *testing.T) {
 	f := func(kindRaw uint8, tt, k, v int64, e, l uint16) bool {
-		m := Message{
-			Kind: Kind(kindRaw%4) + KindRequest,
+		m := clearDeadFields(Message{
+			Kind: Kind(kindRaw%6) + KindRequest,
 			T:    tt, K: k, V: v, E: e, L: l,
-		}
+		})
 		got, rest, err := Decode(AppendEncode(nil, m))
 		return err == nil && len(rest) == 0 && got == m
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The fixed-width decoder must reject messages carrying nonzero values
+// in fields their kind does not use: the compact codec cannot represent
+// them, and a frame containing one is corrupt by construction.
+func TestDecodeRejectsDeadFieldJunk(t *testing.T) {
+	for _, m := range []Message{
+		{Kind: KindRequest, T: 1, K: 2, V: 99, E: 0, L: 1},
+		{Kind: KindResolved, T: 1, V: 5, K: 3},
+		{Kind: KindResolved, T: 1, V: 5, L: 3},
+		{Kind: KindColl, T: 1, K: 2, V: 3, E: 1},
+		{Kind: KindDone, T: 1, K: 7},
+		{Kind: KindStop, V: 1},
+	} {
+		if _, _, err := Decode(AppendEncode(nil, m)); err == nil {
+			t.Errorf("junk-carrying %v message accepted: %+v", m.Kind, m)
+		}
 	}
 }
 

@@ -195,6 +195,14 @@ type RankMetrics struct {
 	// WaitChain is the histogram of Q_{k,l} waiter-queue lengths at
 	// resolution time (Theorem 3.3's chains keep it shallow).
 	WaitChain Histogram `json:"wait_chain"`
+	// Checkpoint counters (zero unless checkpointing ran): committed
+	// epochs, abandoned epochs, snapshot bytes written, time spent
+	// writing snapshots, and total generation pause across epochs.
+	CkptEpochs     int64 `json:"ckpt_epochs,omitempty"`
+	CkptFailed     int64 `json:"ckpt_failed,omitempty"`
+	CkptBytes      int64 `json:"ckpt_bytes,omitempty"`
+	CkptWriteNanos int64 `json:"ckpt_write_nanos,omitempty"`
+	CkptPauseNanos int64 `json:"ckpt_pause_nanos,omitempty"`
 }
 
 // KLoad is one node's received-message load: K is the global node id,

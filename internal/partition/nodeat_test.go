@@ -1,0 +1,45 @@
+package partition
+
+import "testing"
+
+// NodeAt must be the exact inverse of the ForEach enumeration (and of
+// Index) for every scheme: the engine's checkpointable generation loops
+// walk blocks by cursor through NodeAt, and any divergence from the
+// ForEach order the rest of the system assumes would silently reorder
+// the output graph.
+func TestNodeAtMatchesForEach(t *testing.T) {
+	for _, kind := range []Kind{KindUCP, KindRRP, KindExactCP, KindLCP} {
+		for _, tc := range []struct {
+			n int64
+			p int
+		}{{1, 1}, {97, 1}, {100, 4}, {101, 4}, {1000, 7}, {64, 64}} {
+			s, err := New(kind, tc.n, tc.p)
+			if err != nil {
+				t.Fatalf("%v n=%d p=%d: %v", kind, tc.n, tc.p, err)
+			}
+			var total int64
+			for r := 0; r < tc.p; r++ {
+				var j int64
+				s.ForEach(r, func(u int64) {
+					if got := s.NodeAt(r, j); got != u {
+						t.Fatalf("%s n=%d p=%d: NodeAt(%d, %d) = %d, ForEach yields %d",
+							s.Name(), tc.n, tc.p, r, j, got, u)
+					}
+					if got := s.Index(r, u); got != j {
+						t.Fatalf("%s n=%d p=%d: Index(%d, %d) = %d, want %d",
+							s.Name(), tc.n, tc.p, r, u, got, j)
+					}
+					j++
+				})
+				if j != s.Size(r) {
+					t.Fatalf("%s n=%d p=%d rank %d: ForEach yielded %d nodes, Size says %d",
+						s.Name(), tc.n, tc.p, r, j, s.Size(r))
+				}
+				total += j
+			}
+			if total != tc.n {
+				t.Fatalf("%s n=%d p=%d: partitions cover %d nodes", s.Name(), tc.n, tc.p, total)
+			}
+		}
+	}
+}

@@ -37,6 +37,12 @@ type Scheme interface {
 	// ForEach order. It panics if u is not owned by rank. The parallel
 	// engine uses it to map nodes to local attachment-slot storage.
 	Index(rank int, u int64) int64
+	// NodeAt is the inverse of Index: the node at position idx of
+	// partition rank's ForEach order. It panics if idx is outside
+	// [0, Size(rank)). The engine's resumable generation loops iterate
+	// with a cursor through NodeAt instead of ForEach so a checkpoint
+	// can pause and restart them at any position.
+	NodeAt(rank int, idx int64) int64
 }
 
 // Consecutive is implemented by schemes whose partitions are contiguous
@@ -198,6 +204,9 @@ func (u *UCP) ForEach(rank int, fn func(int64)) {
 // Index implements Scheme.
 func (u *UCP) Index(rank int, node int64) int64 { return consecutiveIndex(u, rank, node) }
 
+// NodeAt implements Scheme.
+func (u *UCP) NodeAt(rank int, idx int64) int64 { return consecutiveNodeAt(u, rank, idx) }
+
 // ---------------------------------------------------------------------------
 // RRP — Appendix A.3
 
@@ -251,6 +260,16 @@ func (r *RRP) Index(rank int, node int64) int64 {
 		panic(fmt.Sprintf("partition: node %d not owned by rank %d", node, rank))
 	}
 	return (node - int64(rank)) / int64(r.p)
+}
+
+// NodeAt implements Scheme: index j maps to node rank + j*P.
+func (r *RRP) NodeAt(rank int, idx int64) int64 {
+	checkRank(r.p, rank)
+	node := int64(rank) + idx*int64(r.p)
+	if idx < 0 || node >= r.n {
+		panic(fmt.Sprintf("partition: index %d outside rank %d's [0,%d)", idx, rank, r.Size(rank)))
+	}
+	return node
 }
 
 // ---------------------------------------------------------------------------
@@ -358,6 +377,9 @@ func (e *ExactCP) ForEach(rank int, fn func(int64)) {
 
 // Index implements Scheme.
 func (e *ExactCP) Index(rank int, node int64) int64 { return consecutiveIndex(e, rank, node) }
+
+// NodeAt implements Scheme.
+func (e *ExactCP) NodeAt(rank int, idx int64) int64 { return consecutiveNodeAt(e, rank, idx) }
 
 // ---------------------------------------------------------------------------
 // LCP — Appendix A.2
@@ -489,6 +511,9 @@ func (l *LCP) ForEach(rank int, fn func(int64)) {
 // Index implements Scheme.
 func (l *LCP) Index(rank int, node int64) int64 { return consecutiveIndex(l, rank, node) }
 
+// NodeAt implements Scheme.
+func (l *LCP) NodeAt(rank int, idx int64) int64 { return consecutiveNodeAt(l, rank, idx) }
+
 // consecutiveIndex implements Index for contiguous-range schemes.
 func consecutiveIndex(c Consecutive, rank int, node int64) int64 {
 	checkNode(c.N(), node)
@@ -497,6 +522,15 @@ func consecutiveIndex(c Consecutive, rank int, node int64) int64 {
 		panic(fmt.Sprintf("partition: node %d not owned by rank %d", node, rank))
 	}
 	return node - lo
+}
+
+// consecutiveNodeAt implements NodeAt for contiguous-range schemes.
+func consecutiveNodeAt(c Consecutive, rank int, idx int64) int64 {
+	lo, hi := c.Range(rank)
+	if idx < 0 || lo+idx >= hi {
+		panic(fmt.Sprintf("partition: index %d outside rank %d's [0,%d)", idx, rank, hi-lo))
+	}
+	return lo + idx
 }
 
 // ---------------------------------------------------------------------------

@@ -73,6 +73,16 @@ func (r *Rand) Seed(seed uint64) {
 	}
 }
 
+// State returns the generator's raw xoshiro256** state. Together with
+// SetState it lets a checkpoint serialize a suspended node's stream
+// position and resume it bit-exactly after a restart.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured with State. The caller
+// must never pass an all-zero state (State of a validly seeded generator
+// never returns one).
+func (r *Rand) SetState(s [4]uint64) { r.s = s }
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	s := &r.s

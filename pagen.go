@@ -17,6 +17,7 @@
 package pagen
 
 import (
+	"errors"
 	"io"
 	"sync/atomic"
 
@@ -62,6 +63,11 @@ type (
 // Barabási–Albert.
 const DefaultP = model.DefaultP
 
+// errCheckpointStreaming rejects checkpoint configuration on the
+// streaming entry points: snapshots capture buffered engine state, and
+// edges already handed to a sink cannot be rewound on resume.
+var errCheckpointStreaming = errors.New("pagen: checkpointing is incompatible with streaming generation (use Generate)")
+
 // Config configures Generate.
 type Config struct {
 	// N is the number of nodes (required, > X).
@@ -101,6 +107,40 @@ type Config struct {
 	// can export the measured-versus-predicted load curve. Costs one
 	// increment per copy query plus 8 bytes per node.
 	CollectNodeLoad bool
+	// CheckpointDir enables cooperative checkpointing: every rank
+	// writes a versioned, CRC-protected snapshot of its engine state
+	// into this directory at each checkpoint epoch. Restarting from a
+	// checkpoint (Resume) reproduces the exact graph an uninterrupted
+	// run would have produced. See docs/CHECKPOINT_FORMAT.md and
+	// docs/OPERATIONS.md. Incompatible with RecordTrace,
+	// CollectNodeLoad and the streaming entry points.
+	CheckpointDir string
+	// CheckpointEvery is the approximate number of protocol events
+	// (nodes initiated plus messages received, summed over ranks)
+	// between checkpoint epochs. Zero with a CheckpointDir set means
+	// snapshots are only read (resume), never written.
+	CheckpointEvery int64
+	// CheckpointKeep is how many committed epochs to retain per rank
+	// (older ones are pruned after each commit; 0 = keep 2).
+	CheckpointKeep int
+	// Resume loads the latest mutually-complete checkpoint epoch from
+	// CheckpointDir before generating, skipping all work committed up
+	// to that epoch. When no usable epoch exists the run starts fresh.
+	Resume bool
+}
+
+// checkpoint translates the Config checkpoint fields to engine options
+// (nil when checkpointing is not requested).
+func (c Config) checkpoint() *core.CheckpointOptions {
+	if c.CheckpointDir == "" && c.CheckpointEvery == 0 && !c.Resume {
+		return nil
+	}
+	return &core.CheckpointOptions{
+		Dir:    c.CheckpointDir,
+		Every:  c.CheckpointEvery,
+		Keep:   c.CheckpointKeep,
+		Resume: c.Resume,
+	}
 }
 
 // params builds and validates model parameters.
@@ -149,6 +189,7 @@ func Generate(cfg Config) (*Result, error) {
 		BufferCap:       cfg.BufferCap,
 		PollEvery:       cfg.PollEvery,
 		CollectNodeLoad: cfg.CollectNodeLoad,
+		Checkpoint:      cfg.checkpoint(),
 	}, cfg.RecordTrace)
 }
 
@@ -211,6 +252,9 @@ func NewPartition(scheme string, n int64, ranks int) (Partition, error) {
 // dispatching on rank alone is only enough at Workers <= 1. The
 // returned Result has a nil Graph; per-rank stats are still collected.
 func GenerateStream(cfg Config, sink func(rank int, e Edge)) (*Result, error) {
+	if cfg.checkpoint() != nil {
+		return nil, errCheckpointStreaming
+	}
 	pr, err := cfg.params()
 	if err != nil {
 		return nil, err
@@ -235,6 +279,9 @@ func GenerateStream(cfg Config, sink func(rank int, e Edge)) (*Result, error) {
 // shared-file-system I/O model (Section 2) — without materialising the
 // graph. Read the result back with ReadShards.
 func GenerateToShards(cfg Config, dir string) (*Result, error) {
+	if cfg.checkpoint() != nil {
+		return nil, errCheckpointStreaming
+	}
 	pr, err := cfg.params()
 	if err != nil {
 		return nil, err

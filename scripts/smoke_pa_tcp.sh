@@ -8,8 +8,16 @@
 # exercised against the real TCP transport, not just the in-process one.
 # Exits non-zero if any rank fails, hangs past the timeout, or the
 # output shards don't union to the expected edge count.
+#
+# With "resume" as the first argument the script instead runs the
+# checkpoint/restart smoke: a supervised baseline run, then a second
+# supervised run where one rank is killed after the first checkpoint
+# epoch commits, letting the supervisor restart the cluster from the
+# snapshots. The resumed run's shards must be byte-identical to the
+# uninterrupted baseline.
 set -eu
 
+MODE=${1:-basic}
 N=${N:-50000}
 X=${X:-4}
 RANKS=4
@@ -28,6 +36,61 @@ while [ $i -lt $RANKS ]; do
     addrs="$addrs${addrs:+,}127.0.0.1:$((BASE_PORT + i))"
     i=$((i + 1))
 done
+
+if [ "$MODE" = resume ]; then
+    # Checkpoint/restart smoke. Scale n up and the epoch cadence down so
+    # the first checkpoint epoch commits well before the run finishes,
+    # even on slow CI machines (commit time and run time scale together).
+    RN=${RN:-800000}
+    EVERY=${EVERY:-60000}
+    SEED=${SEED:-7}
+
+    echo "resume smoke: baseline supervised run (n=$RN, x=3)"
+    timeout "$TIMEOUT" "$workdir/pa-tcp" -supervise -addrs "$addrs" \
+        -n "$RN" -x 3 -seed "$SEED" -workers "$WORKERS" \
+        -checkpoint-dir "$workdir/ck-base" -checkpoint-every "$EVERY" \
+        -shard-dir "$workdir/base" 2>"$workdir/base.log"
+
+    echo "resume smoke: kill-and-resume supervised run"
+    timeout "$TIMEOUT" "$workdir/pa-tcp" -supervise -addrs "$addrs" \
+        -n "$RN" -x 3 -seed "$SEED" -workers "$WORKERS" \
+        -checkpoint-dir "$workdir/ck-kill" -checkpoint-every "$EVERY" \
+        -shard-dir "$workdir/kill" 2>"$workdir/kill.log" &
+    sup=$!
+
+    # Wait until every rank has committed its first epoch, then kill
+    # rank 2. The bracketed [2] keeps pkill from matching this script's
+    # own command line.
+    polls=0
+    committed=0
+    while kill -0 "$sup" 2>/dev/null; do
+        committed=$(ls "$workdir/ck-kill" 2>/dev/null | grep -c '\.ckpt$' || true)
+        [ "$committed" -ge "$RANKS" ] && break
+        polls=$((polls + 1))
+        sleep 0.05
+    done
+    if [ "$committed" -lt "$RANKS" ]; then
+        echo "run finished before the first checkpoint epoch committed;" >&2
+        echo "raise RN or lower EVERY so the kill lands mid-run" >&2
+        exit 1
+    fi
+    pkill -f -- "-rank [2] -addrs 127.0.0.1:$BASE_PORT" \
+        || { echo "failed to kill rank 2" >&2; exit 1; }
+    echo "resume smoke: killed rank 2 after $committed snapshots ($polls polls)"
+
+    wait "$sup" || { echo "supervisor failed:" >&2; cat "$workdir/kill.log" >&2; exit 1; }
+    grep -q 'restart 1/' "$workdir/kill.log" \
+        || { echo "supervisor log records no restart" >&2; cat "$workdir/kill.log" >&2; exit 1; }
+
+    i=0
+    while [ $i -lt $RANKS ]; do
+        cmp "$workdir/base/shard-$i-of-$RANKS.pag" "$workdir/kill/shard-$i-of-$RANKS.pag" \
+            || { echo "shard $i differs between baseline and resumed run" >&2; exit 1; }
+        i=$((i + 1))
+    done
+    echo "pa-tcp resume smoke: killed rank restarted from checkpoint; all $RANKS shards byte-identical to uninterrupted baseline"
+    exit 0
+fi
 
 pids=""
 i=1
