@@ -7,6 +7,12 @@
 //	pa-hotpath -n 1000000 -x 4 -ranks 1 -workers 1,2,4,8   # worker sweep
 //	pa-hotpath ... -pollevery 0,16,64,1024                 # polling ablation
 //	pa-hotpath ... -label after -baseline old.json -out f  # write trajectory
+//	pa-hotpath -n 1000000 -ranks 4 -hub-prefix 0 -out results/BENCH_hubcache.json
+//
+// -hub-prefix switches to the hub-cache traffic census: for every rank
+// count it measures cross-rank data messages and bytes per edge with
+// the cache off, then at each listed setting (0 = auto-sized), and
+// reports the reduction.
 package main
 
 import (
@@ -30,6 +36,7 @@ func main() {
 		baseline = flag.String("baseline", "", "prior trajectory JSON whose current block becomes this file's baseline")
 		out      = flag.String("out", "", "write trajectory JSON here (TSV to stdout otherwise)")
 		fp       = flag.Bool("fingerprint", false, "print output-graph fingerprints instead of measuring")
+		hubs     = flag.String("hub-prefix", "", "comma-separated hub-prefix settings (0 = auto); measures cache traffic against the cache-off baseline instead of the hot path")
 	)
 	flag.Parse()
 
@@ -59,6 +66,48 @@ func main() {
 				fmt.Printf("n=%d x=%d ranks=%d workers=%d seed=%d fingerprint=%016x\n", *n, *x, p, w, *seed, h)
 			}
 		}
+		return
+	}
+
+	if *hubs != "" {
+		hubList, err := cliutil.ParseIntsMin(*hubs, 0)
+		if err != nil {
+			fatal(err)
+		}
+		settings := make([]int64, len(hubList))
+		for i, h := range hubList {
+			settings[i] = int64(h)
+		}
+		workers := 1
+		if len(workerList) > 0 {
+			workers = workerList[0]
+		}
+		rep, err := bench.HubCacheSweep(bench.HubCacheConfig{
+			N: *n, X: *x, Ranks: rankList, Workers: workers,
+			Seed: *seed, HubPrefixes: settings,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Label = *label
+		if *out == "" {
+			if err := bench.WriteHubCache(os.Stdout, rep); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteHubCacheJSON(f, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
 		return
 	}
 

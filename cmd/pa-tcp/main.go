@@ -67,6 +67,7 @@ func main() {
 		scheme    = flag.String("scheme", "RRP", "partitioning scheme")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "generation goroutines for this rank (0 = GOMAXPROCS)")
+		hub       = flag.Int64("hub-prefix", 0, "hub-prefix cache size H (0 = auto, <0 = off); all ranks must agree")
 		out       = flag.String("o", "", "output shard file (binary edge list; default stdout)")
 		stats     = flag.Bool("stats", false, "print rank and cluster statistics to stderr")
 		metrics   = flag.String("metrics", "", "write this rank's metrics JSON to this file (\"-\" = stderr)")
@@ -95,7 +96,7 @@ func main() {
 	if *supervise {
 		runSupervisor(addrList, supervisorConfig{
 			n: *n, x: *x, p: *p, scheme: *scheme, seed: *seed,
-			workers: *workers, stats: *stats, handshake: *handshake,
+			workers: *workers, hub: *hub, stats: *stats, handshake: *handshake,
 			ckptDir: *ckptDir, ckptN: *ckptN, ckptKeep: *ckptKeep,
 			resume: *resume, maxRestarts: *maxRestarts, shardDir: *shardDir,
 		})
@@ -130,6 +131,7 @@ func main() {
 		Part:            part,
 		Seed:            *seed,
 		Workers:         *workers,
+		HubPrefix:       *hub,
 		CollectNodeLoad: *metrics != "",
 		Checkpoint:      ck,
 	})
@@ -276,6 +278,7 @@ type supervisorConfig struct {
 	scheme      string
 	seed        uint64
 	workers     int
+	hub         int64
 	stats       bool
 	handshake   time.Duration
 	ckptDir     string
@@ -340,6 +343,7 @@ func superviseOnce(exe string, addrList []string, sc supervisorConfig, resume bo
 			"-scheme", sc.scheme,
 			"-seed", strconv.FormatUint(sc.seed, 10),
 			"-workers", strconv.Itoa(sc.workers),
+			"-hub-prefix", strconv.FormatInt(sc.hub, 10),
 			"-handshake-timeout", sc.handshake.String(),
 			"-checkpoint-dir", sc.ckptDir,
 			"-checkpoint-every", strconv.FormatInt(sc.ckptN, 10),

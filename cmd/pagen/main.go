@@ -38,6 +38,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "generation goroutines per rank (0 = GOMAXPROCS)")
 		scheme   = flag.String("scheme", "RRP", "partitioning scheme: UCP, LCP, RRP, ExactCP")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		hub      = flag.Int64("hub-prefix", 0, "hub-prefix cache size H (0 = auto, <0 = off); output is identical for every setting")
 		out      = flag.String("o", "", "output file (default stdout)")
 		format   = flag.String("format", "text", "output format: text or binary")
 		stats    = flag.Bool("stats", false, "print per-rank statistics to stderr")
@@ -55,8 +56,9 @@ func main() {
 		fatal(fmt.Errorf("-ranks %d: need at least 1 rank", *ranks))
 	}
 	cfg := pagen.Config{N: *n, X: *x, P: *p, Ranks: *ranks, Workers: *workers,
-		Scheme: *scheme, Seed: *seed, CollectNodeLoad: *metrics != "",
-		CheckpointDir: *ckptDir, CheckpointEvery: *ckptN,
+		Scheme: *scheme, Seed: *seed, HubPrefix: *hub,
+		CollectNodeLoad: *metrics != "",
+		CheckpointDir:   *ckptDir, CheckpointEvery: *ckptN,
 		CheckpointKeep: *ckptKeep, Resume: *resume}
 
 	if *seq && *metrics != "" {

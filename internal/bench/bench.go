@@ -161,7 +161,10 @@ func scalePoint(pr model.Params, kind partition.Kind, p int, seed uint64, seqEla
 	if err != nil {
 		return ScalingRow{}, err
 	}
-	res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed}, false)
+	// Figure 5 models the baseline message pattern: the hub-prefix cache
+	// elides exactly the hub-request concentration that separates the
+	// partition schemes, so the figure experiments pin it off.
+	res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed, HubPrefix: -1}, false)
 	if err != nil {
 		return ScalingRow{}, err
 	}
@@ -223,7 +226,9 @@ func Fig7(pr model.Params, kinds []partition.Kind, p int, seed uint64) ([]Fig7Ro
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed}, false)
+		// Per-rank load is a baseline-pattern measurement; pin the
+		// hub-prefix cache off (see scalePoint).
+		res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed, HubPrefix: -1}, false)
 		if err != nil {
 			return nil, err
 		}
@@ -283,7 +288,9 @@ func XSweep(n int64, xs []int, prob float64, p int, seed uint64) ([]XRow, error)
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed}, false)
+		// Message counts are a baseline-pattern measurement; pin the
+		// hub-prefix cache off (see scalePoint).
+		res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed, HubPrefix: -1}, false)
 		if err != nil {
 			return nil, err
 		}

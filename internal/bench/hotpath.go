@@ -216,15 +216,22 @@ func Fingerprint(n int64, x int, ranks int, seed uint64) (uint64, error) {
 // per-edge hashes, since multi-rank merge order is set by rank, not by
 // time.
 func FingerprintAt(n int64, x int, ranks, workers int, seed uint64) (uint64, error) {
+	return FingerprintHub(n, x, partition.KindRRP, ranks, workers, seed, 0)
+}
+
+// FingerprintHub hashes the output graph at an explicit partition
+// scheme and hub-prefix cache setting — the regression check behind
+// "output is byte-identical with the cache on, off, or at any size".
+func FingerprintHub(n int64, x int, kind partition.Kind, ranks, workers int, seed uint64, hubPrefix int64) (uint64, error) {
 	pr := model.Params{N: n, X: x, P: 0.5}
 	if err := pr.Validate(); err != nil {
 		return 0, err
 	}
-	part, err := partition.New(partition.KindRRP, n, ranks)
+	part, err := partition.New(kind, n, ranks)
 	if err != nil {
 		return 0, err
 	}
-	res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed, Workers: workers}, false)
+	res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed, Workers: workers, HubPrefix: hubPrefix}, false)
 	if err != nil {
 		return 0, err
 	}

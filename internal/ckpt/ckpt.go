@@ -33,7 +33,9 @@ const Magic = "PAGENCK1"
 // Version is the current snapshot format version. Readers reject any
 // other value: the format carries no compat shims yet, and resuming
 // from a mis-parsed snapshot would silently corrupt the output graph.
-const Version = 1
+// Version 2 added the requester-side coalescing chains (Remote) to the
+// worker sections.
+const Version = 2
 
 // castagnoli is the CRC-32C table (iSCSI polynomial) shared by writer
 // and reader.
@@ -64,21 +66,33 @@ type SuspRecord struct {
 
 // WaiterRecord is one queued waiter of slot Slot: when the slot
 // resolves, node T's edge E gets the answer. Records of one slot appear
-// in FIFO order.
+// in FIFO order. The same shape serializes both waiter tables: the
+// owner-side Q_{k,l} queues (Slot is a local flat slot index) and the
+// requester-side coalescing chains (Slot is a global slot id k·x+l and
+// T a global node).
 type WaiterRecord struct {
 	Slot int64
 	T    int64
 	E    uint16
 }
 
-// WorkerState is one worker shard's suspended nodes and waiter queues
-// at the cut, tagged with the block [Lo, Hi) the writing run used. A
-// resuming run redistributes the records by its own worker layout, so
-// restoring at a different worker count is exact.
+// WorkerState is one worker shard's suspended nodes, waiter queues and
+// request-coalescing chains at the cut, tagged with the block [Lo, Hi)
+// the writing run used. A resuming run redistributes the records by its
+// own worker layout, so restoring at a different worker count is exact.
 type WorkerState struct {
 	Lo, Hi  int64
 	Susp    []SuspRecord
 	Waiters []WaiterRecord
+	// Remote holds the hub cache's request-coalescing chains: nodes of
+	// this worker waiting on one in-flight request per remote slot,
+	// chain by chain in FIFO order. The first record of each chain is
+	// the primary requester — the node the owner's answer will be
+	// addressed to — which is what lets a resume rebuild the chains
+	// exactly: the chain's secondary members are registered nowhere
+	// else (that is the point of coalescing), so without these records
+	// they would never be answered.
+	Remote []WaiterRecord
 }
 
 // OutboundBatch is a per-destination batch of messages that were
@@ -159,15 +173,21 @@ func (cw *crcWriter) uvarint(v uint64) {
 	cw.Write(buf[:binary.PutUvarint(buf[:], v)])
 }
 
-func (cw *crcWriter) varint(v int64) {
-	var buf [binary.MaxVarintLen64]byte
-	cw.Write(buf[:binary.PutVarint(buf[:], v)])
-}
-
 func (cw *crcWriter) u64(v uint64) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	cw.Write(buf[:])
+}
+
+// waiterRecords writes one length-prefixed list of waiter records —
+// the shared shape of a worker's Waiters and Remote sections.
+func (cw *crcWriter) waiterRecords(rs []WaiterRecord) {
+	cw.uvarint(uint64(len(rs)))
+	for _, wr := range rs {
+		cw.uvarint(uint64(wr.Slot))
+		cw.uvarint(uint64(wr.T))
+		cw.uvarint(uint64(wr.E))
+	}
 }
 
 // Write serializes s to Path(dir, s.Meta.Rank, s.Epoch) atomically:
@@ -223,12 +243,8 @@ func Write(dir string, s *Snapshot) (path string, size int64, err error) {
 				cw.u64(w)
 			}
 		}
-		cw.uvarint(uint64(len(ws.Waiters)))
-		for _, wr := range ws.Waiters {
-			cw.uvarint(uint64(wr.Slot))
-			cw.uvarint(uint64(wr.T))
-			cw.uvarint(uint64(wr.E))
-		}
+		cw.waiterRecords(ws.Waiters)
+		cw.waiterRecords(ws.Remote)
 	}
 
 	// 'O': unflushed outbound batches (empty at a quiescent cut).
@@ -517,33 +533,50 @@ func parseWorker(r *reader) (WorkerState, error) {
 		}
 		ws.Susp = append(ws.Susp, sr)
 	}
-	if n, err = r.uvarint(); err != nil {
-		return ws, err
+	if ws.Waiters, err = parseWaiterRecords(r); err != nil {
+		return ws, fmt.Errorf("waiters: %w", err)
 	}
-	if n > uint64(len(r.b)) {
-		return ws, fmt.Errorf("waiter count %d exceeds file", n)
+	if ws.Remote, err = parseWaiterRecords(r); err != nil {
+		return ws, fmt.Errorf("remote: %w", err)
 	}
-	ws.Waiters = make([]WaiterRecord, 0, n)
+	return ws, nil
+}
+
+// parseWaiterRecords reads one length-prefixed waiter-record list, the
+// shared shape of the Waiters and Remote worker sections. It always
+// returns a non-nil slice so round-tripped snapshots compare equal.
+func parseWaiterRecords(r *reader) ([]WaiterRecord, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every record costs at least three bytes: reject inflated counts
+	// before allocating.
+	if n > uint64(len(r.b))/3+1 {
+		return nil, fmt.Errorf("record count %d exceeds file", n)
+	}
+	out := make([]WaiterRecord, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var wr WaiterRecord
-		if v, err = r.uvarint(); err != nil {
-			return ws, err
+		v, err := r.uvarint()
+		if err != nil {
+			return nil, err
 		}
 		wr.Slot = int64(v)
 		if v, err = r.uvarint(); err != nil {
-			return ws, err
+			return nil, err
 		}
 		wr.T = int64(v)
 		if v, err = r.uvarint(); err != nil {
-			return ws, err
+			return nil, err
 		}
 		if v > 0xffff {
-			return ws, fmt.Errorf("waiter edge %d overflows uint16", v)
+			return nil, fmt.Errorf("waiter edge %d overflows uint16", v)
 		}
 		wr.E = uint16(v)
-		ws.Waiters = append(ws.Waiters, wr)
+		out = append(out, wr)
 	}
-	return ws, nil
+	return out, nil
 }
 
 // Latest returns the newest valid snapshot for rank under dir, walking

@@ -23,15 +23,23 @@ func sample(rank int, epoch int64) *Snapshot {
 				Lo: 0, Hi: 300,
 				Susp: []SuspRecord{
 					{Idx: 17, Edge: 2, RNG: [4]uint64{1, ^uint64(0), 3, 4}},
+					{Idx: 21, Edge: 0, RNG: [4]uint64{5, 6, 7, 8}},
 				},
 				Waiters: []WaiterRecord{
 					{Slot: 99, T: 200, E: 1},
 					{Slot: 99, T: 201, E: 0},
 				},
+				// Two coalescing chains: slot 802 with a secondary, slot
+				// 1205 with the primary alone.
+				Remote: []WaiterRecord{
+					{Slot: 802, T: 310, E: 2},
+					{Slot: 802, T: 311, E: 0},
+					{Slot: 1205, T: 320, E: 1},
+				},
 			},
 			// Empty (not nil) slices: the parser always materializes
 			// them, and DeepEqual distinguishes nil from empty.
-			{Lo: 300, Hi: 625, Susp: []SuspRecord{}, Waiters: []WaiterRecord{}},
+			{Lo: 300, Hi: 625, Susp: []SuspRecord{}, Waiters: []WaiterRecord{}, Remote: []WaiterRecord{}},
 		},
 		Outbound: []OutboundBatch{{To: 3, Frame: []byte{0xca, 0xfe, 0x00}}},
 		Stats:    Stats{Retries: 5, QueuedWaits: 6, LocalWaits: 7},
@@ -129,8 +137,8 @@ func TestReadRejectsVersionAndMagic(t *testing.T) {
 		!strings.Contains(err.Error(), "magic") {
 		t.Fatalf("bad magic: err = %v", err)
 	}
-	// A version-2 file with a correct CRC must be rejected by version,
-	// not CRC.
+	// A future-version file with a correct CRC must be rejected by
+	// version, not CRC.
 	dir := t.TempDir()
 	path, _, err := Write(dir, sample(0, 1))
 	if err != nil {
@@ -140,7 +148,7 @@ func TestReadRejectsVersionAndMagic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[len(Magic)] = 2 // version uvarint
+	data[len(Magic)] = Version + 1 // version uvarint
 	body := data[: len(data)-4 : len(data)-4]
 	sum := crc32.Checksum(body, castagnoli)
 	data = append(body, byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24))

@@ -51,6 +51,8 @@ type Counters struct {
 	RequestsRecv int64
 	ResolvedSent int64
 	ResolvedRecv int64
+	PublishSent  int64
+	PublishRecv  int64
 	ControlSent  int64
 	ControlRecv  int64
 	FramesSent   int64
@@ -61,12 +63,12 @@ type Counters struct {
 
 // MessagesSent returns the total logical messages sent.
 func (c Counters) MessagesSent() int64 {
-	return c.RequestsSent + c.ResolvedSent + c.ControlSent
+	return c.RequestsSent + c.ResolvedSent + c.PublishSent + c.ControlSent
 }
 
 // MessagesRecv returns the total logical messages received.
 func (c Counters) MessagesRecv() int64 {
-	return c.RequestsRecv + c.ResolvedRecv + c.ControlRecv
+	return c.RequestsRecv + c.ResolvedRecv + c.PublishRecv + c.ControlRecv
 }
 
 // stripe is one destination's send buffer with its lock. Flush holds the
@@ -82,12 +84,14 @@ type Comm struct {
 	// send-side counters, atomic (concurrent senders).
 	requestsSent int64
 	resolvedSent int64
+	publishSent  int64
 	controlSent  int64
 	framesSent   int64
 	bytesSent    int64
 	// receive-side counters, single consumer.
 	requestsRecv int64
 	resolvedRecv int64
+	publishRecv  int64
 	controlRecv  int64
 	framesRecv   int64
 	bytesRecv    int64
@@ -132,6 +136,8 @@ func (c *Comm) Counters() Counters {
 		RequestsRecv: c.requestsRecv,
 		ResolvedSent: atomic.LoadInt64(&c.resolvedSent),
 		ResolvedRecv: c.resolvedRecv,
+		PublishSent:  atomic.LoadInt64(&c.publishSent),
+		PublishRecv:  c.publishRecv,
 		ControlSent:  atomic.LoadInt64(&c.controlSent),
 		ControlRecv:  c.controlRecv,
 		FramesSent:   atomic.LoadInt64(&c.framesSent),
@@ -168,6 +174,8 @@ func (c *Comm) count(to int, m msg.Message) {
 		atomic.AddInt64(&c.requestsTo[to], 1)
 	case msg.KindResolved:
 		atomic.AddInt64(&c.resolvedSent, 1)
+	case msg.KindPublish:
+		atomic.AddInt64(&c.publishSent, 1)
 	default:
 		atomic.AddInt64(&c.controlSent, 1)
 	}
@@ -314,6 +322,8 @@ func (c *Comm) decode(dst []msg.Message, f transport.Frame) ([]msg.Message, erro
 			c.requestsRecv++
 		case msg.KindResolved:
 			c.resolvedRecv++
+		case msg.KindPublish:
+			c.publishRecv++
 		default:
 			c.controlRecv++
 		}

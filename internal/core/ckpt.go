@@ -200,18 +200,31 @@ func (e *engine) ckptOnMsg(m msg.Message) error {
 // flight during one.)
 func (e *engine) ckptBalance() (sent, recv int64) {
 	c := e.cm.Counters()
-	sent = c.RequestsSent + c.ResolvedSent
-	recv = c.RequestsRecv + c.ResolvedRecv
+	sent = c.RequestsSent + c.ResolvedSent + c.PublishSent
+	recv = c.RequestsRecv + c.ResolvedRecv + c.PublishRecv
+	done := false
 	if e.concurrent {
 		// Concurrent done reports always travel the wire (rank 0
 		// self-sends), so the latch counts for every rank.
-		if atomic.LoadInt32(&e.doneSent) == 1 {
+		done = atomic.LoadInt32(&e.doneSent) == 1
+		if done {
 			sent++
 		}
-	} else if e.doneFlag && e.rank != 0 {
-		// Single-worker rank 0 short-circuits its own report; only
-		// other ranks' reports travel.
-		sent++
+	} else if e.doneFlag {
+		done = true
+		if e.rank != 0 {
+			// Single-worker rank 0 short-circuits its own report; only
+			// other ranks' reports travel.
+			sent++
+		}
+	}
+	if e.hub != nil {
+		// Fences go out with the done report — to every peer, rank 0's
+		// included — and can be in flight while later epochs quiesce.
+		if done {
+			sent += int64(e.p - 1)
+		}
+		recv += int64(e.fencesRecv)
 	}
 	recv += e.ck.doneRecv
 	return sent, recv

@@ -91,6 +91,17 @@ type Options struct {
 	// one counter increment per copy query plus 8 bytes per local node,
 	// so it is opt-in.
 	CollectNodeLoad bool
+	// HubPrefix controls the replicated hub-prefix cache (DESIGN.md
+	// §10): every rank keeps a read-mostly replica of the first H
+	// nodes' attachment slots, owners broadcast newly resolved prefix
+	// slots as publish messages, and copy queries for replicated slots
+	// are answered locally instead of crossing the wire. 0 (the
+	// default) sizes H automatically to cover
+	// partition.HubPrefixAutoFrac of the expected request mass; a
+	// negative value disables the cache; a positive value fixes H
+	// (clamped to n). All ranks of a run must use the same setting.
+	// The output graph is identical for every setting.
+	HubPrefix int64
 	// Checkpoint, when non-nil, enables cooperative checkpoint/restart
 	// (see CheckpointOptions and DESIGN.md §9). Incompatible with Sink,
 	// Trace and CollectNodeLoad, whose side effects are not captured by
@@ -143,8 +154,25 @@ type RankStats struct {
 	WaitChain obs.Histogram
 	// NodeLoad is the per-local-node received-message load — the
 	// empirical M_k of Lemma 3.4, indexed by the partition's local node
-	// index. Nil unless Options.CollectNodeLoad was set.
+	// index. Nil unless Options.CollectNodeLoad was set. With the hub
+	// cache on it counts only queries that reached this rank over the
+	// wire (or locally); elided queries appear in HubElided on the
+	// requesting rank.
 	NodeLoad []int64
+	// HubElided counts copy queries answered without a request, by
+	// global target node k < H: replica hits plus coalesced requests.
+	// Load the owner never saw — the Lemma 3.4 comparison needs
+	// NodeLoad + HubElided (summed across ranks). Nil unless both
+	// CollectNodeLoad and the hub cache were on.
+	HubElided []int64
+	// HubCacheHits counts remote copy queries answered by the hub
+	// replica; HubCacheMisses counts prefix queries (k < H) that found
+	// the replica slot still unresolved and fell back to a request.
+	HubCacheHits   int64
+	HubCacheMisses int64
+	// ReqCoalesced counts remote copy queries that rode an already
+	// outstanding request for the same slot instead of sending another.
+	ReqCoalesced int64
 	// BusyTime is wall time minus time spent blocked waiting for
 	// messages (the dispatcher's blocked time when workers > 1).
 	BusyTime time.Duration
@@ -181,6 +209,11 @@ func (s RankStats) Metrics() obs.RankMetrics {
 		Retries:         s.Retries,
 		QueuedWaits:     s.QueuedWaits,
 		LocalWaits:      s.LocalWaits,
+		HubCacheHit:     s.HubCacheHits,
+		HubCacheMiss:    s.HubCacheMisses,
+		HubCachePub:     s.Comm.PublishSent,
+		HubCachePubRecv: s.Comm.PublishRecv,
+		ReqCoalesced:    s.ReqCoalesced,
 		MaxPendingSlots: s.MaxPendingSlots,
 		TotalLoad:       s.TotalLoad(),
 		WallNanos:       s.WallTime.Nanoseconds(),
@@ -214,7 +247,10 @@ func NodeLoadSamples(part partition.Scheme, rank int, load []int64) []obs.KLoad 
 }
 
 // TotalLoad returns the paper's Section 4.6 load measure for the rank:
-// nodes plus incoming plus outgoing data messages.
+// nodes plus incoming plus outgoing data messages. Publish traffic is
+// deliberately excluded — it is replication overhead, not the
+// request/response load the paper's balance analysis models (DESIGN.md
+// §10) — so the measure stays comparable across hub-cache settings.
 func (s RankStats) TotalLoad() int64 {
 	return s.Nodes +
 		s.Comm.RequestsSent + s.Comm.ResolvedSent +
@@ -274,6 +310,20 @@ type engine struct {
 	// nodeLoad counts copy queries received per local node (indexed
 	// like f, but per node not per slot); nil unless CollectNodeLoad.
 	nodeLoad []int64
+
+	// hub is the replicated hub-prefix cache; nil when disabled (single
+	// rank, p = 1, or Options.HubPrefix < 0). hubPeers are the ranks
+	// this rank publishes its resolved prefix slots to. hubElided
+	// counts elided queries by global node (CollectNodeLoad only).
+	hub       *hubCache
+	hubPeers  []int
+	hubElided []int64
+	// fencesRecv counts hub fences received (coordinator-owned): with
+	// the cache on a rank may not leave its receive loop until every
+	// peer has fenced, so no publish frame outlives the engine on the
+	// transport (pa-tcp runs post-run collectives over the same
+	// connections).
+	fencesRecv int
 
 	workers []*worker
 
@@ -398,6 +448,24 @@ func newEngine(tr transport.Transport, opts Options) (*engine, error) {
 		blk:        blk,
 		concurrent: nw > 1,
 		abortCh:    make(chan struct{}),
+	}
+	// Hub-prefix replica: pointless on one rank (no wire requests) and
+	// at p = 1 (no copy branch, so no requests at all). Set up before
+	// the workers so they can size their coalescing tables.
+	if hp := opts.HubPrefix; hp >= 0 && e.p > 1 && e.prob < 1 {
+		h := hp
+		if h == 0 {
+			h = partition.HubPrefixSize(opts.Params.N, opts.Params.X, partition.HubPrefixAutoFrac)
+		}
+		if h > opts.Params.N {
+			h = opts.Params.N
+		}
+		// A prefix inside the clique would never be consulted (copy
+		// sources are drawn from [x, t)).
+		if h > e.x64 {
+			e.hub = newHubCache(h, e.x64, e.concurrent)
+			e.hubPeers = hubPeerRanks(opts.Part, rank, e.p)
+		}
 	}
 	e.workers = make([]*worker, nw)
 	for i := 0; i < nw; i++ {
@@ -565,6 +633,9 @@ func (e *engine) run() error {
 			return err
 		}
 	}
+	if err := e.publishResolvedPrefix(); err != nil {
+		return err
+	}
 	// Data messages a faster peer generated while this rank was still
 	// inside the resume-negotiation collectives were parked in ck.held;
 	// deliver them now that the restored state they refer to exists.
@@ -608,6 +679,9 @@ func (e *engine) bootstrap() {
 	}
 	if e.opts.CollectNodeLoad {
 		e.nodeLoad = make([]int64, e.size)
+		if e.hub != nil {
+			e.hubElided = make([]int64, e.hub.h)
+		}
 	}
 	i := int64(0)
 	e.part.ForEach(e.rank, func(t int64) {
@@ -696,6 +770,9 @@ func (e *engine) finishStats() {
 		e.stats.Retries += w.retries
 		e.stats.QueuedWaits += w.queuedWaits
 		e.stats.LocalWaits += w.localWaits
+		e.stats.HubCacheHits += w.hubHits
+		e.stats.HubCacheMisses += w.hubMisses
+		e.stats.ReqCoalesced += w.coalesced
 		e.stats.WaitChain.Merge(w.waitChain)
 	}
 	e.stats.Comm = e.cm.Counters()
@@ -704,6 +781,7 @@ func (e *engine) finishStats() {
 	e.stats.RequestsTo = e.cm.RequestsToView()
 	e.stats.MaxPendingSlots = atomic.LoadInt64(&e.maxPendingWaiters)
 	e.stats.NodeLoad = e.nodeLoad
+	e.stats.HubElided = e.hubElided
 	if ck := e.ck; ck != nil {
 		e.stats.CkptEpochs = ck.epochs
 		e.stats.CkptFailed = ck.failed
@@ -719,6 +797,15 @@ func (e *engine) finishStats() {
 // counts it like any other rank's.
 func (e *engine) reportDone() {
 	if !atomic.CompareAndSwapInt32(&e.doneSent, 0, 1) {
+		return
+	}
+	// Fences first: each worker flushed its scratch when its own shard
+	// completed (noteShardDone), with the activeWorkers decrement
+	// ordering those flushes before this point, so every publish this
+	// rank will ever send is already in the stripes or on the wire —
+	// the fences trail them all on each pairwise channel.
+	if err := e.sendFences(); err != nil {
+		e.fail(err)
 		return
 	}
 	if err := e.cm.SendNow(0, msg.Done(e.rank)); err != nil {
@@ -765,7 +852,7 @@ func (e *engine) runSingle() error {
 	if err := e.maybeReportDone(); err != nil {
 		return err
 	}
-	for !e.stopped {
+	for !e.finished() {
 		if err := e.drainSingle(true); err != nil {
 			return err
 		}
@@ -860,7 +947,11 @@ func (e *engine) handleSingle(m msg.Message) error {
 	case msg.KindRequest:
 		w.onRequest(m, true)
 	case msg.KindResolved:
-		w.resume(m.T, int(m.E), m.V)
+		w.resumeWire(m.T, int(m.E), m.V)
+	case msg.KindPublish:
+		return e.applyPublish(m)
+	case msg.KindFence:
+		return e.onFence()
 	case msg.KindDone:
 		if e.rank != 0 {
 			return fmt.Errorf("core: rank %d received done message", e.rank)
@@ -895,6 +986,12 @@ func (e *engine) maybeReportDone() error {
 		return nil
 	}
 	e.doneFlag = true
+	// Fences travel for every rank (rank 0 included — only the done
+	// report below is short-circuited), trailing this rank's buffered
+	// publishes on each channel.
+	if err := e.sendFences(); err != nil {
+		return err
+	}
 	if e.rank == 0 {
 		e.doneRanks++
 		return e.maybeBroadcastStop()
@@ -1041,6 +1138,14 @@ func (e *engine) deliver(ms []msg.Message) error {
 		case msg.KindResolved:
 			wid := e.workerOf(e.localIdx(m.T))
 			route[wid] = append(route[wid], m)
+		case msg.KindPublish:
+			if err := e.applyPublish(m); err != nil {
+				return err
+			}
+		case msg.KindFence:
+			if err := e.onFence(); err != nil {
+				return err
+			}
 		case msg.KindDone:
 			if e.rank != 0 {
 				return fmt.Errorf("core: rank %d received done message", e.rank)
@@ -1104,12 +1209,12 @@ func (e *engine) dispatch() {
 			return e.ckptFilter(ms), nil
 		})
 	}
-	for !e.stopped {
+	for !e.finished() {
 		if err := e.ckptStep(); err != nil {
 			e.fail(err)
 			return
 		}
-		if e.stopped {
+		if e.finished() {
 			break
 		}
 		ms, err := e.pumpDrain()

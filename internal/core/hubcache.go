@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pagen/internal/msg"
+	"pagen/internal/partition"
+)
+
+// hubCache is the rank's read-mostly replica of the hub prefix: the F
+// slots of the first h global nodes, flat like the main table (slot
+// k*x + l). Slots start NILL and are installed with the owning rank's
+// write-once value — by the coordinator applying a publish message, or
+// by a worker installing a wire answer it received anyway — so every
+// install for a slot carries the same immutable value and the replica
+// needs no invalidation protocol (DESIGN.md §10). Only remote-owned
+// slots are ever consulted: a local copy source short-circuits to the
+// rank's own table before the replica is looked at.
+type hubCache struct {
+	h          int64 // nodes covered: global ids [0, h)
+	x64        int64
+	concurrent bool
+	f          []int64
+}
+
+func newHubCache(h, x64 int64, concurrent bool) *hubCache {
+	c := &hubCache{h: h, x64: x64, concurrent: concurrent, f: make([]int64, h*x64)}
+	for i := range c.f {
+		c.f[i] = -1
+	}
+	return c
+}
+
+// slots returns the flat slot count h*x.
+func (c *hubCache) slots() int64 { return int64(len(c.f)) }
+
+// get reads replica slot key (k*x + l); -1 means not yet known here.
+// Atomic when workers share the replica, mirroring engine.setSlot.
+func (c *hubCache) get(key int64) int64 {
+	if c.concurrent {
+		return atomic.LoadInt64(&c.f[key])
+	}
+	return c.f[key]
+}
+
+// install records the resolved value for slot key. Idempotent: racing
+// installs (a publish against a wire answer) and duplicated publishes
+// all write the owner's single value, so any interleaving is harmless.
+func (c *hubCache) install(key, v int64) {
+	if c.concurrent {
+		atomic.StoreInt64(&c.f[key], v)
+		return
+	}
+	c.f[key] = v
+}
+
+// hubPeerRanks returns the ranks that can request a prefix slot this
+// rank owns — the publish fan-out set. Under a contiguous partition the
+// request matrix is strictly lower-triangular (Section 4.6.2): only
+// nodes t > k query k, and with contiguous ranges those live on ranks
+// after k's owner (same-rank requesters read the local table directly),
+// so publishes skip the ranks before this one. Non-contiguous schemes
+// (RRP) interleave requesters, so every peer gets the publishes.
+func hubPeerRanks(part partition.Scheme, rank, p int) []int {
+	peers := make([]int, 0, p-1)
+	if _, ok := part.(partition.Consecutive); ok {
+		for r := rank + 1; r < p; r++ {
+			peers = append(peers, r)
+		}
+		return peers
+	}
+	for r := 0; r < p; r++ {
+		if r != rank {
+			peers = append(peers, r)
+		}
+	}
+	return peers
+}
+
+// noteElided counts one elided copy query for global prefix node k —
+// load its owner would have seen without the cache (Lemma 3.4's M_k is
+// then NodeLoad + HubElided across ranks). No-op for k outside the
+// prefix or without CollectNodeLoad.
+func (e *engine) noteElided(k int64) {
+	if e.hubElided == nil || k >= int64(len(e.hubElided)) {
+		return
+	}
+	if e.concurrent {
+		atomic.AddInt64(&e.hubElided[k], 1)
+		return
+	}
+	e.hubElided[k]++
+}
+
+// applyPublish installs one received publish into the replica. Runs on
+// the coordinator (the transport's single consumer); workers read the
+// replica through atomics, and a racing worker-side install of the same
+// answer writes the identical value.
+func (e *engine) applyPublish(m msg.Message) error {
+	hub := e.hub
+	if hub == nil {
+		return fmt.Errorf("core: rank %d received a hub publish for node %d with the hub cache disabled (mismatched hub-prefix settings across ranks?)", e.rank, m.T)
+	}
+	if m.T >= hub.h {
+		return fmt.Errorf("core: rank %d received a hub publish for node %d outside its prefix of %d nodes (mismatched hub-prefix settings across ranks?)", e.rank, m.T, hub.h)
+	}
+	hub.install(m.T*e.x64+int64(m.E), m.V)
+	return nil
+}
+
+// onFence counts one received hub fence: the sending rank promises no
+// further publishes. Receiving p-1 of them (plus stop) lets finished()
+// release the transport with no publish frame still in flight.
+func (e *engine) onFence() error {
+	if e.hub == nil {
+		return fmt.Errorf("core: rank %d received a hub fence with the hub cache disabled (mismatched hub-prefix settings across ranks?)", e.rank)
+	}
+	e.fencesRecv++
+	return nil
+}
+
+// sendFences tells every peer this rank will publish no more. SendNow
+// appends the fence to the peer's stripe and flushes the whole stripe,
+// so on each pairwise FIFO channel the fence trails every publish this
+// rank buffered — which is what makes fencesRecv a proof of silence.
+// Called at done-report time: all local slots are resolved, so no
+// further resolveLocal (and hence no further publish) can happen.
+func (e *engine) sendFences() error {
+	if e.hub == nil {
+		return nil
+	}
+	for r := 0; r < e.p; r++ {
+		if r == e.rank {
+			continue
+		}
+		if err := e.cm.SendNow(r, msg.Fence(e.rank)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finished reports whether the coordinator may leave its receive loop:
+// stop has arrived and — when the hub replica is on — every peer has
+// fenced its publish stream. Without the fence wait, a publish sent to
+// an already-stopped rank would linger on the transport and corrupt
+// whatever runs over the same connections next (cmd/pa-tcp's post-run
+// collectives reject non-collective traffic). Duplicated fences only
+// push fencesRecv further past the threshold, hence >=.
+func (e *engine) finished() bool {
+	return e.stopped && (e.hub == nil || e.fencesRecv >= e.p-1)
+}
+
+// publishResolvedPrefix seeds the peers' replicas with every already
+// resolved prefix slot this rank owns: node x's bootstrap attachments
+// on a fresh run, everything the snapshot restored on a resumed one
+// (the replica itself is never serialized — each rank re-derives its
+// contribution here, see docs/CHECKPOINT_FORMAT.md). Runs on the rank
+// goroutine after bootstrap/restore, before any worker starts; sends
+// are buffered and ride the engine's normal flush points.
+func (e *engine) publishResolvedPrefix() error {
+	hub := e.hub
+	if hub == nil || len(e.hubPeers) == 0 {
+		return nil
+	}
+	for k := e.x64; k < hub.h; k++ {
+		if e.part.Owner(k) != e.rank {
+			continue
+		}
+		base := e.part.Index(e.rank, k) * e.x64
+		for l := 0; l < e.x; l++ {
+			v := e.f[base+int64(l)]
+			if v < 0 {
+				continue
+			}
+			for _, r := range e.hubPeers {
+				if err := e.cm.Send(r, msg.Publish(k, l, v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -124,6 +124,14 @@ func (e *engine) buildSnapshot() *ckpt.Snapshot {
 		w.waiters.forEach(func(slot, t int64, e16 uint16) {
 			ws.Waiters = append(ws.Waiters, ckpt.WaiterRecord{Slot: slot, T: t, E: e16})
 		})
+		// Coalescing chains serialize chain by chain in FIFO order, so
+		// the first record of each chain is its primary requester — the
+		// node the owner's answer is addressed to. Suspension records do
+		// not carry the chain key; restore re-derives every member's key
+		// from these records.
+		w.remote.forEach(func(slot, t int64, e16 uint16) {
+			ws.Remote = append(ws.Remote, ckpt.WaiterRecord{Slot: slot, T: t, E: e16})
+		})
 		s.Workers = append(s.Workers, ws)
 		s.Stats.Retries += w.retries
 		s.Stats.QueuedWaits += w.queuedWaits
@@ -135,6 +143,58 @@ func (e *engine) buildSnapshot() *ckpt.Snapshot {
 		}
 	}
 	return s
+}
+
+// restoreChains rebuilds the hub cache's request-coalescing chains from
+// the snapshot's Remote records. Each chain is routed whole to the
+// worker owning its primary (first) record's node: the in-flight answer
+// — owed by the owner's restored waiter record for the primary, or by a
+// request frame in the re-sent outbound buffers — is addressed to that
+// node, and resumeWire fans it out to the rest of the chain from there.
+// Chains must never merge: two snapshotted chains for the same slot
+// (from different workers of the writing run) are each owed their own
+// answer, and a merged chain would resume on the first answer and leave
+// the second with no suspension to deliver to. When two such chains
+// land in one worker, the second keeps a synthetic key <= -2 — real
+// slot ids are non-negative, so it can never collide with a chain the
+// resumed run creates, and resumeWire skips the replica install for it.
+// All runs over a checkpoint sequence must agree on the hub setting:
+// with the cache disabled the chain's secondary members would never be
+// answered (they are registered nowhere else — that is the point of
+// coalescing), so restoring their records is an error, not a fallback.
+func (e *engine) restoreChains(s *ckpt.Snapshot) error {
+	synth := int64(-2)
+	for _, ws := range s.Workers {
+		if len(ws.Remote) > 0 && e.hub == nil {
+			return fmt.Errorf("core: resume: snapshot has %d coalesced remote waiters but the hub cache is disabled; resume with the hub-prefix setting the snapshot was taken under", len(ws.Remote))
+		}
+		for rs := ws.Remote; len(rs) > 0; {
+			end := 1
+			for end < len(rs) && rs[end].Slot == rs[0].Slot {
+				end++
+			}
+			chain := rs[:end]
+			rs = rs[end:]
+			tgt := e.workers[e.workerOf(e.localIdx(chain[0].T))]
+			key := chain[0].Slot
+			for tgt.remote.has(key) {
+				key = synth
+				synth--
+			}
+			for _, wr := range chain {
+				tgt.remote.push(key, wr.T, wr.E)
+				idx := e.localIdx(wr.T)
+				ow := e.workers[e.workerOf(idx)]
+				st, ok := ow.susp.get(idx)
+				if !ok {
+					return fmt.Errorf("core: resume: chained node %d has no suspension record", wr.T)
+				}
+				st.key = key
+				ow.susp.put(idx, st)
+			}
+		}
+	}
+	return nil
 }
 
 // nodeInitiated reports whether local node idx's generation has started:
@@ -166,6 +226,7 @@ func (e *engine) restore() error {
 			w := e.workers[e.workerOf(sr.Idx)]
 			var st suspState
 			st.e = int32(sr.Edge)
+			st.key = -1 // re-derived from the Remote chains below
 			st.rng.SetState(sr.RNG)
 			w.susp.put(sr.Idx, st)
 		}
@@ -174,6 +235,9 @@ func (e *engine) restore() error {
 			w.waiters.push(wr.Slot, wr.T, wr.E)
 			e.trackPending(1)
 		}
+	}
+	if err := e.restoreChains(s); err != nil {
+		return err
 	}
 
 	// Recount each worker's unresolved slots from the restored table;

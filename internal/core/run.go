@@ -114,6 +114,15 @@ func Run(opts Options, recordTrace bool) (*Result, error) {
 		sort.Slice(res.NodeLoad, func(i, j int) bool {
 			return res.NodeLoad[i].K < res.NodeLoad[j].K
 		})
+		// Elided queries are counted at the requesting rank, indexed by
+		// global node id; fold them into the target node's sample. After
+		// the sort, sample k sits at index k (the rank samples union to
+		// exactly one sample per node).
+		for r := 0; r < p; r++ {
+			for k, c := range ranks[r].HubElided {
+				res.NodeLoad[k].Elided += c
+			}
+		}
 	}
 	if emitted != opts.Params.M() {
 		return nil, fmt.Errorf("core: generated %d edges, want %d", emitted, opts.Params.M())

@@ -11,6 +11,16 @@ import "pagen/internal/xrand"
 type suspState struct {
 	rng xrand.Rand
 	e   int32
+	// key is the global slot id k*x + l of the remote slot the node
+	// waits on when the wait went through the request-coalescing table,
+	// -1 otherwise. resumeWire uses it to map a wire answer — which
+	// carries (t, e), not (k, l) — back to the chain to fan out. A
+	// restore can substitute a synthetic key <= -2 when two snapshotted
+	// chains for the same slot land in one worker (each is owed its own
+	// answer, so they must not merge); real slot ids are non-negative, so
+	// synthetic keys can never collide with a chain the resumed run
+	// creates.
+	key int64
 }
 
 // suspTable maps a local node index to its suspension record: an
@@ -86,6 +96,21 @@ func (s *suspTable) take(key int64) (suspState, bool) {
 			s.keys[i] = suspTomb
 			s.live--
 			return st, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get returns key's suspension without removing it.
+func (s *suspTable) get(key int64) (suspState, bool) {
+	mask := uint64(len(s.keys) - 1)
+	i := hashSlot(key) & mask
+	for {
+		switch s.keys[i] {
+		case suspEmpty:
+			return suspState{}, false
+		case key:
+			return s.vals[i], true
 		}
 		i = (i + 1) & mask
 	}

@@ -100,6 +100,13 @@ func (w *waiterTable) push(slot int64, t int64, e uint16) {
 	}
 }
 
+// has reports whether slot currently has a non-empty chain, without
+// detaching it.
+func (w *waiterTable) has(slot int64) bool {
+	i := w.bucket(slot)
+	return w.keys[i] == slot && w.heads[i] != nilNode
+}
+
 // take detaches and returns the head of slot's chain (nilNode if the
 // slot has no waiters). The caller walks the chain via next, copying
 // each node's fields before freeing it.

@@ -35,6 +35,13 @@ type worker struct {
 	waiters waiterTable
 	susp    suspTable
 
+	// remote is the request-coalescing table (hub cache on only): it
+	// chains this worker's nodes waiting on the same remote slot,
+	// keyed by global slot id k*x + l, primary requester included.
+	// One wire request serves the whole chain; resumeWire fans its
+	// answer out. Worker-private like waiters, so no locking.
+	remote waiterTable
+
 	// inbox receives remote traffic from the dispatcher and sibling
 	// traffic from other workers. Nil when the rank runs one worker.
 	inbox *inbox
@@ -71,6 +78,9 @@ type worker struct {
 	retries     int64
 	queuedWaits int64
 	localWaits  int64
+	hubHits     int64
+	hubMisses   int64
+	coalesced   int64
 	edgeCount   int64
 	waitChain   obs.Histogram
 
@@ -81,6 +91,9 @@ func newWorker(e *engine, id int, lo, hi int64) *worker {
 	w := &worker{e: e, id: id, lo: lo, hi: hi, cursor: lo}
 	w.waiters.init()
 	w.susp.init()
+	if e.hub != nil {
+		w.remote.init()
+	}
 	w.poll = e.opts.PollEvery
 	if w.poll <= 0 {
 		w.poll = DefaultPollEvery
@@ -214,19 +227,55 @@ func (w *worker) advance(t int64, edge int, rng *xrand.Rand) {
 					m.Kind = kindReqLocal
 					w.toWorker(e.workerOf(kidx), m)
 				}
-				w.suspend(t, edge, rng)
+				w.suspend(t, edge, rng, -1)
+				return
+			}
+			if hub := e.hub; hub != nil && k < hub.h {
+				gkey := k*e.x64 + int64(l)
+				if v := hub.get(gkey); v >= 0 {
+					// Replica hit: the owner's immutable value is
+					// already here — the same value a round trip
+					// would return, so no request travels.
+					w.hubHits++
+					e.noteElided(k)
+					if w.isDup(t, v) {
+						w.retries++
+						continue draw
+					}
+					w.resolveLocal(t, edge, v)
+					break draw
+				}
+				w.hubMisses++
+				if w.remote.has(gkey) {
+					// A node of this worker already has a request for
+					// this slot in flight: ride its answer. Coalescing
+					// is prefix-only so every elided query lands in
+					// hubElided and the Lemma 3.4 census stays exact
+					// (tail slots coalesce too rarely to be worth an
+					// n-sized counter array).
+					w.coalesced++
+					e.noteElided(k)
+					w.remote.push(gkey, t, uint16(edge))
+					w.suspend(t, edge, rng, gkey)
+					return
+				}
+				w.remote.push(gkey, t, uint16(edge))
+				w.sendData(owner, msg.Request(t, edge, k, l))
+				w.suspend(t, edge, rng, gkey)
 				return
 			}
 			w.sendData(owner, msg.Request(t, edge, k, l))
-			w.suspend(t, edge, rng)
+			w.suspend(t, edge, rng, -1)
 			return
 		}
 	}
 }
 
-// suspend parks node t at the given edge with its stream state.
-func (w *worker) suspend(t int64, edge int, rng *xrand.Rand) {
-	w.susp.put(w.e.localIdx(t), suspState{rng: *rng, e: int32(edge)})
+// suspend parks node t at the given edge with its stream state. key is
+// the coalescing-table slot the node chained on, -1 for waits that did
+// not go through it (local waits, or the cache off).
+func (w *worker) suspend(t int64, edge int, rng *xrand.Rand, key int64) {
+	w.susp.put(w.e.localIdx(t), suspState{rng: *rng, e: int32(edge), key: key})
 }
 
 // resume continues a suspended node with the resolved value of its
@@ -251,6 +300,46 @@ func (w *worker) resume(t int64, edge int, v int64) {
 	w.advance(t, edge+1, &st.rng)
 }
 
+// resumeWire handles a wire <resolved>. With the hub cache off it is a
+// plain resume. With it on, the answer is addressed to the chain's
+// primary requester but belongs to every node coalesced on the same
+// slot: look the slot key up through the primary's suspension, install
+// the value in the replica, and fan the answer out to the whole chain
+// (the primary is a chain member like any other). A stale answer — the
+// node already advanced, or re-suspended on a different slot or edge —
+// takes the plain path, whose edge check drops it.
+func (w *worker) resumeWire(t int64, edge int, v int64) {
+	e := w.e
+	if e.hub == nil {
+		w.resume(t, edge, v)
+		return
+	}
+	st, ok := w.susp.get(e.localIdx(t))
+	if !ok || st.key == -1 || int(st.e) != edge {
+		w.resume(t, edge, v)
+		return
+	}
+	if st.key >= 0 && st.key < e.hub.slots() {
+		e.hub.install(st.key, v)
+	}
+	// Walk the detached chain copying each node out before freeing it:
+	// resume can recurse into advance and push new chain entries while
+	// we iterate (same discipline as resolveLocal's waiter walk). The
+	// members are deliverResolved, not resumed directly: a chain rebuilt
+	// by a restore under a different worker layout can span siblings.
+	h := w.remote.take(st.key)
+	if h < 0 {
+		w.resume(t, edge, v)
+		return
+	}
+	for h >= 0 {
+		n := w.remote.arena[h]
+		w.remote.freeNode(h)
+		h = n.next
+		w.deliverResolved(n.t, int(n.e), v)
+	}
+}
+
 // resolveLocal finalises F_t(edge) = v for a slot this worker owns:
 // records the edge, decrements the shard's unresolved count, and answers
 // every waiter of this slot (Algorithm 3.1 lines 16-19 / Algorithm 3.2
@@ -261,6 +350,15 @@ func (w *worker) resolveLocal(t int64, edge int, v int64) {
 	e.setSlot(s, v)
 	w.unresolved--
 	w.emit(t, v)
+
+	// Hub prefix: replicate the freshly resolved slot to every rank
+	// that may query it (batched through the normal send path).
+	if hub := e.hub; hub != nil && t < hub.h {
+		m := msg.Publish(t, edge, v)
+		for _, r := range e.hubPeers {
+			w.sendData(r, m)
+		}
+	}
 
 	// Walk the slot's detached waiter chain in FIFO order. Each node's
 	// fields are copied out and the node freed before delivery, because
@@ -286,16 +384,20 @@ func (w *worker) resolveLocal(t int64, edge int, v int64) {
 }
 
 // noteShardDone marks this worker's shard fully resolved; the last shard
-// reports the rank done (after flushing so no answer lingers).
+// reports the rank done. Every worker flushes its own outbound before
+// the decrement: a completed shard never resolves (hence never
+// publishes) again, and the release-acquire ordering of the atomic adds
+// means the final worker's fences are sequenced after every sibling's
+// flush — so fences trail all of the rank's publishes on the wire.
 func (w *worker) noteShardDone() {
 	e := w.e
 	if !e.concurrent {
 		return // maybeReportDone drives the single-worker protocol
 	}
+	w.quiesce()
 	if atomic.AddInt32(&e.activeWorkers, -1) != 0 {
 		return
 	}
-	w.quiesce()
 	e.reportDone()
 }
 
@@ -352,15 +454,18 @@ func (w *worker) sendData(to int, m msg.Message) {
 		}
 		return
 	}
+	// Store the append result before any early return: append may have
+	// grown the backing array, and dropping it would leave w.scratch[to]
+	// aliasing the stale smaller one.
 	buf := append(w.scratch[to], m)
+	w.scratch[to] = buf
 	if len(buf) >= workerScratchCap {
-		w.scratch[to] = buf[:0]
 		if err := e.cm.SendBatch(to, buf); err != nil {
 			w.fail(err)
+			return
 		}
-		return
+		w.scratch[to] = buf[:0]
 	}
-	w.scratch[to] = buf
 }
 
 // flushScratch merges every non-empty private buffer into the shared
@@ -430,7 +535,11 @@ func (w *worker) processBatch(ms []msg.Message) {
 			w.onRequest(m, true)
 		case kindReqLocal:
 			w.onRequest(m, false)
-		case msg.KindResolved, kindResLocal:
+		case msg.KindResolved:
+			w.resumeWire(m.T, int(m.E), m.V)
+		case kindResLocal:
+			// Same-rank sibling answers never coalesce (the chain is for
+			// wire requests), so the plain path applies.
 			w.resume(m.T, int(m.E), m.V)
 		case kindCkptResume:
 			w.resumed = true

@@ -75,7 +75,10 @@ func TestModelReproducesSchemeOrdering(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := core.Run(core.Options{Params: pr, Part: part, Seed: 5}, false)
+		// Figure 5's ordering is a property of the baseline message
+		// pattern: the hub-prefix cache elides exactly the hub-request
+		// concentration that separates the schemes, so pin it off.
+		res, err := core.Run(core.Options{Params: pr, Part: part, Seed: 5, HubPrefix: -1}, false)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -33,6 +33,15 @@ const (
 	// round, K/V = op-dependent payloads (epoch number, or the sender's
 	// sent/received data-message counters).
 	KindCkpt
+	// KindPublish replicates a freshly resolved hub-prefix slot to peer
+	// ranks: F_T(E) = V. Application is idempotent (slots are write-once),
+	// so duplicated publishes are harmless.
+	KindPublish
+	// KindFence marks the end of the sender rank's (in T) publish stream:
+	// once a rank has received a fence from every peer, no further
+	// publishes can arrive and the channel is quiet for post-run
+	// collectives.
+	KindFence
 )
 
 // String returns the kind's name.
@@ -50,6 +59,10 @@ func (k Kind) String() string {
 		return "coll"
 	case KindCkpt:
 		return "ckpt"
+	case KindPublish:
+		return "publish"
+	case KindFence:
+		return "fence"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -78,7 +91,9 @@ const (
 //
 //	request:  T, E = requesting slot; K, L = queried slot
 //	resolved: T, E = requesting slot; V = resolved attachment
+//	publish:  T, E = published slot (node, index); V = resolved attachment
 //	done:     T = reporting rank
+//	fence:    T = reporting rank
 //	stop:     no fields
 type Message struct {
 	Kind Kind
@@ -122,6 +137,16 @@ func Ckpt(rank int, op CkptOp, round int, k, v int64) Message {
 	return Message{Kind: KindCkpt, T: int64(rank), E: uint16(op), L: uint16(round), K: k, V: v}
 }
 
+// Publish constructs a hub-prefix publish message: F_k(l) = v.
+func Publish(k int64, l int, v int64) Message {
+	return Message{Kind: KindPublish, T: k, E: uint16(l), V: v}
+}
+
+// Fence constructs a publish-stream fence for the reporting rank.
+func Fence(rank int) Message {
+	return Message{Kind: KindFence, T: int64(rank)}
+}
+
 // EncodedSize is the fixed encoded size of one message in bytes:
 // kind(1) + T(8) + K(8) + V(8) + E(2) + L(2).
 const EncodedSize = 1 + 8 + 8 + 8 + 2 + 2
@@ -153,7 +178,7 @@ func Decode(b []byte) (Message, []byte, error) {
 		E:    binary.LittleEndian.Uint16(b[25:]),
 		L:    binary.LittleEndian.Uint16(b[27:]),
 	}
-	if m.Kind < KindRequest || m.Kind > KindCkpt {
+	if m.Kind < KindRequest || m.Kind > KindFence {
 		return Message{}, b, fmt.Errorf("msg: bad kind %d", b[0])
 	}
 	if !deadFieldsZero(m) {
@@ -171,11 +196,11 @@ func deadFieldsZero(m Message) bool {
 	switch m.Kind {
 	case KindRequest:
 		return m.V == 0
-	case KindResolved:
+	case KindResolved, KindPublish:
 		return m.K == 0 && m.L == 0
 	case KindColl:
 		return m.E == 0 && m.L == 0
-	case KindDone, KindStop:
+	case KindDone, KindStop, KindFence:
 		// Both carry only T on the wire (T is zero for stop as built,
 		// but the delta coding transports whatever it holds).
 		return m.K == 0 && m.V == 0 && m.E == 0 && m.L == 0
@@ -208,10 +233,12 @@ const FrameV2Magic = 0xC2
 //
 //	request:  varint(ΔT) varint(K)  uvarint(E) uvarint(L)
 //	resolved: varint(ΔT) varint(V)  uvarint(E)
+//	publish:  varint(ΔT) varint(V)  uvarint(E)
 //	coll:     varint(ΔT) varint(K)  varint(V)
 //	ckpt:     varint(ΔT) uvarint(E) uvarint(L) varint(K) varint(V)
 //	done:     varint(ΔT)
 //	stop:     varint(ΔT)
+//	fence:    varint(ΔT)
 //
 // ΔT is the difference from the previous message's T within the group
 // (starting from 0). Buffered requests carry near-monotone t values, so
@@ -242,7 +269,7 @@ func AppendEncodeBatchV2(dst []byte, ms []Message) []byte {
 				dst = binary.AppendVarint(dst, m.K)
 				dst = binary.AppendUvarint(dst, uint64(m.E))
 				dst = binary.AppendUvarint(dst, uint64(m.L))
-			case KindResolved:
+			case KindResolved, KindPublish:
 				dst = binary.AppendVarint(dst, m.V)
 				dst = binary.AppendUvarint(dst, uint64(m.E))
 			case KindColl:
@@ -288,7 +315,7 @@ func DecodeBatch(dst []Message, frame []byte) ([]Message, error) {
 func decodeBatchV2(dst []Message, b []byte) ([]Message, error) {
 	for len(b) > 0 {
 		kind := Kind(b[0])
-		if kind < KindRequest || kind > KindCkpt {
+		if kind < KindRequest || kind > KindFence {
 			return dst, fmt.Errorf("msg: bad group kind %d", b[0])
 		}
 		b = b[1:]
@@ -324,7 +351,7 @@ func decodeBatchV2(dst []Message, b []byte) ([]Message, error) {
 				if m.L, b, ok = takeUint16(b); !ok {
 					return dst, fmt.Errorf("msg: truncated L")
 				}
-			case KindResolved:
+			case KindResolved, KindPublish:
 				if m.V, b, ok = takeVarint(b); !ok {
 					return dst, fmt.Errorf("msg: truncated V")
 				}

@@ -21,12 +21,21 @@ func TestConstructors(t *testing.T) {
 	if Stop().Kind != KindStop {
 		t.Fatal("Stop kind wrong")
 	}
+	p := Publish(7, 2, 5)
+	if p.Kind != KindPublish || p.T != 7 || p.E != 2 || p.V != 5 {
+		t.Fatalf("Publish = %+v", p)
+	}
+	f := Fence(3)
+	if f.Kind != KindFence || f.T != 3 {
+		t.Fatalf("Fence = %+v", f)
+	}
 }
 
 func TestKindString(t *testing.T) {
 	cases := map[Kind]string{
 		KindRequest: "request", KindResolved: "resolved",
-		KindDone: "done", KindStop: "stop", Kind(0): "Kind(0)",
+		KindDone: "done", KindStop: "stop",
+		KindPublish: "publish", KindFence: "fence", Kind(0): "Kind(0)",
 	}
 	for k, want := range cases {
 		if got := k.String(); got != want {
@@ -43,6 +52,8 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		Resolved(1, 0, -7), // negative sentinel values survive
 		Done(767),
 		Stop(),
+		Publish(123456, 3, 42),
+		Fence(5),
 	}
 	for _, m := range cases {
 		b := AppendEncode(nil, m)
@@ -133,11 +144,11 @@ func clearDeadFields(m Message) Message {
 	switch m.Kind {
 	case KindRequest:
 		m.V = 0
-	case KindResolved:
+	case KindResolved, KindPublish:
 		m.K, m.L = 0, 0
 	case KindColl:
 		m.E, m.L = 0, 0
-	case KindDone, KindStop:
+	case KindDone, KindStop, KindFence:
 		m.K, m.V, m.E, m.L = 0, 0, 0, 0
 	}
 	return m
@@ -149,7 +160,7 @@ func clearDeadFields(m Message) Message {
 func TestRoundTripProperty(t *testing.T) {
 	f := func(kindRaw uint8, tt, k, v int64, e, l uint16) bool {
 		m := clearDeadFields(Message{
-			Kind: Kind(kindRaw%6) + KindRequest,
+			Kind: Kind(kindRaw%8) + KindRequest,
 			T:    tt, K: k, V: v, E: e, L: l,
 		})
 		got, rest, err := Decode(AppendEncode(nil, m))
@@ -171,6 +182,8 @@ func TestDecodeRejectsDeadFieldJunk(t *testing.T) {
 		{Kind: KindColl, T: 1, K: 2, V: 3, E: 1},
 		{Kind: KindDone, T: 1, K: 7},
 		{Kind: KindStop, V: 1},
+		{Kind: KindPublish, T: 1, V: 5, K: 3},
+		{Kind: KindFence, T: 1, E: 2},
 	} {
 		if _, _, err := Decode(AppendEncode(nil, m)); err == nil {
 			t.Errorf("junk-carrying %v message accepted: %+v", m.Kind, m)
@@ -194,13 +207,17 @@ func genMessages(ts []int64, ks []uint32, es []uint8) []Message {
 		t += step
 		k := int64(ks[i%len(ks)])
 		e := int(es[i%len(es)]) % 16
-		switch i % 8 {
+		switch i % 10 {
 		case 0, 1, 2, 3:
 			ms = append(ms, Request(t, e, k, e%4))
 		case 4, 5:
 			ms = append(ms, Resolved(t, e, k))
 		case 6:
 			ms = append(ms, Done(int(k%768)))
+		case 7:
+			ms = append(ms, Publish(t, e, k))
+		case 8:
+			ms = append(ms, Fence(int(k%768)))
 		default:
 			ms = append(ms, Coll(int(k%768), k%5, int64(ks[i%len(ks)])))
 		}

@@ -173,6 +173,15 @@ type RankMetrics struct {
 	ResolvedRecv int64 `json:"resolved_recv"`
 	ControlSent  int64 `json:"control_sent"`
 	ControlRecv  int64 `json:"control_recv"`
+	// Hub-prefix cache counters (zero unless the cache ran): replica
+	// hits (requests elided entirely), misses (prefix lookups that went
+	// to the wire), publishes sent/received, and requests elided by
+	// requester-side coalescing onto an already-in-flight request.
+	HubCacheHit     int64 `json:"hub_cache_hit,omitempty"`
+	HubCacheMiss    int64 `json:"hub_cache_miss,omitempty"`
+	HubCachePub     int64 `json:"hub_cache_publish,omitempty"`
+	HubCachePubRecv int64 `json:"hub_cache_publish_recv,omitempty"`
+	ReqCoalesced    int64 `json:"req_coalesced,omitempty"`
 	// Transport-frame counters: how much buffering coalesced.
 	FramesSent int64 `json:"frames_sent"`
 	FramesRecv int64 `json:"frames_recv"`
@@ -208,10 +217,13 @@ type RankMetrics struct {
 // KLoad is one node's received-message load: K is the global node id,
 // Load the number of copy-resolution queries the node's owner received
 // for it (remote requests plus same-rank queries — the events Lemma 3.4
-// counts).
+// counts). Elided counts the queries that would have reached the owner
+// but were answered from a hub-prefix replica instead; Load + Elided is
+// what Lemma 3.4 predicts.
 type KLoad struct {
-	K    int64 `json:"k"`
-	Load int64 `json:"load"`
+	K      int64 `json:"k"`
+	Load   int64 `json:"load"`
+	Elided int64 `json:"elided,omitempty"`
 }
 
 // ExpectedLoad returns the Lemma 3.4 closed form for the expected
@@ -232,8 +244,15 @@ type NodeLoadBin struct {
 	KHi int64 `json:"k_hi"`
 	// Nodes is the number of nodes with samples in the bin.
 	Nodes int64 `json:"nodes"`
-	// Messages is the total load over the bin.
+	// Messages is the total load over the bin: queries that reached the
+	// owner (WireMessages) plus queries a hub-prefix replica answered
+	// locally (ElidedMessages). Keeping the total here is what lets the
+	// Expected column stay comparable with the cache on.
 	Messages int64 `json:"messages"`
+	// WireMessages and ElidedMessages split Messages by path
+	// (ElidedMessages is zero, and omitted, when no cache ran).
+	WireMessages   int64 `json:"wire_messages,omitempty"`
+	ElidedMessages int64 `json:"elided_messages,omitempty"`
 	// MeanLoad is Messages / Nodes.
 	MeanLoad float64 `json:"mean_load"`
 	// Expected is the Lemma 3.4 prediction x·(1-p)(H_{n-1} - H_k)
@@ -302,7 +321,9 @@ func BinNodeLoad(samples []KLoad, n int64, x int, p float64, binsPerDecade int) 
 			continue
 		}
 		bins[i].Nodes++
-		bins[i].Messages += s.Load
+		bins[i].Messages += s.Load + s.Elided
+		bins[i].WireMessages += s.Load
+		bins[i].ElidedMessages += s.Elided
 		expected[i] += float64(x) * ExpectedLoad(n, s.K, p)
 	}
 	out := bins[:0]

@@ -1,0 +1,85 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"pagen/internal/stats"
+)
+
+// bruteMass computes Σ_{k=0}^{h-1} (H_{n-1} - H_k) term by term.
+func bruteMass(n, h int64) float64 {
+	sum := 0.0
+	for k := int64(0); k < h; k++ {
+		sum += stats.HarmonicDiff(k, n-1)
+	}
+	return sum
+}
+
+func TestHubMassMatchesBruteForce(t *testing.T) {
+	const n = 5000
+	for _, h := range []int64{0, 1, 2, 10, 100, 2500, n} {
+		got := hubMass(n, h)
+		want := bruteMass(n, h)
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Errorf("hubMass(%d, %d) = %v, want %v", int64(n), h, got, want)
+		}
+	}
+	// The total mass telescopes to n - 1.
+	if got := hubMass(n, n); math.Abs(got-float64(n-1)) > 1e-6*float64(n) {
+		t.Errorf("hubMass(n, n) = %v, want %v", got, n-1)
+	}
+}
+
+func TestHubPrefixSizeCoversTargetFraction(t *testing.T) {
+	const n = 1_000_000
+	for _, frac := range []float64{0.25, 0.5, HubPrefixAutoFrac, 0.9} {
+		h := HubPrefixSize(n, 4, frac)
+		if h < 1 || h > n {
+			t.Fatalf("frac %v: H = %d outside [1, n]", frac, h)
+		}
+		total := float64(n - 1)
+		if hubMass(n, h)/total < frac {
+			t.Errorf("frac %v: H = %d covers only %v of the mass",
+				frac, h, hubMass(n, h)/total)
+		}
+		// Minimality: one node less must fall below the target.
+		if h > 1 && hubMass(n, h-1)/total >= frac {
+			t.Errorf("frac %v: H = %d not minimal", frac, h)
+		}
+	}
+}
+
+// A heavy-tailed request mass means the prefix covering half the mass is
+// a small fraction of the nodes — the whole point of replicating it.
+func TestHubPrefixSizeIsSmall(t *testing.T) {
+	const n = 1_000_000
+	h := HubPrefixSize(n, 4, 0.5)
+	if h >= n/2 {
+		t.Errorf("H = %d: covering half the mass should need far fewer than half the nodes", h)
+	}
+}
+
+func TestHubPrefixSizeDegenerate(t *testing.T) {
+	if h := HubPrefixSize(1, 4, 0.5); h != 0 {
+		t.Errorf("n=1: H = %d, want 0", h)
+	}
+	if h := HubPrefixSize(100, 4, 0); h != 0 {
+		t.Errorf("frac=0: H = %d, want 0", h)
+	}
+	if h := HubPrefixSize(100, 4, 1); h != 100 {
+		t.Errorf("frac=1: H = %d, want n", h)
+	}
+	if h := HubPrefixSize(100, 0, 0.5); h != 0 {
+		t.Errorf("x=0: H = %d, want 0", h)
+	}
+}
+
+func TestHubPrefixSizeSlotCap(t *testing.T) {
+	// frac = 1 would replicate everything; the slot cap must bound it.
+	x := 4
+	n := int64(HubPrefixMaxSlots) // n·x slots uncapped = 4× the cap
+	if h := HubPrefixSize(n, x, 1); h != int64(HubPrefixMaxSlots)/int64(x) {
+		t.Errorf("H = %d, want slot cap %d", h, int64(HubPrefixMaxSlots)/int64(x))
+	}
+}

@@ -542,6 +542,58 @@ func ExpectedIncomingLoad(n, k int64, p float64) float64 {
 	return (1 - p) * stats.HarmonicDiff(k, n-1)
 }
 
+// HubPrefixAutoFrac is the fraction of the total expected request mass
+// the auto-sized hub prefix covers (HubPrefixSize's frac when callers
+// use the default sizing).
+const HubPrefixAutoFrac = 0.6
+
+// HubPrefixMaxSlots caps the auto-sized hub-prefix replica at H·x
+// attachment slots (8 bytes each), so auto-sizing at very large n cannot
+// quietly allocate an unbounded per-rank replica.
+const HubPrefixMaxSlots = 1 << 24
+
+// hubMass returns the expected request mass of the length-h prefix,
+// Σ_{k=0}^{h-1} (H_{n-1} - H_k) = h·(H_{n-1} - H_{h-1}) + h - 1, using
+// the same prefix-sum identity as loadPrefix. The (1-p) factor of Lemma
+// 3.4 scales numerator and denominator alike, so mass fractions are
+// independent of p. The total mass (h = n) telescopes to n - 1.
+func hubMass(n, h int64) float64 {
+	if h <= 0 {
+		return 0
+	}
+	return float64(h)*stats.HarmonicDiff(h-1, n-1) + float64(h) - 1
+}
+
+// HubPrefixSize returns the auto-sized hub-prefix length: the smallest H
+// such that nodes [0, H) account for at least frac of the total expected
+// request mass Σ_k E[M_k] (Lemma 3.4) — the share of cross-rank lookups
+// a replicated prefix of that length can elide. The result is clamped to
+// [0, n] and capped so the replica holds at most HubPrefixMaxSlots
+// attachment slots (H·x).
+func HubPrefixSize(n int64, x int, frac float64) int64 {
+	if n <= 1 || x < 1 || frac <= 0 {
+		return 0
+	}
+	h := n
+	if frac < 1 {
+		target := frac * float64(n-1) // total mass Σ_{k=0}^{n-1}(H_{n-1}-H_k) = n-1
+		lo, hi := int64(1), n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if hubMass(n, mid) >= target {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		h = lo
+	}
+	if maxH := int64(HubPrefixMaxSlots) / int64(x); h > maxH {
+		h = maxH
+	}
+	return h
+}
+
 // ExpectedPartitionLoad returns the total expected per-partition load under
 // scheme s with per-node constant b (nodes + expected incoming messages at
 // p = 1/2, the paper's Section 3.5.1 load measure), one value per rank.

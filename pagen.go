@@ -99,6 +99,13 @@ type Config struct {
 	// default interval and retunes it against the observed pending-wait
 	// depth. A positive value fixes the interval.
 	PollEvery int
+	// HubPrefix controls the replicated hub-prefix cache, which answers
+	// copy queries for the first H nodes from a local replica instead of
+	// a cross-rank round trip. 0 (the default) sizes H automatically to
+	// cover a fixed fraction of the expected request mass; a negative
+	// value disables the cache; a positive value fixes H. Output is
+	// byte-identical for every setting. All ranks of one run must agree.
+	HubPrefix int64
 	// RecordTrace collects the attachment-decision trace in the result
 	// (costs ~13 bytes per edge).
 	RecordTrace bool
@@ -188,6 +195,7 @@ func Generate(cfg Config) (*Result, error) {
 		Workers:         cfg.Workers,
 		BufferCap:       cfg.BufferCap,
 		PollEvery:       cfg.PollEvery,
+		HubPrefix:       cfg.HubPrefix,
 		CollectNodeLoad: cfg.CollectNodeLoad,
 		Checkpoint:      cfg.checkpoint(),
 	}, cfg.RecordTrace)
@@ -270,6 +278,7 @@ func GenerateStream(cfg Config, sink func(rank int, e Edge)) (*Result, error) {
 		Workers:   cfg.Workers,
 		BufferCap: cfg.BufferCap,
 		PollEvery: cfg.PollEvery,
+		HubPrefix: cfg.HubPrefix,
 		Sink:      sink,
 	}, cfg.RecordTrace)
 }
@@ -297,6 +306,7 @@ func GenerateToShards(cfg Config, dir string) (*Result, error) {
 		Workers:   cfg.Workers,
 		BufferCap: cfg.BufferCap,
 		PollEvery: cfg.PollEvery,
+		HubPrefix: cfg.HubPrefix,
 	}, dir)
 }
 

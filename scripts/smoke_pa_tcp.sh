@@ -121,4 +121,31 @@ while [ $i -lt $RANKS ]; do
     i=$((i + 1))
 done
 
-echo "pa-tcp smoke: $RANKS ranks x $WORKERS workers over localhost completed (n=$N, x=$X)"
+# Second pass with the hub-prefix cache disabled (the first pass ran
+# with the default auto-sized cache). The cache elides traffic, never
+# output, so every shard must be byte-identical across the two runs.
+pids=""
+i=1
+while [ $i -lt $RANKS ]; do
+    timeout "$TIMEOUT" "$workdir/pa-tcp" -rank $i -addrs "$addrs" \
+        -n "$N" -x "$X" -workers "$WORKERS" -hub-prefix -1 \
+        -o "$workdir/shard$i.off.bin" &
+    pids="$pids $!"
+    i=$((i + 1))
+done
+timeout "$TIMEOUT" "$workdir/pa-tcp" -rank 0 -addrs "$addrs" \
+    -n "$N" -x "$X" -workers "$WORKERS" -hub-prefix -1 \
+    -o "$workdir/shard0.off.bin"
+
+for pid in $pids; do
+    wait "$pid"
+done
+
+i=0
+while [ $i -lt $RANKS ]; do
+    cmp "$workdir/shard$i.bin" "$workdir/shard$i.off.bin" \
+        || { echo "shard $i differs between cache-on and cache-off runs" >&2; exit 1; }
+    i=$((i + 1))
+done
+
+echo "pa-tcp smoke: $RANKS ranks x $WORKERS workers over localhost completed (n=$N, x=$X); cache-on and cache-off shards byte-identical"
