@@ -8,11 +8,17 @@
 //	pa-hotpath ... -pollevery 0,16,64,1024                 # polling ablation
 //	pa-hotpath ... -label after -baseline old.json -out f  # write trajectory
 //	pa-hotpath -n 1000000 -ranks 4 -hub-prefix 0 -out results/BENCH_hubcache.json
+//	pa-hotpath -n 1000000 -ranks 4 -resolve -out results/BENCH_recompute.json
 //
 // -hub-prefix switches to the hub-cache traffic census: for every rank
 // count it measures cross-rank data messages and bytes per edge with
 // the cache off, then at each listed setting (0 = auto-sized), and
 // reports the reduction.
+//
+// -resolve switches to the resolve-mode census: for every rank count it
+// measures traffic per edge under the wire protocol, the hub-prefix
+// cache, and communication-free recomputation (-resolve=recompute on
+// pagen/pa-tcp), plus the replay-depth quantiles of the recompute runs.
 package main
 
 import (
@@ -37,6 +43,8 @@ func main() {
 		out      = flag.String("out", "", "write trajectory JSON here (TSV to stdout otherwise)")
 		fp       = flag.Bool("fingerprint", false, "print output-graph fingerprints instead of measuring")
 		hubs     = flag.String("hub-prefix", "", "comma-separated hub-prefix settings (0 = auto); measures cache traffic against the cache-off baseline instead of the hot path")
+		resolve  = flag.Bool("resolve", false, "sweep resolve modes (wire, hub cache, recompute) and report traffic per edge instead of the hot path")
+		rcDepth  = flag.Int("recompute-depth", 0, "recompute replay chain depth cap for the -resolve sweep (0 = ~2*log2(n))")
 	)
 	flag.Parse()
 
@@ -66,6 +74,40 @@ func main() {
 				fmt.Printf("n=%d x=%d ranks=%d workers=%d seed=%d fingerprint=%016x\n", *n, *x, p, w, *seed, h)
 			}
 		}
+		return
+	}
+
+	if *resolve {
+		workers := 1
+		if len(workerList) > 0 {
+			workers = workerList[0]
+		}
+		rep, err := bench.RecomputeSweep(bench.RecomputeConfig{
+			N: *n, X: *x, Ranks: rankList, Workers: workers,
+			Seed: *seed, Depth: *rcDepth,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Label = *label
+		if *out == "" {
+			if err := bench.WriteRecompute(os.Stdout, rep); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteRecomputeJSON(f, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
 		return
 	}
 

@@ -68,6 +68,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "generation goroutines for this rank (0 = GOMAXPROCS)")
 		hub       = flag.Int64("hub-prefix", 0, "hub-prefix cache size H (0 = auto, <0 = off); all ranks must agree")
+		resolve   = flag.String("resolve", "wire", "non-local dependency resolution: wire or recompute; all ranks must agree")
+		rcDepth   = flag.Int("recompute-depth", 0, "recompute replay chain depth cap before wire fallback (0 = ~2*log2(n))")
 		out       = flag.String("o", "", "output shard file (binary edge list; default stdout)")
 		stats     = flag.Bool("stats", false, "print rank and cluster statistics to stderr")
 		metrics   = flag.String("metrics", "", "write this rank's metrics JSON to this file (\"-\" = stderr)")
@@ -93,10 +95,16 @@ func main() {
 		fatal(fmt.Errorf("checkpointing is incompatible with -metrics (node-load counters are not captured in snapshots)"))
 	}
 
+	mode, err := core.ParseResolveMode(*resolve)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *supervise {
 		runSupervisor(addrList, supervisorConfig{
 			n: *n, x: *x, p: *p, scheme: *scheme, seed: *seed,
 			workers: *workers, hub: *hub, stats: *stats, handshake: *handshake,
+			resolve: *resolve, rcDepth: *rcDepth,
 			ckptDir: *ckptDir, ckptN: *ckptN, ckptKeep: *ckptKeep,
 			resume: *resume, maxRestarts: *maxRestarts, shardDir: *shardDir,
 		})
@@ -132,6 +140,8 @@ func main() {
 		Seed:            *seed,
 		Workers:         *workers,
 		HubPrefix:       *hub,
+		Resolve:         mode,
+		RecomputeDepth:  *rcDepth,
 		CollectNodeLoad: *metrics != "",
 		Checkpoint:      ck,
 	})
@@ -279,6 +289,8 @@ type supervisorConfig struct {
 	seed        uint64
 	workers     int
 	hub         int64
+	resolve     string
+	rcDepth     int
 	stats       bool
 	handshake   time.Duration
 	ckptDir     string
@@ -344,6 +356,8 @@ func superviseOnce(exe string, addrList []string, sc supervisorConfig, resume bo
 			"-seed", strconv.FormatUint(sc.seed, 10),
 			"-workers", strconv.Itoa(sc.workers),
 			"-hub-prefix", strconv.FormatInt(sc.hub, 10),
+			"-resolve", sc.resolve,
+			"-recompute-depth", strconv.Itoa(sc.rcDepth),
 			"-handshake-timeout", sc.handshake.String(),
 			"-checkpoint-dir", sc.ckptDir,
 			"-checkpoint-every", strconv.FormatInt(sc.ckptN, 10),

@@ -39,6 +39,8 @@ func main() {
 		scheme   = flag.String("scheme", "RRP", "partitioning scheme: UCP, LCP, RRP, ExactCP")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		hub      = flag.Int64("hub-prefix", 0, "hub-prefix cache size H (0 = auto, <0 = off); output is identical for every setting")
+		resolve  = flag.String("resolve", "wire", "non-local dependency resolution: wire or recompute; output is identical in both modes")
+		rcDepth  = flag.Int("recompute-depth", 0, "recompute replay chain depth cap before wire fallback (0 = ~2*log2(n))")
 		out      = flag.String("o", "", "output file (default stdout)")
 		format   = flag.String("format", "text", "output format: text or binary")
 		stats    = flag.Bool("stats", false, "print per-rank statistics to stderr")
@@ -57,12 +59,16 @@ func main() {
 	}
 	cfg := pagen.Config{N: *n, X: *x, P: *p, Ranks: *ranks, Workers: *workers,
 		Scheme: *scheme, Seed: *seed, HubPrefix: *hub,
+		Resolve: *resolve, RecomputeDepth: *rcDepth,
 		CollectNodeLoad: *metrics != "",
 		CheckpointDir:   *ckptDir, CheckpointEvery: *ckptN,
 		CheckpointKeep: *ckptKeep, Resume: *resume}
 
 	if *seq && *metrics != "" {
 		fatal(fmt.Errorf("-metrics needs the parallel engine (drop -seq)"))
+	}
+	if *seq && *resolve != "wire" {
+		fatal(fmt.Errorf("-resolve needs the parallel engine (drop -seq)"))
 	}
 	if *ckptDir != "" || *ckptN != 0 || *resume {
 		switch {

@@ -223,6 +223,14 @@ func FingerprintAt(n int64, x int, ranks, workers int, seed uint64) (uint64, err
 // scheme and hub-prefix cache setting — the regression check behind
 // "output is byte-identical with the cache on, off, or at any size".
 func FingerprintHub(n int64, x int, kind partition.Kind, ranks, workers int, seed uint64, hubPrefix int64) (uint64, error) {
+	return FingerprintResolve(n, x, kind, ranks, workers, seed, hubPrefix, core.ResolveWire, 0)
+}
+
+// FingerprintResolve hashes the output graph at an explicit resolve
+// mode and recompute depth cap — the regression check behind
+// "recompute mode is byte-identical to the wire protocol".
+func FingerprintResolve(n int64, x int, kind partition.Kind, ranks, workers int, seed uint64,
+	hubPrefix int64, mode core.ResolveMode, depth int) (uint64, error) {
 	pr := model.Params{N: n, X: x, P: 0.5}
 	if err := pr.Validate(); err != nil {
 		return 0, err
@@ -231,7 +239,8 @@ func FingerprintHub(n int64, x int, kind partition.Kind, ranks, workers int, see
 	if err != nil {
 		return 0, err
 	}
-	res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed, Workers: workers, HubPrefix: hubPrefix}, false)
+	res, err := core.Run(core.Options{Params: pr, Part: part, Seed: seed, Workers: workers,
+		HubPrefix: hubPrefix, Resolve: mode, RecomputeDepth: depth}, false)
 	if err != nil {
 		return 0, err
 	}

@@ -34,8 +34,10 @@ const Magic = "PAGENCK1"
 // other value: the format carries no compat shims yet, and resuming
 // from a mis-parsed snapshot would silently corrupt the output graph.
 // Version 2 added the requester-side coalescing chains (Remote) to the
-// worker sections.
-const Version = 2
+// worker sections; version 3 added the resolve mode and recompute depth
+// cap to the meta section so a resume cannot silently change resolver
+// settings mid-run.
+const Version = 3
 
 // castagnoli is the CRC-32C table (iSCSI polynomial) shared by writer
 // and reader.
@@ -53,6 +55,15 @@ type Meta struct {
 	Ranks  int
 	Rank   int
 	Scheme string
+	// Resolve is the engine's resolve-mode code (0 = wire, 1 =
+	// recompute) and RecomputeDepth the effective replay depth cap (0
+	// in wire mode). They are pinned so a resume under a different
+	// resolver configuration is rejected rather than mixing modes
+	// across the cut — the output graph is identical either way, but
+	// mid-run counters and the memo warm-up are not, and rejecting
+	// keeps every rank of the mesh on one setting.
+	Resolve        int
+	RecomputeDepth int
 }
 
 // SuspRecord is one suspended node: its local index, the edge it is
@@ -219,6 +230,8 @@ func Write(dir string, s *Snapshot) (path string, size int64, err error) {
 	cw.uvarint(uint64(s.Meta.Rank))
 	cw.uvarint(uint64(len(s.Meta.Scheme)))
 	cw.Write([]byte(s.Meta.Scheme))
+	cw.uvarint(uint64(s.Meta.Resolve))
+	cw.uvarint(uint64(s.Meta.RecomputeDepth))
 	cw.uvarint(uint64(s.Epoch))
 	cw.uvarint(uint64(s.NextTag))
 
@@ -484,6 +497,14 @@ func (s *Snapshot) parseMeta(r *reader) error {
 		return err
 	}
 	s.Meta.Scheme = string(name)
+	if v, err = r.uvarint(); err != nil {
+		return err
+	}
+	s.Meta.Resolve = int(v)
+	if v, err = r.uvarint(); err != nil {
+		return err
+	}
+	s.Meta.RecomputeDepth = int(v)
 	if v, err = r.uvarint(); err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ func sample(rank int, epoch int64) *Snapshot {
 		Meta: Meta{
 			N: 1_000_000, X: 4, P: 0.5, Seed: 0xdeadbeefcafe,
 			Ranks: 8, Rank: rank, Scheme: "RRP",
+			Resolve: 1, RecomputeDepth: 40,
 		},
 		Epoch:   epoch,
 		NextTag: 42,

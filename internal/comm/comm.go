@@ -250,7 +250,7 @@ func (c *Comm) flushLocked(to int, s *stripe) error {
 	// decode path releases it) and encode compactly: at steady state a
 	// flush allocates nothing.
 	frame := transport.LeaseFrame(1 + len(s.buf)*10)
-	frame = msg.AppendEncodeBatchV2(frame, s.buf)
+	frame = msg.AppendEncodeBatchV3(frame, s.buf)
 	s.buf = s.buf[:0]
 	atomic.AddInt64(&c.framesSent, 1)
 	atomic.AddInt64(&c.bytesSent, int64(len(frame)))
@@ -291,7 +291,7 @@ func (c *Comm) BufferedFrame(to int) []byte {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	return msg.AppendEncodeBatchV2(make([]byte, 0, 1+len(s.buf)*10), s.buf)
+	return msg.AppendEncodeBatchV3(make([]byte, 0, 1+len(s.buf)*10), s.buf)
 }
 
 // Buffered returns the number of messages currently buffered for to.

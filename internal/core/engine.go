@@ -107,6 +107,18 @@ type Options struct {
 	// Trace and CollectNodeLoad, whose side effects are not captured by
 	// a snapshot.
 	Checkpoint *CheckpointOptions
+	// Resolve selects how copy queries for remote-owned slots resolve
+	// (DESIGN.md §11): ResolveWire (the default) sends the paper's
+	// request/resolved round trip; ResolveRecompute replays the owning
+	// node's random stream locally and only falls back to the wire past
+	// the depth cap. All ranks of a run must use the same setting
+	// (checkpoint snapshots pin it). The output graph is byte-identical
+	// in both modes.
+	Resolve ResolveMode
+	// RecomputeDepth caps the replay chain length in recompute mode
+	// (nodes replayed per query). Zero selects
+	// DefaultRecomputeDepth(n); it is ignored in wire mode.
+	RecomputeDepth int
 }
 
 // DefaultPollEvery is the generation-loop polling interval the adaptive
@@ -173,6 +185,19 @@ type RankStats struct {
 	// ReqCoalesced counts remote copy queries that rode an already
 	// outstanding request for the same slot instead of sending another.
 	ReqCoalesced int64
+	// RecomputeResolved counts remote copy queries resolved by local
+	// stream replay (recompute mode); RecomputeFallback counts replays
+	// that hit the depth cap and fell back to the wire protocol.
+	// ReplayedEdges counts attachment values committed to the rank's
+	// replay memo table.
+	RecomputeResolved int64
+	RecomputeFallback int64
+	ReplayedEdges     int64
+	// ReplayDepth is the histogram of replay chain depths (nodes
+	// replayed per resolved query, 0 = answered from local state or the
+	// memo) — the empirical counterpart of the Theorem 3.3 O(log n)
+	// chain-depth bound the recompute mode's viability rests on.
+	ReplayDepth obs.Histogram
 	// BusyTime is wall time minus time spent blocked waiting for
 	// messages (the dispatcher's blocked time when workers > 1).
 	BusyTime time.Duration
@@ -193,37 +218,41 @@ type RankStats struct {
 // Metrics converts the rank's statistics into the exported obs form.
 func (s RankStats) Metrics() obs.RankMetrics {
 	return obs.RankMetrics{
-		Rank:            s.Rank,
-		Nodes:           s.Nodes,
-		Edges:           s.Edges,
-		RequestsSent:    s.Comm.RequestsSent,
-		RequestsRecv:    s.Comm.RequestsRecv,
-		ResolvedSent:    s.Comm.ResolvedSent,
-		ResolvedRecv:    s.Comm.ResolvedRecv,
-		ControlSent:     s.Comm.ControlSent,
-		ControlRecv:     s.Comm.ControlRecv,
-		FramesSent:      s.Comm.FramesSent,
-		FramesRecv:      s.Comm.FramesRecv,
-		BytesSent:       s.Comm.BytesSent,
-		BytesRecv:       s.Comm.BytesRecv,
-		Retries:         s.Retries,
-		QueuedWaits:     s.QueuedWaits,
-		LocalWaits:      s.LocalWaits,
-		HubCacheHit:     s.HubCacheHits,
-		HubCacheMiss:    s.HubCacheMisses,
-		HubCachePub:     s.Comm.PublishSent,
-		HubCachePubRecv: s.Comm.PublishRecv,
-		ReqCoalesced:    s.ReqCoalesced,
-		MaxPendingSlots: s.MaxPendingSlots,
-		TotalLoad:       s.TotalLoad(),
-		WallNanos:       s.WallTime.Nanoseconds(),
-		BusyNanos:       s.BusyTime.Nanoseconds(),
-		WaitChain:       s.WaitChain,
-		CkptEpochs:      s.CkptEpochs,
-		CkptFailed:      s.CkptFailed,
-		CkptBytes:       s.CkptBytes,
-		CkptWriteNanos:  s.CkptWriteTime.Nanoseconds(),
-		CkptPauseNanos:  s.CkptPauseTime.Nanoseconds(),
+		Rank:              s.Rank,
+		Nodes:             s.Nodes,
+		Edges:             s.Edges,
+		RequestsSent:      s.Comm.RequestsSent,
+		RequestsRecv:      s.Comm.RequestsRecv,
+		ResolvedSent:      s.Comm.ResolvedSent,
+		ResolvedRecv:      s.Comm.ResolvedRecv,
+		ControlSent:       s.Comm.ControlSent,
+		ControlRecv:       s.Comm.ControlRecv,
+		FramesSent:        s.Comm.FramesSent,
+		FramesRecv:        s.Comm.FramesRecv,
+		BytesSent:         s.Comm.BytesSent,
+		BytesRecv:         s.Comm.BytesRecv,
+		Retries:           s.Retries,
+		QueuedWaits:       s.QueuedWaits,
+		LocalWaits:        s.LocalWaits,
+		HubCacheHit:       s.HubCacheHits,
+		HubCacheMiss:      s.HubCacheMisses,
+		HubCachePub:       s.Comm.PublishSent,
+		HubCachePubRecv:   s.Comm.PublishRecv,
+		ReqCoalesced:      s.ReqCoalesced,
+		RecomputeResolved: s.RecomputeResolved,
+		RecomputeFallback: s.RecomputeFallback,
+		ReplayedEdges:     s.ReplayedEdges,
+		ReplayDepth:       s.ReplayDepth,
+		MaxPendingSlots:   s.MaxPendingSlots,
+		TotalLoad:         s.TotalLoad(),
+		WallNanos:         s.WallTime.Nanoseconds(),
+		BusyNanos:         s.BusyTime.Nanoseconds(),
+		WaitChain:         s.WaitChain,
+		CkptEpochs:        s.CkptEpochs,
+		CkptFailed:        s.CkptFailed,
+		CkptBytes:         s.CkptBytes,
+		CkptWriteNanos:    s.CkptWriteTime.Nanoseconds(),
+		CkptPauseNanos:    s.CkptPauseTime.Nanoseconds(),
 	}
 }
 
@@ -318,6 +347,13 @@ type engine struct {
 	hub       *hubCache
 	hubPeers  []int
 	hubElided []int64
+
+	// recompute selects the recomputation resolver (Options.Resolve),
+	// depthCap is the effective replay-chain cap, and memo the
+	// rank-level replay memo table (DESIGN.md §11).
+	recompute bool
+	depthCap  int
+	memo      replayMemo
 	// fencesRecv counts hub fences received (coordinator-owned): with
 	// the cache on a rank may not leave its receive loop until every
 	// peer has fenced, so no publish frame outlives the engine on the
@@ -449,13 +485,28 @@ func newEngine(tr transport.Transport, opts Options) (*engine, error) {
 		concurrent: nw > 1,
 		abortCh:    make(chan struct{}),
 	}
+	switch opts.Resolve {
+	case ResolveWire:
+	case ResolveRecompute:
+		if opts.RecomputeDepth < 0 {
+			return nil, fmt.Errorf("core: negative recompute depth %d", opts.RecomputeDepth)
+		}
+		e.recompute = true
+		e.depthCap = opts.RecomputeDepth
+		if e.depthCap == 0 {
+			e.depthCap = DefaultRecomputeDepth(opts.Params.N)
+		}
+		e.memo.m = make(map[int64]*replayEntry)
+	default:
+		return nil, fmt.Errorf("core: unknown resolve mode %d", int(opts.Resolve))
+	}
 	// Hub-prefix replica: pointless on one rank (no wire requests) and
 	// at p = 1 (no copy branch, so no requests at all). Set up before
 	// the workers so they can size their coalescing tables.
 	if hp := opts.HubPrefix; hp >= 0 && e.p > 1 && e.prob < 1 {
 		h := hp
 		if h == 0 {
-			h = partition.HubPrefixSize(opts.Params.N, opts.Params.X, partition.HubPrefixAutoFrac)
+			h = partition.HubPrefixAutoSize(opts.Params.N, opts.Params.X, e.p)
 		}
 		if h > opts.Params.N {
 			h = opts.Params.N
@@ -773,7 +824,11 @@ func (e *engine) finishStats() {
 		e.stats.HubCacheHits += w.hubHits
 		e.stats.HubCacheMisses += w.hubMisses
 		e.stats.ReqCoalesced += w.coalesced
+		e.stats.RecomputeResolved += w.recomputeHits
+		e.stats.RecomputeFallback += w.recomputeFallbacks
+		e.stats.ReplayedEdges += w.replayedEdges
 		e.stats.WaitChain.Merge(w.waitChain)
+		e.stats.ReplayDepth.Merge(w.replayDepth)
 	}
 	e.stats.Comm = e.cm.Counters()
 	// The engine owns its Comm and never sends again, so take the live

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"pagen/internal/xrand"
+)
+
+// ResolveMode selects how a worker resolves a copy source owned by a
+// remote rank.
+type ResolveMode int
+
+const (
+	// ResolveWire is the paper's protocol: a <request> message to the
+	// owning rank, answered by a <resolved> message (Algorithm 3.2
+	// lines 14-20).
+	ResolveWire ResolveMode = iota
+	// ResolveRecompute replays the owning node's private random stream
+	// locally instead of sending a request (the recomputation idea of
+	// Sanders & Schulz, "Scalable Generation of Scale-free Graphs"):
+	// every attachment is a pure function of (n, x, p, seed), so the
+	// copy chain t -> k -> F_k(l) -> ... can be chased without
+	// communication. Chains deeper than the configured cap fall back
+	// to the wire protocol. The output graph is byte-identical to
+	// ResolveWire at every rank and worker count.
+	ResolveRecompute
+)
+
+// String returns the mode's flag spelling.
+func (m ResolveMode) String() string {
+	switch m {
+	case ResolveWire:
+		return "wire"
+	case ResolveRecompute:
+		return "recompute"
+	default:
+		return fmt.Sprintf("ResolveMode(%d)", int(m))
+	}
+}
+
+// ParseResolveMode parses a -resolve flag value.
+func ParseResolveMode(s string) (ResolveMode, error) {
+	switch s {
+	case "wire":
+		return ResolveWire, nil
+	case "recompute":
+		return ResolveRecompute, nil
+	default:
+		return 0, fmt.Errorf("core: unknown resolve mode %q (want wire or recompute)", s)
+	}
+}
+
+// DefaultRecomputeDepth returns the default replay-chain cap for an
+// n-node run: twice the Theorem 3.3 O(log n) chain-depth bound (with a
+// small floor), so virtually every chain replays to termination while a
+// pathological one still falls back to the wire protocol instead of
+// recomputing an unbounded prefix of the graph.
+func DefaultRecomputeDepth(n int64) int {
+	d := 2 * bits.Len64(uint64(n))
+	if d < 8 {
+		d = 8
+	}
+	return d
+}
+
+// replayEntry memoizes one node's replayed attachment values. vals has
+// fixed length x and never reallocates; vals[i] is published by storing
+// done = i+1 with release semantics, so a reader that observes
+// done > l may read vals[l] without taking the lock. rng — the node's
+// private stream, positioned immediately after the last committed
+// attempt — and the extension of vals are guarded by mu.
+type replayEntry struct {
+	mu   sync.Mutex
+	rng  xrand.Rand
+	vals []int64
+	done int32 // atomic count of committed values
+}
+
+// replayMemo is the rank-level memo table of replayed nodes. It is
+// shared by all of the rank's workers: copy chains started by different
+// nodes overlap heavily on the low-id prefix (preferential attachment
+// concentrates copy sources there), and sharing is what makes each
+// chain suffix replay once per rank rather than once per query.
+type replayMemo struct {
+	mu sync.RWMutex
+	m  map[int64]*replayEntry
+}
+
+// entry returns node k's memo entry, creating it (with the node's
+// stream seeded from scratch) on first use.
+func (rm *replayMemo) entry(k int64, seed uint64, x int) *replayEntry {
+	rm.mu.RLock()
+	ent := rm.m[k]
+	rm.mu.RUnlock()
+	if ent != nil {
+		return ent
+	}
+	rm.mu.Lock()
+	ent = rm.m[k]
+	if ent == nil {
+		ent = &replayEntry{vals: make([]int64, x)}
+		ent.rng.SeedStream(seed, uint64(k))
+		rm.m[k] = ent
+	}
+	rm.mu.Unlock()
+	return ent
+}
+
+// size returns the number of memoized nodes (metrics only).
+func (rm *replayMemo) size() int {
+	rm.mu.RLock()
+	defer rm.mu.RUnlock()
+	return len(rm.m)
+}
+
+// replayCtx tracks one top-level replay invocation: the current chain
+// depth (nodes being replayed on the stack), the maximum depth reached,
+// and the number of attachment values committed to memo entries.
+type replayCtx struct {
+	depth int
+	max   int
+	edges int64
+}
+
+// replayF resolves F_k(l) by local recomputation. The chain terminates
+// without replaying at the bootstrap rule (node x), a locally resolved
+// slot, a hub-replica hit, or a memo hit; otherwise the node's stream
+// is replayed forward. ok is false when the chain exceeded the depth
+// cap; committed memo state is kept, so a later retry resumes where
+// this one stopped.
+func (e *engine) replayF(k int64, l int, ctx *replayCtx) (v int64, ok bool) {
+	// Bootstrap: node x attaches to every clique node, F_x(l) = l.
+	// Copy sources are always drawn from [x, t), so k >= x here.
+	if k == e.x64 {
+		return int64(l), true
+	}
+	if e.part.Owner(k) == e.rank {
+		s := e.localIdx(k)*e.x64 + int64(l)
+		if e.concurrent {
+			v = atomic.LoadInt64(&e.f[s])
+		} else {
+			v = e.f[s]
+		}
+		if v >= 0 {
+			return v, true
+		}
+		// The owning worker has not resolved this slot yet; replay it
+		// like a remote node. The memo entry is a pure cache — e.f is
+		// only ever written by the slot's owning worker.
+	} else if hub := e.hub; hub != nil && k < hub.h {
+		if v = hub.get(k*e.x64 + int64(l)); v >= 0 {
+			return v, true
+		}
+	}
+	ent := e.memo.entry(k, e.seed, e.x)
+	if int(atomic.LoadInt32(&ent.done)) > l {
+		return ent.vals[l], true
+	}
+	return e.replayExtend(ent, k, l, ctx)
+}
+
+// replayExtend replays node k's attempts forward until edge l commits.
+// The entry lock is held across the recursion; lock order follows the
+// chain, which is strictly decreasing in node id (copy sources are
+// drawn from [x, k)), so concurrent replays cannot deadlock. On a
+// depth-cap abort the stream state is rolled back to the start of the
+// uncommitted attempt, keeping the entry consistent for the next try.
+func (e *engine) replayExtend(ent *replayEntry, k int64, l int, ctx *replayCtx) (int64, bool) {
+	if ctx.depth >= e.depthCap {
+		return 0, false
+	}
+	ctx.depth++
+	if ctx.depth > ctx.max {
+		ctx.max = ctx.depth
+	}
+	defer func() { ctx.depth-- }()
+
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	done := int(atomic.LoadInt32(&ent.done)) // re-check under the lock
+	if done > l {
+		return ent.vals[l], true
+	}
+	d := e.opts.Params.NewDrawer(k)
+	for edge := done; edge <= l; edge++ {
+		for {
+			st := ent.rng.State()
+			a := d.Next(&ent.rng)
+			v := a.K
+			if !a.Direct {
+				var ok bool
+				if v, ok = e.replayF(a.K, a.L, ctx); !ok {
+					// Depth cap hit below: un-draw the aborted
+					// attempt so the committed prefix plus the
+					// stream stay exactly where the owner's own
+					// computation would leave them.
+					ent.rng.SetState(st)
+					return 0, false
+				}
+			}
+			// Duplicate-avoidance retry (Algorithm 3.2 lines 7/22):
+			// the owner consumes these draws too, so retries commit
+			// to the stream but not to vals.
+			if replayDup(ent.vals[:edge], v) {
+				continue
+			}
+			ent.vals[edge] = v
+			atomic.StoreInt32(&ent.done, int32(edge+1))
+			ctx.edges++
+			break
+		}
+	}
+	return ent.vals[l], true
+}
+
+// replayDup reports whether v already appears among the committed
+// values — the same duplicate test the owner runs, against the same
+// prefix (slots beyond the current edge are not yet drawn).
+func replayDup(vals []int64, v int64) bool {
+	for _, u := range vals {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// replayRemote is the worker-side entry point: resolve F_k(l) by
+// recomputation, recording the chain-depth and replayed-edge metrics.
+// On failure (depth cap) the caller falls back to the wire protocol.
+func (w *worker) replayRemote(k int64, l int) (int64, bool) {
+	var ctx replayCtx
+	v, ok := w.e.replayF(k, l, &ctx)
+	w.replayedEdges += ctx.edges
+	if !ok {
+		w.recomputeFallbacks++
+		return 0, false
+	}
+	w.recomputeHits++
+	w.replayDepth.Observe(int64(ctx.max))
+	return v, true
+}

@@ -90,7 +90,29 @@ func validateSnapshot(s *ckpt.Snapshot, tr transport.Transport, opts Options) er
 	case m.Scheme != opts.Part.Name():
 		return fmt.Errorf("core: resume: snapshot used partition %s, run uses %s", m.Scheme, opts.Part.Name())
 	}
+	mode, depth := effectiveResolve(opts)
+	switch {
+	case m.Resolve != mode:
+		return fmt.Errorf("core: resume: snapshot used -resolve=%v, run uses -resolve=%v",
+			ResolveMode(m.Resolve), ResolveMode(mode))
+	case m.RecomputeDepth != depth:
+		return fmt.Errorf("core: resume: snapshot used recompute depth %d, run uses %d", m.RecomputeDepth, depth)
+	}
 	return nil
+}
+
+// effectiveResolve returns the resolver settings a run with opts pins
+// into its snapshots: the mode code and the effective replay depth cap
+// (0 in wire mode, the default-resolved cap in recompute mode).
+func effectiveResolve(opts Options) (mode, depth int) {
+	if opts.Resolve != ResolveRecompute {
+		return int(ResolveWire), 0
+	}
+	depth = opts.RecomputeDepth
+	if depth <= 0 {
+		depth = DefaultRecomputeDepth(opts.Params.N)
+	}
+	return int(ResolveRecompute), depth
 }
 
 // buildSnapshot assembles this rank's snapshot at a cut. The rank is
@@ -100,13 +122,15 @@ func validateSnapshot(s *ckpt.Snapshot, tr transport.Transport, opts Options) er
 func (e *engine) buildSnapshot() *ckpt.Snapshot {
 	s := &ckpt.Snapshot{
 		Meta: ckpt.Meta{
-			N:      e.opts.Params.N,
-			X:      e.x,
-			P:      e.prob,
-			Seed:   e.seed,
-			Ranks:  e.p,
-			Rank:   e.rank,
-			Scheme: e.part.Name(),
+			N:              e.opts.Params.N,
+			X:              e.x,
+			P:              e.prob,
+			Seed:           e.seed,
+			Ranks:          e.p,
+			Rank:           e.rank,
+			Scheme:         e.part.Name(),
+			Resolve:        int(e.opts.Resolve),
+			RecomputeDepth: e.depthCap,
 		},
 		Epoch: e.ck.epoch,
 		// The cut's own commit vote (Gather + Broadcast) consumes two

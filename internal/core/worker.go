@@ -75,14 +75,18 @@ type worker struct {
 	adaptive bool
 
 	// stats (merged into RankStats by finishStats)
-	retries     int64
-	queuedWaits int64
-	localWaits  int64
-	hubHits     int64
-	hubMisses   int64
-	coalesced   int64
-	edgeCount   int64
-	waitChain   obs.Histogram
+	retries            int64
+	queuedWaits        int64
+	localWaits         int64
+	hubHits            int64
+	hubMisses          int64
+	coalesced          int64
+	recomputeHits      int64
+	recomputeFallbacks int64
+	replayedEdges      int64
+	edgeCount          int64
+	waitChain          obs.Histogram
+	replayDepth        obs.Histogram
 
 	err error
 }
@@ -173,13 +177,13 @@ func (w *worker) genNode(t int64) {
 // is what makes the output independent of workers, ranks and schedule.
 func (w *worker) advance(t int64, edge int, rng *xrand.Rand) {
 	e := w.e
-	lo, hi := e.opts.Params.KRange(t)
-	span := uint64(hi - lo)
+	d := e.opts.Params.NewDrawer(t)
 	for ; edge < e.x; edge++ {
 	draw:
 		for {
-			k := lo + int64(rng.Uint64n(span))
-			if rng.Float64() < e.prob {
+			a := d.Next(rng)
+			k := a.K
+			if a.Direct {
 				// Direct branch (lines 6-10).
 				if w.isDup(t, k) {
 					w.retries++
@@ -192,7 +196,7 @@ func (w *worker) advance(t int64, edge int, rng *xrand.Rand) {
 				break draw
 			}
 			// Copy branch (lines 11-14).
-			l := int(rng.Uint64n(uint64(e.x)))
+			l := a.L
 			if e.trace != nil {
 				e.trace.RecordCopy(t, edge, k, l)
 			}
@@ -259,10 +263,34 @@ func (w *worker) advance(t int64, edge int, rng *xrand.Rand) {
 					w.suspend(t, edge, rng, gkey)
 					return
 				}
+				if e.recompute {
+					if v, ok := w.replayRemote(k, l); ok {
+						// Replayed values are as immutable as
+						// resolved ones; seed the replica so later
+						// queries for this slot short-circuit.
+						hub.install(gkey, v)
+						if w.isDup(t, v) {
+							w.retries++
+							continue draw
+						}
+						w.resolveLocal(t, edge, v)
+						break draw
+					}
+				}
 				w.remote.push(gkey, t, uint16(edge))
 				w.sendData(owner, msg.Request(t, edge, k, l))
 				w.suspend(t, edge, rng, gkey)
 				return
+			}
+			if e.recompute {
+				if v, ok := w.replayRemote(k, l); ok {
+					if w.isDup(t, v) {
+						w.retries++
+						continue draw
+					}
+					w.resolveLocal(t, edge, v)
+					break draw
+				}
 			}
 			w.sendData(owner, msg.Request(t, edge, k, l))
 			w.suspend(t, edge, rng, -1)
@@ -351,12 +379,23 @@ func (w *worker) resolveLocal(t int64, edge int, v int64) {
 	w.unresolved--
 	w.emit(t, v)
 
-	// Hub prefix: replicate the freshly resolved slot to every rank
-	// that may query it (batched through the normal send path).
-	if hub := e.hub; hub != nil && t < hub.h {
-		m := msg.Publish(t, edge, v)
-		for _, r := range e.hubPeers {
-			w.sendData(r, m)
+	// Hub prefix: replicate the node's slots to every rank that may
+	// query them, batched per node. A node's slots resolve strictly in
+	// order, so edge x-1 resolving means all x values are final;
+	// publishing them together keeps a node's publishes adjacent per
+	// destination, where the v3 codec's slot-delta coding packs each
+	// trailing slot into ~1 byte of header. Peers that query an earlier
+	// slot before the batch lands fall back to the wire protocol (the
+	// replica elides traffic, never correctness), and a restore
+	// republishes resolved prefix slots via publishResolvedPrefix, so
+	// the deferral survives checkpoint cuts too.
+	if hub := e.hub; hub != nil && t < hub.h && edge == e.x-1 {
+		base := s - int64(edge)
+		for l := int64(0); l < e.x64; l++ {
+			m := msg.Publish(t, int(l), e.f[base+l])
+			for _, r := range e.hubPeers {
+				w.sendData(r, m)
+			}
 		}
 	}
 

@@ -22,6 +22,8 @@ package model
 import (
 	"errors"
 	"fmt"
+
+	"pagen/internal/xrand"
 )
 
 // DefaultP is the copy probability at which the copy model coincides with
@@ -105,4 +107,43 @@ func (pr Params) KRange(t int64) (lo, hi int64) {
 		panic(fmt.Sprintf("model: node %d has no draw range (x = %d)", t, pr.X))
 	}
 	return int64(pr.X), t
+}
+
+// Attempt is one attachment attempt of Algorithm 3.2: the drawn
+// candidate k, whether the attachment is direct (line 6), and — for the
+// copy branch (line 11) — the copied slot index l.
+type Attempt struct {
+	K      int64
+	L      int
+	Direct bool
+}
+
+// Drawer replays node t's attachment-attempt draw sequence from a
+// random stream, hoisting the draw-range arithmetic out of the retry
+// loop. The parallel engine's generation hot path and the recompute
+// resolver both draw through it, so the two can never disagree about
+// the per-node stream layout: each Next consumes exactly one attempt —
+// k, then the direct test, then l for copies — duplicate retries
+// included.
+type Drawer struct {
+	lo   int64
+	span uint64
+	x    uint64
+	p    float64
+}
+
+// NewDrawer returns the drawer for node t. Like KRange it panics if t
+// has no draw range (clique nodes and node x).
+func (pr Params) NewDrawer(t int64) Drawer {
+	lo, hi := pr.KRange(t)
+	return Drawer{lo: lo, span: uint64(hi - lo), x: uint64(pr.X), p: pr.P}
+}
+
+// Next draws one attachment attempt from rng.
+func (d *Drawer) Next(rng *xrand.Rand) Attempt {
+	k := d.lo + int64(rng.Uint64n(d.span))
+	if rng.Float64() < d.p {
+		return Attempt{K: k, Direct: true}
+	}
+	return Attempt{K: k, L: int(rng.Uint64n(d.x))}
 }

@@ -39,14 +39,16 @@ func FuzzDecodeBatch(f *testing.F) {
 	f.Add(EncodeBatch([]Message{Request(1, 0, 2, 1), Done(3)}))
 	f.Add(EncodeBatchV2([]Message{Request(1, 0, 2, 1), Done(3)}))
 	f.Add(EncodeBatchV2([]Message{Ckpt(0, CkptBegin, 1, 4, 0), Ckpt(1, CkptCut, 2, 4, 0)}))
+	f.Add(EncodeBatchV3([]Message{Publish(9, 0, 4), Publish(9, 1, 6), Publish(9, 2, 2)}))
 	f.Add([]byte{1})
 	f.Add([]byte{FrameV2Magic})
+	f.Add([]byte{FrameV3Magic})
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		ms, err := DecodeBatch(nil, frame)
 		if err != nil {
 			return
 		}
-		if len(frame) > 0 && frame[0] == FrameV2Magic {
+		if len(frame) > 0 && (frame[0] == FrameV2Magic || frame[0] == FrameV3Magic) {
 			requireV2Idempotent(t, ms)
 			return
 		}
@@ -66,7 +68,10 @@ func FuzzDecodeBatchV2(f *testing.F) {
 	f.Add(EncodeBatchV2([]Message{Resolved(9, 2, 1<<40), Coll(1, 2, 3), Stop()}))
 	f.Add(EncodeBatchV2([]Message{Ckpt(3, CkptProbe, 9, 1<<33, -5), Request(1, 0, 2, 1)}))
 	f.Add(EncodeBatch([]Message{Request(1, 0, 2, 1)}))
+	f.Add(EncodeBatchV3([]Message{Publish(5, 0, 1), Publish(5, 1, 3), Publish(6, 0, 2)}))
+	f.Add(EncodeBatchV3([]Message{Publish(1<<60, 0, 7), Request(1, 0, 2, 1)}))
 	f.Add([]byte{FrameV2Magic})
+	f.Add([]byte{FrameV3Magic, byte(KindPublish), 2, 0xff})
 	f.Add([]byte{FrameV2Magic, byte(KindRequest), 0xff, 0xff, 0xff})
 	f.Add(bytes.Repeat([]byte{0xff}, 32))
 	f.Fuzz(func(t *testing.T, frame []byte) {

@@ -8,6 +8,7 @@ package msg
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // Kind discriminates message types.
@@ -247,11 +248,65 @@ const FrameV2Magic = 0xC2
 // K and L for resolved, everything but T for done/stop) are dropped on
 // the wire and decode as zero — exactly the values the constructors set.
 
+// FrameV3Magic is the version byte that opens a v3 frame. v3 is v2
+// with one change: publish groups are slot-delta coded. A publish
+// identifies an attachment slot (T, E) with E < x; v3 packs the two
+// into one integer slotcode = T<<s | E (s sized to the group's widest
+// E, carried in a header byte) and delta-codes consecutive slotcodes.
+// Owners publish a node's x slots back-to-back, so the slot delta is
+// usually exactly 1 — one byte where v2 spent ΔT + E per message. A
+// shift byte of V3ShiftFallback marks a group whose T values cannot be
+// shifted without overflow (never real traffic; arbitrary messages
+// from tests or forged frames): its fields use the v2 layout.
+const FrameV3Magic = 0xC3
+
+// V3ShiftFallback is the publish-group shift sentinel selecting the v2
+// field layout (see FrameV3Magic).
+const V3ShiftFallback = 0xFF
+
+// publishShift returns the slotcode shift for a v3 publish group: the
+// bit width of the widest E, or V3ShiftFallback when some T<<s would
+// not round-trip through an int64.
+func publishShift(ms []Message) int {
+	s := 0
+	for _, m := range ms {
+		if w := bits.Len16(m.E); w > s {
+			s = w
+		}
+	}
+	for _, m := range ms {
+		if m.T > maxInt64>>s || m.T < minInt64>>s {
+			return V3ShiftFallback
+		}
+	}
+	return s
+}
+
+const (
+	maxInt64 = int64(1<<63 - 1)
+	minInt64 = -1 << 63
+)
+
 // AppendEncodeBatchV2 appends the compact (v2) encoding of ms to dst and
 // returns the extended slice. Adjacent messages of equal kind share one
 // group header.
 func AppendEncodeBatchV2(dst []byte, ms []Message) []byte {
-	dst = append(dst, FrameV2Magic)
+	return appendEncodeBatch(dst, ms, false)
+}
+
+// AppendEncodeBatchV3 appends the v3 encoding of ms to dst and returns
+// the extended slice: the v2 format with slot-delta-coded publish
+// groups (see FrameV3Magic).
+func AppendEncodeBatchV3(dst []byte, ms []Message) []byte {
+	return appendEncodeBatch(dst, ms, true)
+}
+
+func appendEncodeBatch(dst []byte, ms []Message, v3 bool) []byte {
+	if v3 {
+		dst = append(dst, FrameV3Magic)
+	} else {
+		dst = append(dst, FrameV2Magic)
+	}
 	for i := 0; i < len(ms); {
 		kind := ms[i].Kind
 		j := i + 1
@@ -260,6 +315,11 @@ func AppendEncodeBatchV2(dst []byte, ms []Message) []byte {
 		}
 		dst = append(dst, byte(kind))
 		dst = binary.AppendUvarint(dst, uint64(j-i))
+		if v3 && kind == KindPublish {
+			dst = appendPublishGroupV3(dst, ms[i:j])
+			i = j
+			continue
+		}
 		prevT := int64(0)
 		for _, m := range ms[i:j] {
 			dst = binary.AppendVarint(dst, m.T-prevT)
@@ -287,16 +347,49 @@ func AppendEncodeBatchV2(dst []byte, ms []Message) []byte {
 	return dst
 }
 
+// appendPublishGroupV3 encodes one v3 publish group (after the kind and
+// count): shift byte, then per message the slotcode delta and V.
+func appendPublishGroupV3(dst []byte, ms []Message) []byte {
+	s := publishShift(ms)
+	dst = append(dst, byte(s))
+	if s == V3ShiftFallback {
+		prevT := int64(0)
+		for _, m := range ms {
+			dst = binary.AppendVarint(dst, m.T-prevT)
+			prevT = m.T
+			dst = binary.AppendVarint(dst, m.V)
+			dst = binary.AppendUvarint(dst, uint64(m.E))
+		}
+		return dst
+	}
+	prev := int64(0)
+	for _, m := range ms {
+		code := m.T<<s | int64(m.E)
+		dst = binary.AppendVarint(dst, code-prev)
+		prev = code
+		dst = binary.AppendVarint(dst, m.V)
+	}
+	return dst
+}
+
 // EncodeBatchV2 encodes a slice of messages as one compact frame.
 func EncodeBatchV2(ms []Message) []byte {
 	return AppendEncodeBatchV2(make([]byte, 0, 1+len(ms)*10), ms)
 }
 
-// DecodeBatch decodes a frame in either format — compact (v2, magic
+// EncodeBatchV3 encodes a slice of messages as one v3 frame.
+func EncodeBatchV3(ms []Message) []byte {
+	return AppendEncodeBatchV3(make([]byte, 0, 1+len(ms)*10), ms)
+}
+
+// DecodeBatch decodes a frame in any format — v3 or compact v2 (magic
 // first byte) or fixed-width (v1) — appending to dst and returning it.
 func DecodeBatch(dst []Message, frame []byte) ([]Message, error) {
+	if len(frame) > 0 && frame[0] == FrameV3Magic {
+		return decodeBatchCompact(dst, frame[1:], true)
+	}
 	if len(frame) > 0 && frame[0] == FrameV2Magic {
-		return decodeBatchV2(dst, frame[1:])
+		return decodeBatchCompact(dst, frame[1:], false)
 	}
 	if len(frame)%EncodedSize != 0 {
 		return dst, fmt.Errorf("msg: frame size %d not a multiple of %d", len(frame), EncodedSize)
@@ -312,7 +405,7 @@ func DecodeBatch(dst []Message, frame []byte) ([]Message, error) {
 	return dst, nil
 }
 
-func decodeBatchV2(dst []Message, b []byte) ([]Message, error) {
+func decodeBatchCompact(dst []Message, b []byte, v3 bool) ([]Message, error) {
 	for len(b) > 0 {
 		kind := Kind(b[0])
 		if kind < KindRequest || kind > KindFence {
@@ -329,6 +422,13 @@ func decodeBatchV2(dst []Message, b []byte) ([]Message, error) {
 		// growing dst.
 		if count > uint64(len(b)) {
 			return dst, fmt.Errorf("msg: group count %d exceeds frame", count)
+		}
+		if v3 && kind == KindPublish {
+			var err error
+			if dst, b, err = decodePublishGroupV3(dst, b, count); err != nil {
+				return dst, err
+			}
+			continue
 		}
 		prevT := int64(0)
 		for i := uint64(0); i < count; i++ {
@@ -383,6 +483,58 @@ func decodeBatchV2(dst []Message, b []byte) ([]Message, error) {
 		}
 	}
 	return dst, nil
+}
+
+// decodePublishGroupV3 decodes one v3 publish group body (after the
+// kind and count).
+func decodePublishGroupV3(dst []Message, b []byte, count uint64) ([]Message, []byte, error) {
+	if len(b) == 0 {
+		return dst, b, fmt.Errorf("msg: truncated publish shift")
+	}
+	s := int(b[0])
+	b = b[1:]
+	if s == V3ShiftFallback {
+		prevT := int64(0)
+		for i := uint64(0); i < count; i++ {
+			m := Message{Kind: KindPublish}
+			var ok bool
+			var d int64
+			if d, b, ok = takeVarint(b); !ok {
+				return dst, b, fmt.Errorf("msg: truncated T")
+			}
+			m.T = prevT + d
+			prevT = m.T
+			if m.V, b, ok = takeVarint(b); !ok {
+				return dst, b, fmt.Errorf("msg: truncated V")
+			}
+			if m.E, b, ok = takeUint16(b); !ok {
+				return dst, b, fmt.Errorf("msg: truncated E")
+			}
+			dst = append(dst, m)
+		}
+		return dst, b, nil
+	}
+	if s > 16 {
+		return dst, b, fmt.Errorf("msg: bad publish shift %d", s)
+	}
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		m := Message{Kind: KindPublish}
+		var ok bool
+		var d int64
+		if d, b, ok = takeVarint(b); !ok {
+			return dst, b, fmt.Errorf("msg: truncated slotcode")
+		}
+		code := prev + d
+		prev = code
+		m.T = code >> s
+		m.E = uint16(code & (1<<s - 1))
+		if m.V, b, ok = takeVarint(b); !ok {
+			return dst, b, fmt.Errorf("msg: truncated V")
+		}
+		dst = append(dst, m)
+	}
+	return dst, b, nil
 }
 
 func takeVarint(b []byte) (int64, []byte, bool) {

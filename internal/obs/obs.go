@@ -182,6 +182,16 @@ type RankMetrics struct {
 	HubCachePub     int64 `json:"hub_cache_publish,omitempty"`
 	HubCachePubRecv int64 `json:"hub_cache_publish_recv,omitempty"`
 	ReqCoalesced    int64 `json:"req_coalesced,omitempty"`
+	// Recompute-resolver counters (zero unless -resolve=recompute ran):
+	// remote queries resolved by local stream replay, replays that hit
+	// the depth cap and fell back to the wire protocol, and attachment
+	// values committed to the replay memo table. ReplayDepth is the
+	// histogram of replay chain depths per resolved query — compare its
+	// quantiles against the Theorem 3.3 O(log n) chain-depth bound.
+	RecomputeResolved int64     `json:"recompute_resolved,omitempty"`
+	RecomputeFallback int64     `json:"recompute_fallback,omitempty"`
+	ReplayedEdges     int64     `json:"replayed_edges,omitempty"`
+	ReplayDepth       Histogram `json:"replay_depth"`
 	// Transport-frame counters: how much buffering coalesced.
 	FramesSent int64 `json:"frames_sent"`
 	FramesRecv int64 `json:"frames_recv"`

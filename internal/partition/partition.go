@@ -544,13 +544,39 @@ func ExpectedIncomingLoad(n, k int64, p float64) float64 {
 
 // HubPrefixAutoFrac is the fraction of the total expected request mass
 // the auto-sized hub prefix covers (HubPrefixSize's frac when callers
-// use the default sizing).
-const HubPrefixAutoFrac = 0.6
+// use the default sizing). 0.1 is the empirical knee where the cache
+// still wins on bytes per edge, not just on messages: the replication
+// cost of a publish grows linearly in H while the elided request mass
+// grows only harmonically, and roughly half the potential replica hits
+// race the publish that would serve them (hub nodes draw most of their
+// queries early in the run, right when they are being published), so
+// past this point each extra replica slot costs more publish bytes
+// than it saves in round trips (sweep in results/BENCH_hubcache.json).
+// Callers who value message count over bytes can fix a larger H
+// explicitly; output is identical at every setting.
+const HubPrefixAutoFrac = 0.1
 
 // HubPrefixMaxSlots caps the auto-sized hub-prefix replica at H·x
 // attachment slots (8 bytes each), so auto-sizing at very large n cannot
 // quietly allocate an unbounded per-rank replica.
 const HubPrefixMaxSlots = 1 << 24
+
+// hubPrefixRefRanks is the rank count HubPrefixAutoFrac was tuned at.
+const hubPrefixRefRanks = 4
+
+// HubPrefixAutoSize returns the default hub-prefix length for a run of
+// the given rank count. The covered mass fraction shrinks inversely
+// with ranks past the tuning point: each publish fans out to ~p-1
+// peers, so the replication cost of a slot grows linearly in p while
+// the request mass it elides saturates, moving the break-even prefix
+// length down as the cluster grows.
+func HubPrefixAutoSize(n int64, x, ranks int) int64 {
+	frac := HubPrefixAutoFrac
+	if ranks > hubPrefixRefRanks {
+		frac = frac * hubPrefixRefRanks / float64(ranks)
+	}
+	return HubPrefixSize(n, x, frac)
+}
 
 // hubMass returns the expected request mass of the length-h prefix,
 // Σ_{k=0}^{h-1} (H_{n-1} - H_k) = h·(H_{n-1} - H_{h-1}) + h - 1, using

@@ -134,6 +134,25 @@ type Config struct {
 	// CheckpointDir before generating, skipping all work committed up
 	// to that epoch. When no usable epoch exists the run starts fresh.
 	Resume bool
+	// Resolve selects how non-local copy dependencies are answered:
+	// "wire" (the default; the paper's request/resolved message round
+	// trip) or "recompute" (replay the owning node's RNG stream locally
+	// — no data messages — falling back to the wire past
+	// RecomputeDepth). Output is byte-identical in both modes.
+	Resolve string
+	// RecomputeDepth caps how many nodes one recompute replay chain may
+	// descend before falling back to the wire protocol. 0 selects
+	// ~2*log2(N) (Theorem 3.3 bounds chain depth by O(log n) w.h.p.).
+	// Only meaningful with Resolve: "recompute".
+	RecomputeDepth int
+}
+
+// resolve parses the Config resolve-mode selector.
+func (c Config) resolve() (core.ResolveMode, error) {
+	if c.Resolve == "" {
+		return core.ResolveWire, nil
+	}
+	return core.ParseResolveMode(c.Resolve)
 }
 
 // checkpoint translates the Config checkpoint fields to engine options
@@ -188,6 +207,10 @@ func Generate(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mode, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
 	return core.Run(core.Options{
 		Params:          pr,
 		Part:            part,
@@ -196,6 +219,8 @@ func Generate(cfg Config) (*Result, error) {
 		BufferCap:       cfg.BufferCap,
 		PollEvery:       cfg.PollEvery,
 		HubPrefix:       cfg.HubPrefix,
+		Resolve:         mode,
+		RecomputeDepth:  cfg.RecomputeDepth,
 		CollectNodeLoad: cfg.CollectNodeLoad,
 		Checkpoint:      cfg.checkpoint(),
 	}, cfg.RecordTrace)
@@ -271,15 +296,21 @@ func GenerateStream(cfg Config, sink func(rank int, e Edge)) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mode, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
 	return core.Run(core.Options{
-		Params:    pr,
-		Part:      part,
-		Seed:      cfg.Seed,
-		Workers:   cfg.Workers,
-		BufferCap: cfg.BufferCap,
-		PollEvery: cfg.PollEvery,
-		HubPrefix: cfg.HubPrefix,
-		Sink:      sink,
+		Params:         pr,
+		Part:           part,
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+		BufferCap:      cfg.BufferCap,
+		PollEvery:      cfg.PollEvery,
+		HubPrefix:      cfg.HubPrefix,
+		Resolve:        mode,
+		RecomputeDepth: cfg.RecomputeDepth,
+		Sink:           sink,
 	}, cfg.RecordTrace)
 }
 
@@ -299,14 +330,20 @@ func GenerateToShards(cfg Config, dir string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mode, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
 	return core.RunToShards(core.Options{
-		Params:    pr,
-		Part:      part,
-		Seed:      cfg.Seed,
-		Workers:   cfg.Workers,
-		BufferCap: cfg.BufferCap,
-		PollEvery: cfg.PollEvery,
-		HubPrefix: cfg.HubPrefix,
+		Params:         pr,
+		Part:           part,
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+		BufferCap:      cfg.BufferCap,
+		PollEvery:      cfg.PollEvery,
+		HubPrefix:      cfg.HubPrefix,
+		Resolve:        mode,
+		RecomputeDepth: cfg.RecomputeDepth,
 	}, dir)
 }
 

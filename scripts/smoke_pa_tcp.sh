@@ -148,4 +148,32 @@ while [ $i -lt $RANKS ]; do
     i=$((i + 1))
 done
 
-echo "pa-tcp smoke: $RANKS ranks x $WORKERS workers over localhost completed (n=$N, x=$X); cache-on and cache-off shards byte-identical"
+# Third pass in recomputation resolve mode: non-local dependencies are
+# replayed locally instead of asked over the wire, so the mode changes
+# traffic radically — and must not change output. Every shard must be
+# byte-identical to the wire-protocol passes.
+pids=""
+i=1
+while [ $i -lt $RANKS ]; do
+    timeout "$TIMEOUT" "$workdir/pa-tcp" -rank $i -addrs "$addrs" \
+        -n "$N" -x "$X" -workers "$WORKERS" -resolve recompute \
+        -o "$workdir/shard$i.rc.bin" &
+    pids="$pids $!"
+    i=$((i + 1))
+done
+timeout "$TIMEOUT" "$workdir/pa-tcp" -rank 0 -addrs "$addrs" \
+    -n "$N" -x "$X" -workers "$WORKERS" -resolve recompute \
+    -o "$workdir/shard0.rc.bin"
+
+for pid in $pids; do
+    wait "$pid"
+done
+
+i=0
+while [ $i -lt $RANKS ]; do
+    cmp "$workdir/shard$i.bin" "$workdir/shard$i.rc.bin" \
+        || { echo "shard $i differs between wire and recompute resolve modes" >&2; exit 1; }
+    i=$((i + 1))
+done
+
+echo "pa-tcp smoke: $RANKS ranks x $WORKERS workers over localhost completed (n=$N, x=$X); cache-on, cache-off and recompute shards byte-identical"
