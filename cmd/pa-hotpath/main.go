@@ -19,6 +19,15 @@
 // measures traffic per edge under the wire protocol, the hub-prefix
 // cache, and communication-free recomputation (-resolve=recompute on
 // pagen/pa-tcp), plus the replay-depth quantiles of the recompute runs.
+//
+// -stream-dir DIR switches to the external-memory benchmark: one run
+// at the first -ranks/-workers setting spilling its edges to shard
+// files (docs/SHARD_FORMAT.md), recording throughput, sink counters
+// and the process peak RSS alongside the in-memory estimate the sink
+// avoids. It maintains results/BENCH_stream.json:
+//
+//	pa-hotpath -n 100000000 -x 1 -ranks 1 -stream-dir /tmp/shards \
+//	    -out results/BENCH_stream.json
 package main
 
 import (
@@ -32,19 +41,21 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int64("n", 1_000_000, "nodes")
-		x        = flag.Int("x", 4, "edges per node")
-		ps       = flag.String("ranks", "4,8", "comma-separated rank counts")
-		ws       = flag.String("workers", "1", "comma-separated per-rank worker counts")
-		pe       = flag.String("pollevery", "", "comma-separated polling intervals to sweep (0 = adaptive; empty = engine default)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		label    = flag.String("label", "current", "label recorded in the report")
-		baseline = flag.String("baseline", "", "prior trajectory JSON whose current block becomes this file's baseline")
-		out      = flag.String("out", "", "write trajectory JSON here (TSV to stdout otherwise)")
-		fp       = flag.Bool("fingerprint", false, "print output-graph fingerprints instead of measuring")
-		hubs     = flag.String("hub-prefix", "", "comma-separated hub-prefix settings (0 = auto); measures cache traffic against the cache-off baseline instead of the hot path")
-		resolve  = flag.Bool("resolve", false, "sweep resolve modes (wire, hub cache, recompute) and report traffic per edge instead of the hot path")
-		rcDepth  = flag.Int("recompute-depth", 0, "recompute replay chain depth cap for the -resolve sweep (0 = ~2*log2(n))")
+		n           = flag.Int64("n", 1_000_000, "nodes")
+		x           = flag.Int("x", 4, "edges per node")
+		ps          = flag.String("ranks", "4,8", "comma-separated rank counts")
+		ws          = flag.String("workers", "1", "comma-separated per-rank worker counts")
+		pe          = flag.String("pollevery", "", "comma-separated polling intervals to sweep (0 = adaptive; empty = engine default)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		label       = flag.String("label", "current", "label recorded in the report")
+		baseline    = flag.String("baseline", "", "prior trajectory JSON whose current block becomes this file's baseline")
+		out         = flag.String("out", "", "write trajectory JSON here (TSV to stdout otherwise)")
+		fp          = flag.Bool("fingerprint", false, "print output-graph fingerprints instead of measuring")
+		hubs        = flag.String("hub-prefix", "", "comma-separated hub-prefix settings (0 = auto); measures cache traffic against the cache-off baseline instead of the hot path")
+		resolve     = flag.Bool("resolve", false, "sweep resolve modes (wire, hub cache, recompute) and report traffic per edge instead of the hot path")
+		rcDepth     = flag.Int("recompute-depth", 0, "recompute replay chain depth cap for the -resolve sweep (0 = ~2*log2(n))")
+		streamDir   = flag.String("stream-dir", "", "benchmark one streamed run spilling shards to this directory (records throughput, sink counters and peak RSS)")
+		streamBlock = flag.Int("stream-block-edges", 0, "edge records per stream block for the -stream-dir benchmark (0 = 65536)")
 	)
 	flag.Parse()
 
@@ -74,6 +85,47 @@ func main() {
 				fmt.Printf("n=%d x=%d ranks=%d workers=%d seed=%d fingerprint=%016x\n", *n, *x, p, w, *seed, h)
 			}
 		}
+		return
+	}
+
+	if *streamDir != "" {
+		ranks := 1
+		if len(rankList) > 0 {
+			ranks = rankList[0]
+		}
+		workers := 1
+		if len(workerList) > 0 {
+			workers = workerList[0]
+		}
+		rep, err := bench.StreamBench(bench.StreamConfig{
+			N: *n, X: *x, Ranks: ranks, Workers: workers, Seed: *seed,
+			Dir: *streamDir, BlockEdges: *streamBlock,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Label = *label
+		if *out == "" {
+			if err := bench.WriteStream(os.Stdout, rep); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteStreamJSON(f, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteStream(os.Stderr, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
 		return
 	}
 

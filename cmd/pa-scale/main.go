@@ -8,7 +8,8 @@
 // Speedups are reported both as measured wall time (bounded by the
 // physical core count of the host) and from the per-rank load model
 // (nodes + messages, the paper's Section 4.6 measure), which reproduces
-// the figures' shape on any host. See DESIGN.md.
+// the figures' shape on any host. -schemes picks the partitioning
+// schemes swept (default UCP,LCP,RRP). See DESIGN.md.
 package main
 
 import (

@@ -24,6 +24,15 @@
 // docs/OPERATIONS.md). The resumed run produces the byte-identical
 // graph an uninterrupted run would have.
 //
+// For runs whose edge list exceeds RAM, -stream-dir DIR makes each rank
+// spill its edges straight into a compressed, CRC-protected shard file
+// (docs/SHARD_FORMAT.md) with bounded resident memory, instead of
+// materialising them for -o. It composes with checkpointing: on resume
+// each rank truncates its shard to the snapshot's durable mark and
+// regenerates exactly the missing suffix, so the merged output stays
+// byte-identical to an uninterrupted run. Read the shards with
+// pa-analyze -stream-dir.
+//
 // -supervise turns pa-tcp into a single-host cluster supervisor: it
 // spawns one child rank per address, and when any child dies it kills
 // the survivors and relaunches the whole cluster with -resume, up to
@@ -32,6 +41,10 @@
 //	pa-tcp -supervise -addrs 127.0.0.1:9500,127.0.0.1:9501 \
 //	    -n 1000000 -x 4 -checkpoint-dir ck -checkpoint-every 5000000 \
 //	    -shard-dir out
+//
+// With -stream-dir in place of -shard-dir the supervised cluster
+// streams: kills mid-run (even mid-flush) resume without duplicating or
+// dropping edges.
 //
 // See examples/distributed for a driver that spawns the ranks and merges
 // the shards.
@@ -82,6 +95,8 @@ func main() {
 		supervise   = flag.Bool("supervise", false, "run as a supervisor: spawn all ranks locally, restart the cluster from the last checkpoint on crash")
 		maxRestarts = flag.Int("max-restarts", 3, "restart attempts before the supervisor gives up")
 		shardDir    = flag.String("shard-dir", "", "supervisor mode: directory the child ranks write their shards to")
+		streamDir   = flag.String("stream-dir", "", "spill this rank's edges to a compressed shard file under this directory with bounded memory (docs/SHARD_FORMAT.md); composes with -checkpoint-dir and -supervise")
+		streamBlock = flag.Int("stream-block-edges", 0, "edge records buffered per stream block before a sorted flush (0 = 65536)")
 	)
 	flag.Parse()
 
@@ -107,11 +122,15 @@ func main() {
 			resolve: *resolve, rcDepth: *rcDepth,
 			ckptDir: *ckptDir, ckptN: *ckptN, ckptKeep: *ckptKeep,
 			resume: *resume, maxRestarts: *maxRestarts, shardDir: *shardDir,
+			streamDir: *streamDir, streamBlock: *streamBlock,
 		})
 		return
 	}
 	if *shardDir != "" {
 		fatal(fmt.Errorf("-shard-dir is a supervisor-mode flag (use -o for a single rank)"))
+	}
+	if *streamDir != "" && *out != "" {
+		fatal(fmt.Errorf("-stream-dir streams this rank's shard itself; it is incompatible with -o"))
 	}
 
 	if ck != nil && ck.Resume {
@@ -135,15 +154,17 @@ func main() {
 	defer tr.Close()
 
 	res, err := core.RunRank(tr, core.Options{
-		Params:          model.Params{N: *n, X: *x, P: *p},
-		Part:            part,
-		Seed:            *seed,
-		Workers:         *workers,
-		HubPrefix:       *hub,
-		Resolve:         mode,
-		RecomputeDepth:  *rcDepth,
-		CollectNodeLoad: *metrics != "",
-		Checkpoint:      ck,
+		Params:           model.Params{N: *n, X: *x, P: *p},
+		Part:             part,
+		Seed:             *seed,
+		Workers:          *workers,
+		HubPrefix:        *hub,
+		Resolve:          mode,
+		RecomputeDepth:   *rcDepth,
+		CollectNodeLoad:  *metrics != "",
+		Checkpoint:       ck,
+		StreamDir:        *streamDir,
+		StreamBlockEdges: *streamBlock,
 	})
 	if err != nil {
 		fatal(err)
@@ -153,6 +174,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rank %d: nodes=%d edges=%d reqS=%d reqR=%d frames=%d bytes=%d wall=%v busy=%v\n",
 			st.Rank, st.Nodes, st.Edges, st.Comm.RequestsSent, st.Comm.RequestsRecv,
 			st.Comm.FramesSent, st.Comm.BytesSent, st.WallTime, st.BusyTime)
+		if *streamDir != "" {
+			fmt.Fprintf(os.Stderr, "rank %d: sink blocks=%d bytes=%d fsyncs=%d fsync-stall=%v\n",
+				st.Rank, st.SinkBlocks, st.SinkBytes, st.SinkFsyncs, st.SinkFsyncTime)
+		}
 	}
 
 	// Cluster-wide summary: a back-to-back collective sequence over the
@@ -193,6 +218,11 @@ func main() {
 		}
 	}
 
+	if *streamDir != "" {
+		// The engine already streamed this rank's shard to disk
+		// (shard-<rank>-of-<ranks>.pags under -stream-dir).
+		return
+	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -299,6 +329,8 @@ type supervisorConfig struct {
 	resume      bool
 	maxRestarts int
 	shardDir    string
+	streamDir   string
+	streamBlock int
 }
 
 // runSupervisor spawns one pa-tcp child process per address on this
@@ -312,10 +344,17 @@ func runSupervisor(addrList []string, sc supervisorConfig) {
 	if sc.ckptDir == "" || sc.ckptN <= 0 {
 		fatal(fmt.Errorf("-supervise needs -checkpoint-dir and -checkpoint-every > 0 (restarts resume from snapshots)"))
 	}
-	if sc.shardDir == "" {
-		fatal(fmt.Errorf("-supervise needs -shard-dir for the child ranks' output"))
+	switch {
+	case sc.shardDir == "" && sc.streamDir == "":
+		fatal(fmt.Errorf("-supervise needs -shard-dir or -stream-dir for the child ranks' output"))
+	case sc.shardDir != "" && sc.streamDir != "":
+		fatal(fmt.Errorf("-shard-dir and -stream-dir are mutually exclusive child outputs"))
 	}
-	if err := os.MkdirAll(sc.shardDir, 0o755); err != nil {
+	outDir := sc.shardDir
+	if outDir == "" {
+		outDir = sc.streamDir
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		fatal(err)
 	}
 	exe, err := os.Executable()
@@ -362,7 +401,13 @@ func superviseOnce(exe string, addrList []string, sc supervisorConfig, resume bo
 			"-checkpoint-dir", sc.ckptDir,
 			"-checkpoint-every", strconv.FormatInt(sc.ckptN, 10),
 			"-checkpoint-keep", strconv.Itoa(sc.ckptKeep),
-			"-o", graph.ShardPath(sc.shardDir, i, ranks),
+		}
+		if sc.streamDir != "" {
+			args = append(args,
+				"-stream-dir", sc.streamDir,
+				"-stream-block-edges", strconv.Itoa(sc.streamBlock))
+		} else {
+			args = append(args, "-o", graph.ShardPath(sc.shardDir, i, ranks))
 		}
 		if resume {
 			args = append(args, "-resume")

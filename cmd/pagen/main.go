@@ -8,6 +8,7 @@
 //	pagen -n 1000000 -x 4 -ranks 8 -metrics metrics.json -o graph.txt
 //	pagen -n 1000000 -x 4 -checkpoint-dir ck -checkpoint-every 5000000 -o graph.txt
 //	pagen -n 1000000 -x 4 -checkpoint-dir ck -resume -o graph.txt
+//	pagen -n 100000000 -x 4 -stream-dir shards -checkpoint-dir ck -checkpoint-every 20000000
 //
 // -metrics FILE exports the run's observability record (per-rank
 // counters, wait-chain histograms, and the per-node received-message
@@ -18,6 +19,13 @@
 // engine state roughly every N protocol events; a later invocation with
 // the same parameters plus -resume continues from the newest complete
 // epoch and produces the identical graph. See docs/OPERATIONS.md.
+//
+// -stream-dir DIR spills each rank's edges into a compressed,
+// CRC-protected shard file (docs/SHARD_FORMAT.md) with bounded resident
+// memory, so n is limited by disk rather than RAM. It composes with
+// checkpointing: a killed run resumed with -resume truncates each shard
+// to its snapshot's durable mark and regenerates exactly the missing
+// suffix. Read the shards with pa-analyze -stream-dir.
 package main
 
 import (
@@ -31,26 +39,28 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int64("n", 100000, "number of nodes")
-		x        = flag.Int("x", 4, "edges per new node")
-		p        = flag.Float64("p", 0.5, "direct-attachment probability (0.5 = exact BA)")
-		ranks    = flag.Int("ranks", 4, "number of parallel ranks")
-		workers  = flag.Int("workers", 0, "generation goroutines per rank (0 = GOMAXPROCS)")
-		scheme   = flag.String("scheme", "RRP", "partitioning scheme: UCP, LCP, RRP, ExactCP")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		hub      = flag.Int64("hub-prefix", 0, "hub-prefix cache size H (0 = auto, <0 = off); output is identical for every setting")
-		resolve  = flag.String("resolve", "wire", "non-local dependency resolution: wire or recompute; output is identical in both modes")
-		rcDepth  = flag.Int("recompute-depth", 0, "recompute replay chain depth cap before wire fallback (0 = ~2*log2(n))")
-		out      = flag.String("o", "", "output file (default stdout)")
-		format   = flag.String("format", "text", "output format: text or binary")
-		stats    = flag.Bool("stats", false, "print per-rank statistics to stderr")
-		seq      = flag.Bool("seq", false, "use the sequential copy model instead")
-		shardDir = flag.String("shard-dir", "", "stream per-rank edge shards to this directory instead of a single output")
-		metrics  = flag.String("metrics", "", "write run metrics JSON to this file (\"-\" = stderr)")
-		ckptDir  = flag.String("checkpoint-dir", "", "write per-rank snapshots to this directory (see docs/OPERATIONS.md)")
-		ckptN    = flag.Int64("checkpoint-every", 0, "protocol events between checkpoint epochs (requires -checkpoint-dir)")
-		ckptKeep = flag.Int("checkpoint-keep", 0, "committed epochs to retain per rank (0 = default)")
-		resume   = flag.Bool("resume", false, "resume from the latest complete epoch in -checkpoint-dir")
+		n           = flag.Int64("n", 100000, "number of nodes")
+		x           = flag.Int("x", 4, "edges per new node")
+		p           = flag.Float64("p", 0.5, "direct-attachment probability (0.5 = exact BA)")
+		ranks       = flag.Int("ranks", 4, "number of parallel ranks")
+		workers     = flag.Int("workers", 0, "generation goroutines per rank (0 = GOMAXPROCS)")
+		scheme      = flag.String("scheme", "RRP", "partitioning scheme: UCP, LCP, RRP, ExactCP")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		hub         = flag.Int64("hub-prefix", 0, "hub-prefix cache size H (0 = auto, <0 = off); output is identical for every setting")
+		resolve     = flag.String("resolve", "wire", "non-local dependency resolution: wire or recompute; output is identical in both modes")
+		rcDepth     = flag.Int("recompute-depth", 0, "recompute replay chain depth cap before wire fallback (0 = ~2*log2(n))")
+		out         = flag.String("o", "", "output file (default stdout)")
+		format      = flag.String("format", "text", "output format: text or binary")
+		stats       = flag.Bool("stats", false, "print per-rank statistics to stderr")
+		seq         = flag.Bool("seq", false, "use the sequential copy model instead")
+		shardDir    = flag.String("shard-dir", "", "stream per-rank edge shards to this directory instead of a single output")
+		streamDir   = flag.String("stream-dir", "", "spill compressed per-rank edge shards to this directory with bounded memory (docs/SHARD_FORMAT.md); composes with -checkpoint-dir")
+		streamBlock = flag.Int("stream-block-edges", 0, "edge records buffered per stream block before a sorted flush (0 = 65536)")
+		metrics     = flag.String("metrics", "", "write run metrics JSON to this file (\"-\" = stderr)")
+		ckptDir     = flag.String("checkpoint-dir", "", "write per-rank snapshots to this directory (see docs/OPERATIONS.md)")
+		ckptN       = flag.Int64("checkpoint-every", 0, "protocol events between checkpoint epochs (requires -checkpoint-dir)")
+		ckptKeep    = flag.Int("checkpoint-keep", 0, "committed epochs to retain per rank (0 = default)")
+		resume      = flag.Bool("resume", false, "resume from the latest complete epoch in -checkpoint-dir")
 	)
 	flag.Parse()
 
@@ -62,7 +72,8 @@ func main() {
 		Resolve: *resolve, RecomputeDepth: *rcDepth,
 		CollectNodeLoad: *metrics != "",
 		CheckpointDir:   *ckptDir, CheckpointEvery: *ckptN,
-		CheckpointKeep: *ckptKeep, Resume: *resume}
+		CheckpointKeep: *ckptKeep, Resume: *resume,
+		StreamDir: *streamDir, StreamBlockEdges: *streamBlock}
 
 	if *seq && *metrics != "" {
 		fatal(fmt.Errorf("-metrics needs the parallel engine (drop -seq)"))
@@ -75,10 +86,39 @@ func main() {
 		case *seq:
 			fatal(fmt.Errorf("checkpointing needs the parallel engine (drop -seq)"))
 		case *shardDir != "":
-			fatal(fmt.Errorf("checkpointing is incompatible with -shard-dir (snapshots cannot rewind streamed edges)"))
+			fatal(fmt.Errorf("checkpointing is incompatible with -shard-dir (snapshots cannot rewind streamed edges; use -stream-dir, whose shards resume)"))
 		case *metrics != "":
 			fatal(fmt.Errorf("checkpointing is incompatible with -metrics (node-load counters are not captured in snapshots)"))
 		}
+	}
+
+	if *streamDir != "" {
+		switch {
+		case *seq:
+			fatal(fmt.Errorf("-stream-dir needs the parallel engine (drop -seq)"))
+		case *shardDir != "":
+			fatal(fmt.Errorf("-stream-dir and -shard-dir are mutually exclusive edge destinations"))
+		case *out != "":
+			fatal(fmt.Errorf("-stream-dir writes per-rank shards; it is incompatible with -o (convert with pa-analyze -stream-dir -export-binary)"))
+		}
+		res, err := pagen.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *metrics != "" {
+			if err := writeMetrics(*metrics, pagen.Metrics(res, cfg)); err != nil {
+				fatal(err)
+			}
+		}
+		var m, blocks, bytes int64
+		for _, st := range res.Ranks {
+			m += st.Edges
+			blocks += st.SinkBlocks
+			bytes += st.SinkBytes
+		}
+		fmt.Fprintf(os.Stderr, "streamed %d edges (%d blocks, %d bytes) to %s in %v (%.3g edges/s)\n",
+			m, blocks, bytes, *streamDir, res.Elapsed, pagen.EdgesPerSecond(res))
+		return
 	}
 
 	if *shardDir != "" {

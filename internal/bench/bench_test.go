@@ -242,3 +242,35 @@ func TestChainsExperiment(t *testing.T) {
 		t.Errorf("max %d above 5 ln n %v", res.Max, res.FiveLogN)
 	}
 }
+
+func TestStreamBench(t *testing.T) {
+	rep, err := StreamBench(StreamConfig{
+		N: 5000, X: 2, Ranks: 2, Seed: 9,
+		Dir: t.TempDir(), BlockEdges: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM := int64(1) + (5000-2)*2
+	if rep.Edges != wantM {
+		t.Fatalf("streamed %d edges, want %d", rep.Edges, wantM)
+	}
+	if rep.SinkBlocks == 0 || rep.SinkBytes == 0 {
+		t.Fatalf("sink counters empty: %+v", rep)
+	}
+	if rep.BytesPerEdge <= 0 || rep.EdgesPerSec <= 0 {
+		t.Fatalf("derived rates empty: %+v", rep)
+	}
+	if rep.InMemoryEstBytes <= 0 {
+		t.Fatal("in-memory estimate missing")
+	}
+	if rep.PeakRSSBytes == 0 {
+		t.Skip("VmHWM unavailable on this platform")
+	}
+}
+
+func TestStreamBenchNeedsDir(t *testing.T) {
+	if _, err := StreamBench(StreamConfig{N: 100, X: 2, Ranks: 1}); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

@@ -36,8 +36,11 @@ const Magic = "PAGENCK1"
 // Version 2 added the requester-side coalescing chains (Remote) to the
 // worker sections; version 3 added the resolve mode and recompute depth
 // cap to the meta section so a resume cannot silently change resolver
-// settings mid-run.
-const Version = 3
+// settings mid-run; version 4 added the optional sink-mark section 'K'
+// recording the streaming edge sink's durable shard position at the
+// cut, so a streamed run can truncate its shard back to the mark and
+// resume without duplicating or dropping edges.
+const Version = 4
 
 // castagnoli is the CRC-32C table (iSCSI polynomial) shared by writer
 // and reader.
@@ -116,6 +119,18 @@ type OutboundBatch struct {
 	Frame []byte
 }
 
+// SinkMark is the streaming edge sink's durable position at the cut:
+// the rank's shard file holds exactly Blocks complete blocks with Edges
+// edge records in its first Offset bytes, flushed and fsynced before
+// the snapshot was written. A resumed streamed run truncates the shard
+// to Offset and regenerates exactly the missing suffix (esink.Mark is
+// the engine-side twin). Present only in streamed runs.
+type SinkMark struct {
+	Offset int64
+	Blocks int64
+	Edges  int64
+}
+
 // Stats carries the cumulative engine counters that cannot be
 // recomputed from F, so resumed runs report run-lifetime totals.
 type Stats struct {
@@ -134,6 +149,9 @@ type Snapshot struct {
 	Workers  []WorkerState
 	Outbound []OutboundBatch
 	Stats    Stats
+	// Sink is the streaming edge sink's durable mark, nil for runs
+	// without a streaming sink. Serialized as the optional 'K' section.
+	Sink *SinkMark
 }
 
 // Path returns the snapshot filename for (rank, epoch) under dir. The
@@ -269,11 +287,20 @@ func Write(dir string, s *Snapshot) (path string, size int64, err error) {
 		cw.Write(ob.Frame)
 	}
 
-	// 'S': cumulative counters, then the end marker and CRC trailer.
+	// 'S': cumulative counters.
 	cw.Write([]byte{'S'})
 	cw.uvarint(uint64(s.Stats.Retries))
 	cw.uvarint(uint64(s.Stats.QueuedWaits))
 	cw.uvarint(uint64(s.Stats.LocalWaits))
+
+	// 'K' (optional, streamed runs only): the edge sink's durable shard
+	// mark. Then the end marker and CRC trailer.
+	if s.Sink != nil {
+		cw.Write([]byte{'K'})
+		cw.uvarint(uint64(s.Sink.Offset))
+		cw.uvarint(uint64(s.Sink.Blocks))
+		cw.uvarint(uint64(s.Sink.Edges))
+	}
 	cw.Write([]byte{'Z'})
 
 	var trailer [4]byte
@@ -452,6 +479,24 @@ func parse(data []byte) (*Snapshot, error) {
 			} else {
 				s.Stats.LocalWaits = int64(v)
 			}
+		case 'K':
+			var mk SinkMark
+			if v, err := r.uvarint(); err != nil {
+				return nil, err
+			} else {
+				mk.Offset = int64(v)
+			}
+			if v, err := r.uvarint(); err != nil {
+				return nil, err
+			} else {
+				mk.Blocks = int64(v)
+			}
+			if v, err := r.uvarint(); err != nil {
+				return nil, err
+			} else {
+				mk.Edges = int64(v)
+			}
+			s.Sink = &mk
 		case 'Z':
 			if len(r.b) != 0 {
 				return nil, fmt.Errorf("%d trailing bytes after end marker", len(r.b))

@@ -73,6 +73,28 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+// The optional v4 sink-mark section must round-trip when present (a
+// streamed run) and stay absent when nil (an in-memory run).
+func TestWriteReadSinkMark(t *testing.T) {
+	dir := t.TempDir()
+	want := sample(1, 3)
+	want.Sink = &SinkMark{Offset: 1 << 40, Blocks: 12345, Edges: 987654321}
+	path, _, err := Write(dir, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sink-mark round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Sink == nil || *got.Sink != *want.Sink {
+		t.Fatalf("Sink = %+v, want %+v", got.Sink, want.Sink)
+	}
+}
+
 func TestWriteIsAtomic(t *testing.T) {
 	dir := t.TempDir()
 	if _, _, err := Write(dir, sample(0, 1)); err != nil {

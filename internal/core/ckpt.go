@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pagen/internal/ckpt"
 	"pagen/internal/msg"
 )
 
@@ -76,12 +77,12 @@ type ckptRun struct {
 	// Quiescence-detection state. Rank 0 collects per-rank (sent, recv)
 	// data-message counters round by round; two consecutive identical,
 	// globally balanced rounds prove no data message is in flight.
-	round         int                // current counter round (rank 0)
-	pendingRound  int                // newest round this rank must report for
-	reportedRound int                // newest round this rank has reported
-	cutAsked      bool               // CkptCut received, snapshot due
-	cutSent       bool               // rank 0: cut already broadcast
-	cur, prev     map[int][2]int64   // per-rank (sent, recv) this/last round
+	round         int              // current counter round (rank 0)
+	pendingRound  int              // newest round this rank must report for
+	reportedRound int              // newest round this rank has reported
+	cutAsked      bool             // CkptCut received, snapshot due
+	cutSent       bool             // rank 0: cut already broadcast
+	cur, prev     map[int][2]int64 // per-rank (sent, recv) this/last round
 
 	// doneRecv counts Done reports received over the wire (rank 0), so
 	// the balance counters cover the termination protocol's traffic too.
@@ -421,10 +422,29 @@ func (e *engine) ckptFlushHeld() error {
 // globally quiescent here, so the snapshots form a consistent cut.
 func (e *engine) ckptCut() error {
 	ck := e.ck
-	snap := e.buildSnapshot()
-	t0 := time.Now()
-	_, size, werr := ckptWrite(ck.dir, snap)
-	ck.writeNanos += time.Since(t0).Nanoseconds()
+	// Streamed runs make the shard prefix durable first: the snapshot's
+	// sink mark must name bytes that are already on disk, or a resume
+	// could truncate to an offset the kill never flushed. A cut failure
+	// abandons the epoch exactly like a snapshot-write failure — and
+	// skips the write, so no snapshot with a dangling mark ever exists.
+	var werr error
+	var size int64
+	var mark *ckpt.SinkMark
+	if e.stream != nil {
+		m, err := e.stream.Cut()
+		if err != nil {
+			werr = err
+		} else {
+			mark = &ckpt.SinkMark{Offset: m.Offset, Blocks: m.Blocks, Edges: m.Edges}
+		}
+	}
+	if werr == nil {
+		snap := e.buildSnapshot()
+		snap.Sink = mark
+		t0 := time.Now()
+		_, size, werr = ckptWrite(ck.dir, snap)
+		ck.writeNanos += time.Since(t0).Nanoseconds()
+	}
 
 	// Commit vote: all-or-nothing, so ranks never disagree about the
 	// newest committed epoch (modulo later file corruption, which

@@ -43,6 +43,7 @@ import (
 	"pagen/internal/ckpt"
 	"pagen/internal/coll"
 	"pagen/internal/comm"
+	"pagen/internal/esink"
 	"pagen/internal/graph"
 	"pagen/internal/model"
 	"pagen/internal/msg"
@@ -86,6 +87,21 @@ type Options struct {
 	// worker goroutines of every rank (the rank argument identifies the
 	// owning rank), so it must be safe for concurrent use.
 	Sink func(rank int, e graph.Edge)
+	// StreamDir, when non-empty, streams the rank's resolved edges into
+	// a sorted, CRC-protected shard file under the directory
+	// (esink.ShardPath names it; docs/SHARD_FORMAT.md is the byte spec)
+	// instead of accumulating them in memory, so resident memory is
+	// bounded by the F table regardless of the edge count. Unlike Sink
+	// it composes with checkpointing: each cut records the shard's
+	// durable byte offset (ckpt format v4) and a resumed run truncates
+	// the shard back to it. Merging the per-rank shard streams
+	// rank-major in slot-key order reproduces the in-memory merged
+	// graph byte for byte. Mutually exclusive with Sink.
+	StreamDir string
+	// StreamBlockEdges is the edge-record count per streamed block
+	// (esink.DefaultBlockEdges if zero); tests shrink it to force many
+	// blocks.
+	StreamBlockEdges int
 	// CollectNodeLoad enables per-node received-message-load counting
 	// (the empirical M_k of Lemma 3.4) in RankStats.NodeLoad. It costs
 	// one counter increment per copy query plus 8 bytes per local node,
@@ -213,6 +229,14 @@ type RankStats struct {
 	CkptBytes     int64
 	CkptWriteTime time.Duration
 	CkptPauseTime time.Duration
+	// Streaming edge-sink counters (StreamDir runs only): blocks
+	// flushed and bytes written to the rank's shard file, and the
+	// fsync count and cumulative fsync stall behind checkpoint cuts
+	// and the final close.
+	SinkBlocks    int64
+	SinkBytes     int64
+	SinkFsyncs    int64
+	SinkFsyncTime time.Duration
 }
 
 // Metrics converts the rank's statistics into the exported obs form.
@@ -253,6 +277,10 @@ func (s RankStats) Metrics() obs.RankMetrics {
 		CkptBytes:         s.CkptBytes,
 		CkptWriteNanos:    s.CkptWriteTime.Nanoseconds(),
 		CkptPauseNanos:    s.CkptPauseTime.Nanoseconds(),
+		SinkBlocks:        s.SinkBlocks,
+		SinkBytes:         s.SinkBytes,
+		SinkFsyncs:        s.SinkFsyncs,
+		SinkFsyncNanos:    s.SinkFsyncTime.Nanoseconds(),
 	}
 }
 
@@ -317,13 +345,16 @@ type engine struct {
 	x64  int64
 	// seed, prob and sink are hoisted from opts so the generation loop
 	// reads them without chasing the Options struct per node.
-	seed  uint64
-	prob  float64
-	sink  func(rank int, e graph.Edge)
-	part  partition.Scheme
-	tr    transport.Transport
-	cm    *comm.Comm
-	trace *model.Trace
+	seed uint64
+	prob float64
+	sink func(rank int, e graph.Edge)
+	// stream is the external-memory edge sink (Options.StreamDir); nil
+	// when edges accumulate in memory or go to Sink.
+	stream *esink.Writer
+	part   partition.Scheme
+	tr     transport.Transport
+	cm     *comm.Comm
+	trace  *model.Trace
 
 	size int64 // local node count
 	nw   int   // worker count (>= 1, <= size when size > 0)
@@ -419,16 +450,43 @@ func RunRank(tr transport.Transport, opts Options) (*RankResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// On any failure past this point the shard file keeps its durable
+	// prefix (no end-of-stream record) for a later Recover.
+	fail := func(err error) (*RankResult, error) {
+		if e.stream != nil {
+			e.stream.Abort()
+		}
+		return nil, err
+	}
 	if opts.Checkpoint != nil && opts.Checkpoint.Resume {
 		if err := e.negotiateResume(); err != nil {
-			return nil, err
+			return fail(err)
+		}
+	}
+	if e.stream != nil {
+		// The resume negotiation decides the shard's fate: a resumed run
+		// truncates it back to the snapshot's durable mark, a fresh run
+		// (negotiated or not) discards whatever an earlier attempt left.
+		if snap := e.resumeSnap; snap != nil {
+			if err := e.stream.Recover(esink.Mark{
+				Offset: snap.Sink.Offset, Blocks: snap.Sink.Blocks, Edges: snap.Sink.Edges,
+			}); err != nil {
+				return fail(err)
+			}
+		} else if err := e.stream.Reset(); err != nil {
+			return fail(err)
 		}
 	}
 	if err := e.run(); err != nil {
-		return nil, err
+		return fail(err)
 	}
-	if e.sink == nil {
+	if e.sink == nil && e.stream == nil {
 		e.collectEdges()
+	}
+	if e.stream != nil {
+		if err := e.stream.Close(); err != nil {
+			return nil, err
+		}
 	}
 	e.finishStats()
 	return &RankResult{Stats: e.stats, Edges: e.edges}, nil
@@ -568,6 +626,27 @@ func newEngine(tr transport.Transport, opts Options) (*engine, error) {
 			}
 		}
 	}
+	// The stream writer opens last so earlier validation failures never
+	// leave a file handle behind. The file's existing contents survive
+	// until RunRank's Reset/Recover decision.
+	if opts.StreamDir != "" {
+		if opts.Sink != nil {
+			return nil, fmt.Errorf("core: StreamDir and Sink are mutually exclusive")
+		}
+		w, err := esink.Open(opts.StreamDir, esink.Meta{
+			N:      opts.Params.N,
+			X:      opts.Params.X,
+			P:      opts.Params.P,
+			Seed:   opts.Seed,
+			Rank:   rank,
+			Ranks:  e.p,
+			Scheme: opts.Part.Name(),
+		}, opts.StreamBlockEdges)
+		if err != nil {
+			return nil, err
+		}
+		e.stream = w
+	}
 	return e, nil
 }
 
@@ -679,6 +758,11 @@ func (e *engine) run() error {
 	}()
 
 	e.bootstrap()
+	if e.stream != nil {
+		if err := e.stream.Err(); err != nil {
+			return err
+		}
+	}
 	if e.resumeSnap != nil {
 		if err := e.restore(); err != nil {
 			return err
@@ -742,10 +826,10 @@ func (e *engine) bootstrap() {
 		case t < e.x64:
 			// Clique node: emit its backward clique edges; it has no
 			// attachment slots (mark them resolved so they never count).
-			for j := int64(0); j < t; j++ {
-				e.bootEmit(graph.Edge{U: t, V: j})
-			}
 			base := idx * e.x64
+			for j := int64(0); j < t; j++ {
+				e.bootEmit(base+j, graph.Edge{U: t, V: j})
+			}
 			for edge := 0; edge < e.x; edge++ {
 				e.f[base+int64(edge)] = t // self-marker; never queried
 			}
@@ -754,7 +838,7 @@ func (e *engine) bootstrap() {
 			for edge := 0; edge < e.x; edge++ {
 				v, _ := e.opts.Params.BootstrapF(t, edge)
 				e.f[base+int64(edge)] = v
-				e.bootEmit(graph.Edge{U: t, V: v})
+				e.bootEmit(base+int64(edge), graph.Edge{U: t, V: v})
 				if e.trace != nil {
 					e.trace.RecordBootstrap(t, edge)
 				}
@@ -774,11 +858,18 @@ func (e *engine) bootstrap() {
 	atomic.StoreInt32(&e.activeWorkers, active)
 }
 
-// bootEmit streams one bootstrap-time edge to the sink. Without a sink
-// the edge is not stored: collectEdges reconstructs the full edge list
-// from f when the run ends.
-func (e *engine) bootEmit(ed graph.Edge) {
+// bootEmit streams one bootstrap-time edge (slot key, edge) to the
+// sink. Without a sink the edge is not stored: collectEdges
+// reconstructs the full edge list from f when the run ends. On a
+// resumed streamed run the bootstrap edges are already in the shard's
+// durable prefix (every snapshot postdates bootstrap), so the stream
+// write is suppressed; a write error latches in the writer and run()
+// surfaces it right after bootstrap.
+func (e *engine) bootEmit(key int64, ed graph.Edge) {
 	e.bootEdges++
+	if e.stream != nil && e.resumeSnap == nil {
+		e.stream.Emit(uint64(key), ed.V)
+	}
 	if e.sink != nil {
 		e.sink(e.rank, ed)
 	}
@@ -809,13 +900,23 @@ func (e *engine) collectEdges() {
 func (e *engine) finishStats() {
 	e.stats.Rank = e.rank
 	e.stats.Nodes = e.size
-	if e.sink == nil {
-		e.stats.Edges = int64(len(e.edges))
-	} else {
+	switch {
+	case e.stream != nil:
+		// The shard file is the ground truth: across a resume its
+		// durable prefix already holds edges this process never emitted.
+		st := e.stream.Stats()
+		e.stats.Edges = st.Edges
+		e.stats.SinkBlocks = st.BlocksFlushed
+		e.stats.SinkBytes = st.BytesWritten
+		e.stats.SinkFsyncs = st.Fsyncs
+		e.stats.SinkFsyncTime = time.Duration(st.FsyncNanos)
+	case e.sink != nil:
 		e.stats.Edges = e.bootEdges
 		for _, w := range e.workers {
 			e.stats.Edges += w.edgeCount
 		}
+	default:
+		e.stats.Edges = int64(len(e.edges))
 	}
 	for _, w := range e.workers {
 		e.stats.Retries += w.retries

@@ -98,6 +98,16 @@ func validateSnapshot(s *ckpt.Snapshot, tr transport.Transport, opts Options) er
 	case m.RecomputeDepth != depth:
 		return fmt.Errorf("core: resume: snapshot used recompute depth %d, run uses %d", m.RecomputeDepth, depth)
 	}
+	// Streamed and in-memory runs must not mix across a cut: a streamed
+	// resume needs the snapshot's sink mark to truncate its shard, and
+	// an in-memory resume of a streamed snapshot would re-emit edges the
+	// shard already holds.
+	switch {
+	case opts.StreamDir != "" && s.Sink == nil:
+		return fmt.Errorf("core: resume: snapshot is from a run without -stream-dir; resume without it (or start fresh)")
+	case opts.StreamDir == "" && s.Sink != nil:
+		return fmt.Errorf("core: resume: snapshot is from a streamed run; resume with -stream-dir")
+	}
 	return nil
 }
 

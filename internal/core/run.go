@@ -16,7 +16,8 @@ import (
 // Result is the output of an in-process parallel run.
 type Result struct {
 	// Graph is the merged output graph (nil when Options.Sink streams
-	// the edges instead).
+	// the edges instead, or when Options.StreamDir spills them to
+	// per-rank shard files).
 	Graph *graph.Graph
 	// Ranks holds per-rank statistics, indexed by rank.
 	Ranks []RankStats
@@ -127,7 +128,7 @@ func Run(opts Options, recordTrace bool) (*Result, error) {
 	if emitted != opts.Params.M() {
 		return nil, fmt.Errorf("core: generated %d edges, want %d", emitted, opts.Params.M())
 	}
-	if opts.Sink == nil {
+	if opts.Sink == nil && opts.StreamDir == "" {
 		res.Graph = graph.Merge(opts.Params.N, shards...)
 	}
 	return res, nil

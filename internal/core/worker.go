@@ -140,11 +140,19 @@ func (w *worker) adaptPoll() {
 	}
 }
 
-// emit finalises one edge of a generating node.
-func (w *worker) emit(t, v int64) {
+// emit finalises one edge of a generating node. s is the edge's flat
+// slot index — also its canonical stream key (slot order is exactly the
+// in-memory emission order collectEdges reconstructs).
+func (w *worker) emit(t, s, v int64) {
 	w.edgeCount++
-	if w.e.sink != nil {
-		w.e.sink(w.e.rank, graph.Edge{U: t, V: v})
+	e := w.e
+	if e.stream != nil {
+		if err := e.stream.Emit(uint64(s), v); err != nil {
+			w.fail(err)
+		}
+	}
+	if e.sink != nil {
+		e.sink(e.rank, graph.Edge{U: t, V: v})
 	}
 }
 
@@ -377,7 +385,7 @@ func (w *worker) resolveLocal(t int64, edge int, v int64) {
 	s := e.slot(t, edge)
 	e.setSlot(s, v)
 	w.unresolved--
-	w.emit(t, v)
+	w.emit(t, s, v)
 
 	// Hub prefix: replicate the node's slots to every rank that may
 	// query them, batched per node. A node's slots resolve strictly in

@@ -1,0 +1,587 @@
+package esink
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"pagen/internal/graph"
+	"pagen/internal/partition"
+)
+
+// DefaultReadBudget is the default total buffer memory an iterator
+// spreads across its per-block cursors.
+const DefaultReadBudget = 32 << 20
+
+// Per-cursor buffer clamp: with thousands of blocks the per-cursor
+// share shrinks toward minCursorBuf; a shard with few blocks reads
+// through larger buffers up to maxCursorBuf.
+const (
+	minCursorBuf = 4 << 10
+	maxCursorBuf = 256 << 10
+)
+
+// blockInfo locates one complete block inside a shard file.
+type blockInfo struct {
+	off    int64 // block start (the marker byte)
+	size   int64 // whole block including marker, header and CRC
+	payOff int64 // payload start
+	payLen int64
+	count  int64 // records in the block
+}
+
+// scanResult is a shard file's parsed structure.
+type scanResult struct {
+	meta      Meta
+	headerLen int64
+	blocks    []blockInfo
+	edges     int64
+	complete  bool // EOS record present and consistent
+}
+
+// countReader tracks the byte offset of a buffered sequential read.
+type countReader struct {
+	r   *bufio.Reader
+	off int64
+}
+
+func (c *countReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
+func (c *countReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(c)
+}
+
+// scanShard parses a shard's header and walks its block chain front to
+// back, verifying every block CRC. With tolerate set, a torn tail — a
+// truncated or CRC-failing final region, the signature of a kill
+// mid-flush — ends the scan at the last complete block instead of
+// failing; a missing EOS record likewise just leaves complete false.
+// Without tolerate, any damage (EOS included) is an error.
+func scanShard(f *os.File, tolerate bool) (*scanResult, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	cr := &countReader{r: bufio.NewReaderSize(f, 1<<20)}
+
+	// Header: magic, version, meta, CRC. Re-encoding the parsed meta
+	// and comparing CRCs verifies the header without a second pass.
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("shard header: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("bad magic %q", magic)
+	}
+	ver, err := cr.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("shard header: %w", err)
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("unsupported shard version %d (reader supports %d)", ver, Version)
+	}
+	var meta Meta
+	u := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = cr.uvarint()
+		return v
+	}
+	u64 := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var b [8]byte
+		if _, err = io.ReadFull(cr, b[:]); err != nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	meta.N = int64(u())
+	meta.X = int(u())
+	meta.P = math.Float64frombits(u64())
+	meta.Seed = u64()
+	meta.Rank = int(u())
+	meta.Ranks = int(u())
+	schemeLen := u()
+	if err != nil {
+		return nil, fmt.Errorf("shard header: %w", err)
+	}
+	if schemeLen > 64 {
+		return nil, fmt.Errorf("shard header: scheme name length %d", schemeLen)
+	}
+	scheme := make([]byte, schemeLen)
+	if _, err := io.ReadFull(cr, scheme); err != nil {
+		return nil, fmt.Errorf("shard header: %w", err)
+	}
+	meta.Scheme = string(scheme)
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("shard header: %w", err)
+	}
+	hdr := encodeHeader(meta)
+	if int64(len(hdr)) != cr.off || string(hdr[len(hdr)-4:]) != string(crcBuf[:]) {
+		return nil, fmt.Errorf("shard header CRC mismatch (torn or corrupted header)")
+	}
+
+	sc := &scanResult{meta: meta, headerLen: cr.off}
+	payBuf := []byte(nil)
+	for {
+		blockOff := cr.off
+		marker, err := cr.ReadByte()
+		if err == io.EOF {
+			// No EOS record: the writer never Closed (crash). The
+			// complete-block prefix is still usable in tolerate mode.
+			if tolerate {
+				return sc, nil
+			}
+			return nil, fmt.Errorf("shard ends without end-of-stream record (torn tail at offset %d)", blockOff)
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch marker {
+		case blockMarker:
+			hb := make([]byte, 0, 32)
+			hb = append(hb, marker)
+			var seq, count, payLen uint64
+			ok := true
+			for _, dst := range []*uint64{&seq, &count, &payLen} {
+				v, err := cr.uvarint()
+				if err != nil {
+					ok = false
+					break
+				}
+				// Re-append the varint so the CRC covers the exact bytes.
+				hb = binary.AppendUvarint(hb, v)
+				*dst = v
+			}
+			// Structural sanity before trusting payLen: a torn tail can
+			// parse as a block header with garbage fields, so in tolerate
+			// mode these end the scan like any other tail damage.
+			if ok && int64(seq) != int64(len(sc.blocks)) {
+				if tolerate {
+					return sc, nil
+				}
+				return nil, fmt.Errorf("block at offset %d has sequence %d, want %d", blockOff, seq, len(sc.blocks))
+			}
+			if ok && (count > payLen || payLen > 1<<30) {
+				// Every record costs at least 2 payload bytes, and no
+				// writer emits gigabyte blocks — don't allocate for a
+				// length a torn tail invented.
+				if tolerate {
+					return sc, nil
+				}
+				return nil, fmt.Errorf("block at offset %d claims %d records in %d payload bytes", blockOff, count, payLen)
+			}
+			if ok {
+				if int64(len(payBuf)) < int64(payLen) {
+					payBuf = make([]byte, payLen)
+				}
+				payOff := cr.off
+				if _, err := io.ReadFull(cr, payBuf[:payLen]); err != nil {
+					ok = false
+				} else if _, err := io.ReadFull(cr, crcBuf[:]); err != nil {
+					ok = false
+				} else {
+					crc := crc32.Checksum(hb, castagnoli)
+					crc = crc32.Update(crc, castagnoli, payBuf[:payLen])
+					if binary.LittleEndian.Uint32(crcBuf[:]) != crc {
+						ok = false
+					}
+				}
+				if ok {
+					sc.blocks = append(sc.blocks, blockInfo{
+						off:    blockOff,
+						size:   cr.off - blockOff,
+						payOff: payOff,
+						payLen: int64(payLen),
+						count:  int64(count),
+					})
+					sc.edges += int64(count)
+					continue
+				}
+			}
+			if tolerate {
+				return sc, nil
+			}
+			return nil, fmt.Errorf("torn or corrupted block at offset %d", blockOff)
+		case eosMarker:
+			eb := make([]byte, 0, 32)
+			eb = append(eb, marker)
+			var edges, blocks uint64
+			ok := true
+			for _, dst := range []*uint64{&edges, &blocks} {
+				v, err := cr.uvarint()
+				if err != nil {
+					ok = false
+					break
+				}
+				eb = binary.AppendUvarint(eb, v)
+				*dst = v
+			}
+			if ok {
+				if _, err := io.ReadFull(cr, crcBuf[:]); err != nil {
+					ok = false
+				} else if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.Checksum(eb, castagnoli) {
+					ok = false
+				}
+			}
+			if !ok {
+				if tolerate {
+					return sc, nil
+				}
+				return nil, fmt.Errorf("torn end-of-stream record at offset %d", blockOff)
+			}
+			if int64(edges) != sc.edges || int64(blocks) != int64(len(sc.blocks)) {
+				if tolerate {
+					return sc, nil
+				}
+				return nil, fmt.Errorf("end-of-stream record says %d edges / %d blocks, chain holds %d / %d", edges, blocks, sc.edges, len(sc.blocks))
+			}
+			if _, err := cr.ReadByte(); err != io.EOF {
+				// A valid EOS with bytes after it: a finished shard a later
+				// crash appended a torn tail to. The chain itself is clean.
+				if tolerate {
+					sc.complete = true
+					return sc, nil
+				}
+				return nil, fmt.Errorf("trailing bytes after end-of-stream record")
+			}
+			sc.complete = true
+			return sc, nil
+		default:
+			if tolerate {
+				return sc, nil
+			}
+			return nil, fmt.Errorf("unknown marker %q at offset %d", marker, blockOff)
+		}
+	}
+}
+
+// Reader reads one shard file back in canonical (slot-key-ascending)
+// order by k-way-merging its sorted blocks through bounded per-block
+// buffers, so iteration memory is independent of the shard size.
+type Reader struct {
+	f    *os.File
+	sc   *scanResult
+	part partition.Scheme
+}
+
+// OpenReader opens a shard strictly: the file must be complete (EOS
+// record present) and every block CRC-clean.
+func OpenReader(path string) (*Reader, error) {
+	return openReader(path, false)
+}
+
+// OpenReaderTolerant opens a shard accepting a torn tail: iteration
+// covers the longest clean complete-block prefix. Meta().complete
+// status is exposed via Complete. Intended for post-mortem inspection
+// of a crashed run's shards.
+func OpenReaderTolerant(path string) (*Reader, error) {
+	return openReader(path, true)
+}
+
+func openReader(path string, tolerate bool) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := scanShard(f, tolerate)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("esink: %s: %w", path, err)
+	}
+	kind, err := partition.ParseKind(sc.meta.Scheme)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("esink: %s: %w", path, err)
+	}
+	part, err := partition.New(kind, sc.meta.N, sc.meta.Ranks)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("esink: %s: %w", path, err)
+	}
+	return &Reader{f: f, sc: sc, part: part}, nil
+}
+
+// Meta returns the shard's run identity.
+func (r *Reader) Meta() Meta { return r.sc.meta }
+
+// Edges returns the number of edge records the reader will yield.
+func (r *Reader) Edges() int64 { return r.sc.edges }
+
+// Complete reports whether the shard carried a valid end-of-stream
+// record (always true for strictly opened shards).
+func (r *Reader) Complete() bool { return r.sc.complete }
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// cursor streams one block's records through a bounded buffer.
+type cursor struct {
+	br        *bufio.Reader
+	remaining int64
+	first     bool
+	key       uint64 // current record
+	v         int64
+}
+
+func (c *cursor) advance() (bool, error) {
+	if c.remaining == 0 {
+		return false, nil
+	}
+	c.remaining--
+	d, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return false, fmt.Errorf("esink: corrupt block payload: %w", err)
+	}
+	if c.first {
+		c.first = false
+		c.key = d
+	} else {
+		if d == 0 {
+			return false, fmt.Errorf("esink: corrupt block payload: zero key delta")
+		}
+		c.key += d
+	}
+	v, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return false, fmt.Errorf("esink: corrupt block payload: %w", err)
+	}
+	c.v = int64(v)
+	return true, nil
+}
+
+// Iter is a canonical-order edge iterator over one shard: a min-heap of
+// per-block cursors keyed by the next record's slot key.
+type Iter struct {
+	r    *Reader
+	heap []*cursor
+	x64  int64
+	err  error
+}
+
+// Iter returns a canonical-order iterator. budget bounds the total
+// buffer memory across the per-block cursors (DefaultReadBudget if
+// <= 0). Multiple iterators over one Reader are independent.
+func (r *Reader) Iter(budget int) *Iter {
+	if budget <= 0 {
+		budget = DefaultReadBudget
+	}
+	per := budget
+	if n := len(r.sc.blocks); n > 0 {
+		per = budget / n
+	}
+	if per < minCursorBuf {
+		per = minCursorBuf
+	}
+	if per > maxCursorBuf {
+		per = maxCursorBuf
+	}
+	it := &Iter{r: r, x64: int64(r.sc.meta.X)}
+	for _, b := range r.sc.blocks {
+		if b.count == 0 {
+			continue
+		}
+		c := &cursor{
+			br:        bufio.NewReaderSize(io.NewSectionReader(r.f, b.payOff, b.payLen), per),
+			remaining: b.count,
+			first:     true,
+		}
+		ok, err := c.advance()
+		if err != nil {
+			it.err = err
+			return it
+		}
+		if ok {
+			it.push(c)
+		}
+	}
+	return it
+}
+
+func (it *Iter) push(c *cursor) {
+	it.heap = append(it.heap, c)
+	i := len(it.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if it.heap[p].key <= it.heap[i].key {
+			break
+		}
+		it.heap[p], it.heap[i] = it.heap[i], it.heap[p]
+		i = p
+	}
+}
+
+func (it *Iter) siftDown() {
+	h := it.heap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h[l].key < h[m].key {
+			m = l
+		}
+		if r < len(h) && h[r].key < h[m].key {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// Next yields the next edge in canonical order. The edge's source node
+// U is derived from the slot key via the partition.
+func (it *Iter) Next() (graph.Edge, bool) {
+	if it.err != nil || len(it.heap) == 0 {
+		return graph.Edge{}, false
+	}
+	c := it.heap[0]
+	key, v := c.key, c.v
+	ok, err := c.advance()
+	if err != nil {
+		it.err = err
+		return graph.Edge{}, false
+	}
+	if ok {
+		it.siftDown()
+	} else {
+		last := len(it.heap) - 1
+		it.heap[0] = it.heap[last]
+		it.heap = it.heap[:last]
+		it.siftDown()
+	}
+	u := it.r.part.NodeAt(it.r.sc.meta.Rank, int64(key)/it.x64)
+	return graph.Edge{U: u, V: v}, true
+}
+
+// Err returns the first error iteration hit, if any.
+func (it *Iter) Err() error { return it.err }
+
+// DirReader opens every rank shard of a streamed run and iterates the
+// merged graph in canonical rank-major order — the byte-identical
+// counterpart of graph.Merge over the in-memory per-rank edge lists.
+type DirReader struct {
+	readers []*Reader
+}
+
+// OpenDir strictly opens the ranks shards of a streamed run under dir
+// and cross-validates their run identity (same n, x, p, seed, scheme
+// and rank count; each file claiming its own rank).
+func OpenDir(dir string, ranks int) (*DirReader, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("esink: ranks = %d, want >= 1", ranks)
+	}
+	d := &DirReader{}
+	for r := 0; r < ranks; r++ {
+		rd, err := OpenReader(ShardPath(dir, r, ranks))
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		m := rd.Meta()
+		if m.Rank != r || m.Ranks != ranks {
+			d.Close()
+			return nil, fmt.Errorf("esink: %s claims rank %d of %d, want %d of %d", rd.f.Name(), m.Rank, m.Ranks, r, ranks)
+		}
+		if r > 0 {
+			m0 := d.readers[0].Meta()
+			if m.N != m0.N || m.X != m0.X || m.P != m0.P || m.Seed != m0.Seed || m.Scheme != m0.Scheme {
+				d.Close()
+				return nil, fmt.Errorf("esink: %s belongs to a different run than rank 0's shard", rd.f.Name())
+			}
+		}
+		d.readers = append(d.readers, rd)
+	}
+	return d, nil
+}
+
+// Meta returns the run identity (from rank 0's shard).
+func (d *DirReader) Meta() Meta { return d.readers[0].Meta() }
+
+// Edges returns the total edge count across all shards.
+func (d *DirReader) Edges() int64 {
+	var n int64
+	for _, r := range d.readers {
+		n += r.Edges()
+	}
+	return n
+}
+
+// Close releases all shard files.
+func (d *DirReader) Close() error {
+	var first error
+	for _, r := range d.readers {
+		if r == nil {
+			continue
+		}
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// DirIter iterates the merged canonical stream: rank 0's shard in
+// slot-key order, then rank 1's, and so on.
+type DirIter struct {
+	d      *DirReader
+	budget int
+	i      int
+	cur    *Iter
+}
+
+// Iter returns a merged canonical-order iterator; budget bounds each
+// shard iterator's buffer memory (shards are read one at a time).
+func (d *DirReader) Iter(budget int) *DirIter {
+	return &DirIter{d: d, budget: budget}
+}
+
+// Next yields the next edge of the merged stream.
+func (di *DirIter) Next() (graph.Edge, bool) {
+	for {
+		if di.cur == nil {
+			if di.i >= len(di.d.readers) {
+				return graph.Edge{}, false
+			}
+			di.cur = di.d.readers[di.i].Iter(di.budget)
+			di.i++
+		}
+		if e, ok := di.cur.Next(); ok {
+			return e, true
+		}
+		if err := di.cur.Err(); err != nil {
+			return graph.Edge{}, false
+		}
+		di.cur = nil
+	}
+}
+
+// Err returns the first error iteration hit, if any.
+func (di *DirIter) Err() error {
+	if di.cur != nil {
+		return di.cur.Err()
+	}
+	return nil
+}

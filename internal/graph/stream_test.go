@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testGraph() *Graph {
+	g := New(10)
+	for u := int64(1); u < 10; u++ {
+		g.AddEdge(u, u/2)
+	}
+	return g
+}
+
+func TestDegreesFromIteratorMatchesInMemory(t *testing.T) {
+	g := testGraph()
+	got, err := DegreesFromIterator(g.N, IterEdges(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Degrees()
+	if len(got) != len(want) {
+		t.Fatalf("got %d degrees, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("degree[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDegreesFromIteratorRejectsOutOfRange(t *testing.T) {
+	g := New(3)
+	g.AddEdge(1, 0)
+	g.AddEdge(5, 0)
+	if _, err := DegreesFromIterator(g.N, IterEdges(g)); err == nil {
+		t.Fatal("accepted an edge outside [0, n)")
+	}
+}
+
+func TestWriteBinaryStreamByteIdentical(t *testing.T) {
+	g := testGraph()
+	var a, b bytes.Buffer
+	if err := WriteBinary(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinaryStream(&b, g.N, int64(len(g.Edges)), IterEdges(g)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("streamed PAGB differs from in-memory PAGB")
+	}
+}
+
+func TestWriteBinaryStreamCountMismatch(t *testing.T) {
+	g := testGraph()
+	var b bytes.Buffer
+	if err := WriteBinaryStream(&b, g.N, int64(len(g.Edges))+1, IterEdges(g)); err == nil {
+		t.Fatal("accepted a stream shorter than the promised edge count")
+	}
+}

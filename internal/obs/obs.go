@@ -222,6 +222,13 @@ type RankMetrics struct {
 	CkptBytes      int64 `json:"ckpt_bytes,omitempty"`
 	CkptWriteNanos int64 `json:"ckpt_write_nanos,omitempty"`
 	CkptPauseNanos int64 `json:"ckpt_pause_nanos,omitempty"`
+	// Streaming edge-sink counters (zero unless -stream-dir ran): shard
+	// blocks flushed, compressed bytes written, fsync calls, and total
+	// time stalled in fsync (cut barriers plus final close).
+	SinkBlocks     int64 `json:"sink_blocks_flushed,omitempty"`
+	SinkBytes      int64 `json:"sink_bytes_written,omitempty"`
+	SinkFsyncs     int64 `json:"sink_fsyncs,omitempty"`
+	SinkFsyncNanos int64 `json:"sink_fsync_stall_nanos,omitempty"`
 }
 
 // KLoad is one node's received-message load: K is the global node id,

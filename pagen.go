@@ -23,6 +23,7 @@ import (
 
 	"pagen/internal/analysis"
 	"pagen/internal/core"
+	"pagen/internal/esink"
 	"pagen/internal/graph"
 	"pagen/internal/model"
 	"pagen/internal/obs"
@@ -145,6 +146,20 @@ type Config struct {
 	// ~2*log2(N) (Theorem 3.3 bounds chain depth by O(log n) w.h.p.).
 	// Only meaningful with Resolve: "recompute".
 	RecomputeDepth int
+	// StreamDir enables the external-memory edge sink: each rank spills
+	// its resolved edges into a compressed per-rank shard file under this
+	// directory (docs/SHARD_FORMAT.md) instead of materialising the edge
+	// list, so resident memory stays bounded regardless of N.
+	// Result.Graph is nil; read the output back with ReadStreamDir or
+	// stream it with internal tooling (cmd/pa-analyze -stream-dir).
+	// Composes with CheckpointDir: a killed run resumes without
+	// duplicating or dropping edges, and the merged shards stay
+	// byte-identical to an uninterrupted run.
+	StreamDir string
+	// StreamBlockEdges is the number of edge records buffered per shard
+	// block before a sorted flush (0 selects the default, 65536 — about
+	// 1 MiB of buffer per rank). Only meaningful with StreamDir.
+	StreamBlockEdges int
 }
 
 // resolve parses the Config resolve-mode selector.
@@ -212,17 +227,19 @@ func Generate(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return core.Run(core.Options{
-		Params:          pr,
-		Part:            part,
-		Seed:            cfg.Seed,
-		Workers:         cfg.Workers,
-		BufferCap:       cfg.BufferCap,
-		PollEvery:       cfg.PollEvery,
-		HubPrefix:       cfg.HubPrefix,
-		Resolve:         mode,
-		RecomputeDepth:  cfg.RecomputeDepth,
-		CollectNodeLoad: cfg.CollectNodeLoad,
-		Checkpoint:      cfg.checkpoint(),
+		Params:           pr,
+		Part:             part,
+		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
+		BufferCap:        cfg.BufferCap,
+		PollEvery:        cfg.PollEvery,
+		HubPrefix:        cfg.HubPrefix,
+		Resolve:          mode,
+		RecomputeDepth:   cfg.RecomputeDepth,
+		CollectNodeLoad:  cfg.CollectNodeLoad,
+		Checkpoint:       cfg.checkpoint(),
+		StreamDir:        cfg.StreamDir,
+		StreamBlockEdges: cfg.StreamBlockEdges,
 	}, cfg.RecordTrace)
 }
 
@@ -353,6 +370,36 @@ func ReadShards(dir string, ranks int) (*Graph, error) {
 	return graph.ReadShards(dir, ranks)
 }
 
+// ReadStreamDir materialises the merged graph of a streamed run
+// (Config.StreamDir, or pa-tcp -stream-dir) from its per-rank shard
+// files. The edge order is identical to the Result.Graph an in-memory
+// run produces. This loads the whole edge list — for graphs too large
+// for that (the reason the run streamed in the first place), iterate
+// the shards out of core instead: cmd/pa-analyze -stream-dir computes
+// degree statistics and fingerprints in bounded memory.
+func ReadStreamDir(dir string, ranks int) (*Graph, error) {
+	d, err := esink.OpenDir(dir, ranks)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	m := d.Edges()
+	g := graph.New(d.Meta().N)
+	g.Edges = make([]Edge, 0, m)
+	it := d.Iter(0)
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		g.Edges = append(g.Edges, e)
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
 // Metrics assembles the exported observability record of a completed
 // run: per-rank counters and wait-chain histograms, plus — when cfg set
 // CollectNodeLoad — the binned per-node received-message-load curve with
@@ -441,8 +488,11 @@ func DegreesStreamed(cfg Config) ([]int64, *Result, error) {
 // paper's Section 4.3 raises (their sequential C++ implementation capped
 // out at 6x10^9 edges for memory reasons). The estimate covers the
 // attachment tables (8 bytes per slot), the materialised edge list
-// (16 bytes per edge; use GenerateStream to drop this term), and a small
-// per-rank overhead; the optional decision trace adds 13 bytes per slot.
+// (16 bytes per edge; use GenerateStream or StreamDir to drop this
+// term), and a small per-rank overhead; the optional decision trace
+// adds 13 bytes per slot. With StreamDir the edge terms vanish and each
+// rank adds only its open-block buffer (16 bytes times
+// StreamBlockEdges).
 func MemoryEstimate(cfg Config) int64 {
 	pr, err := cfg.params()
 	if err != nil {

@@ -1,0 +1,71 @@
+#!/bin/sh
+# check_flags.sh — keep the CLI documentation honest against the
+# binaries' actual -h output, in both directions:
+#
+#   1. No stale references: every flag the prose documentation mentions
+#      in backticks (`-foo` in README.md, DESIGN.md, docs/*.md) must be
+#      defined by at least one cmd/ binary.
+#   2. No undocumented flags: every flag a binary defines must be
+#      mentioned either in that binary's own doc comment (the // block
+#      `go doc` shows) or in the prose documentation above.
+#
+# Run from the repository root; exits non-zero listing every stale or
+# undocumented flag.
+set -eu
+
+bindir=$(mktemp -d)
+trap 'rm -rf "$bindir"' EXIT
+
+go build -o "$bindir" ./cmd/...
+
+fail=0
+docs="README.md DESIGN.md docs/*.md"
+
+# All defined flags, one "-name" per line, across every binary.
+defined="$bindir/defined"
+for b in "$bindir"/*; do
+    [ -x "$b" ] || continue
+    "$b" -h 2>&1 | awk '/^  -/{print $1}'
+done | sort -u >"$defined"
+
+# Direction 1: backticked flag references in the prose docs must exist.
+# `-resolve=recompute` style references are trimmed to the flag name;
+# go-toolchain flags the docs quote (`go test -race` etc.) are exempt.
+toolchain='-race -bench -benchmem -benchtime -run -count -cpuprofile'
+# shellcheck disable=SC2086
+grep -ho '`-[a-zA-Z][a-zA-Z-]*[=a-zA-Z.]*`' $docs \
+    | sed 's/`//g; s/=.*//' | sort -u | while read -r tok; do
+    case " $toolchain " in *" $tok "*) continue ;; esac
+    if ! grep -qx -- "$tok" "$defined"; then
+        echo "stale flag reference: docs mention $tok, no binary defines it" >&2
+        echo "$tok" >>"$bindir/stale"
+    fi
+done
+[ -f "$bindir/stale" ] && fail=1
+
+# Direction 2: every defined flag is documented somewhere the user
+# reads — the binary's doc comment or the prose docs.
+for b in "$bindir"/*; do
+    [ -x "$b" ] || continue
+    name=$(basename "$b")
+    [ -d "cmd/$name" ] || continue
+    doccmt="$bindir/doccmt"
+    # The leading // comment block of the file carrying the doc comment.
+    awk '/^\/\//{print; next} /^package /{exit}' "cmd/$name/"*.go >"$doccmt"
+    for flag in $("$b" -h 2>&1 | awk '/^  -/{print $1}'); do
+        if grep -q -- "$flag" "$doccmt"; then
+            continue
+        fi
+        # shellcheck disable=SC2086
+        if grep -q -- "\`$flag\`\|$flag " $docs; then
+            continue
+        fi
+        echo "undocumented flag: $name $flag appears in -h only" >&2
+        fail=1
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "cli flags: docs and -h agree for all $(ls cmd | wc -l | tr -d ' ') binaries"

@@ -15,6 +15,15 @@
 # epoch commits, letting the supervisor restart the cluster from the
 # snapshots. The resumed run's shards must be byte-identical to the
 # uninterrupted baseline.
+#
+# With "stream" as the first argument it runs the external-memory
+# smoke: a supervised run streaming compressed edge shards
+# (-stream-dir, docs/SHARD_FORMAT.md) is killed after the first
+# checkpoint epoch commits and restarted by the supervisor; the
+# recovered shard directory must carry the same edge-stream
+# fingerprint as an in-memory run of the same configuration, and
+# converting it with pa-analyze -export-binary must reproduce the
+# in-memory binary output byte for byte.
 set -eu
 
 MODE=${1:-basic}
@@ -89,6 +98,66 @@ if [ "$MODE" = resume ]; then
         i=$((i + 1))
     done
     echo "pa-tcp resume smoke: killed rank restarted from checkpoint; all $RANKS shards byte-identical to uninterrupted baseline"
+    exit 0
+fi
+
+if [ "$MODE" = stream ]; then
+    # External-memory streaming smoke: kill + resume a streamed
+    # supervised run, then check the recovered shards against an
+    # in-memory run of the same configuration.
+    RN=${RN:-800000}
+    EVERY=${EVERY:-60000}
+    SEED=${SEED:-7}
+
+    go build -o "$workdir/pagen" ./cmd/pagen
+    go build -o "$workdir/pa-analyze" ./cmd/pa-analyze
+
+    echo "stream smoke: in-memory reference run (n=$RN, x=3)"
+    timeout "$TIMEOUT" "$workdir/pagen" -n "$RN" -x 3 -seed "$SEED" \
+        -ranks "$RANKS" -workers "$WORKERS" -format binary \
+        -o "$workdir/mem.bin"
+    memfp=$("$workdir/pa-analyze" -i "$workdir/mem.bin" -format binary \
+        -fingerprint | awk '{print $2}')
+
+    echo "stream smoke: kill-and-resume supervised streamed run"
+    timeout "$TIMEOUT" "$workdir/pa-tcp" -supervise -addrs "$addrs" \
+        -n "$RN" -x 3 -seed "$SEED" -workers "$WORKERS" \
+        -checkpoint-dir "$workdir/ck-stream" -checkpoint-every "$EVERY" \
+        -stream-dir "$workdir/shards" 2>"$workdir/stream.log" &
+    sup=$!
+
+    polls=0
+    committed=0
+    while kill -0 "$sup" 2>/dev/null; do
+        committed=$(ls "$workdir/ck-stream" 2>/dev/null | grep -c '\.ckpt$' || true)
+        [ "$committed" -ge "$RANKS" ] && break
+        polls=$((polls + 1))
+        sleep 0.05
+    done
+    if [ "$committed" -lt "$RANKS" ]; then
+        echo "run finished before the first checkpoint epoch committed;" >&2
+        echo "raise RN or lower EVERY so the kill lands mid-run" >&2
+        exit 1
+    fi
+    pkill -f -- "-rank [2] -addrs 127.0.0.1:$BASE_PORT" \
+        || { echo "failed to kill rank 2" >&2; exit 1; }
+    echo "stream smoke: killed rank 2 after $committed snapshots ($polls polls)"
+
+    wait "$sup" || { echo "supervisor failed:" >&2; cat "$workdir/stream.log" >&2; exit 1; }
+    grep -q 'restart 1/' "$workdir/stream.log" \
+        || { echo "supervisor log records no restart" >&2; cat "$workdir/stream.log" >&2; exit 1; }
+
+    streamfp=$("$workdir/pa-analyze" -stream-dir "$workdir/shards" \
+        -ranks "$RANKS" -fingerprint | awk '{print $2}')
+    [ "$streamfp" = "$memfp" ] \
+        || { echo "fingerprint mismatch: streamed $streamfp vs in-memory $memfp" >&2; exit 1; }
+
+    "$workdir/pa-analyze" -stream-dir "$workdir/shards" -ranks "$RANKS" \
+        -export-binary "$workdir/stream.bin" 2>/dev/null
+    cmp "$workdir/mem.bin" "$workdir/stream.bin" \
+        || { echo "exported streamed graph differs from in-memory binary output" >&2; exit 1; }
+
+    echo "pa-tcp stream smoke: killed rank restarted from checkpoint; recovered shards fingerprint-equal ($streamfp) and byte-identical to the in-memory run"
     exit 0
 fi
 

@@ -76,6 +76,37 @@ func TestGenerateStreamValidatesConfig(t *testing.T) {
 	}
 }
 
+func TestGenerateStreamDirMatchesInMemory(t *testing.T) {
+	cfg := Config{N: 5000, X: 3, Ranks: 2, Seed: 31}
+	base, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamCfg := cfg
+	streamCfg.StreamDir = t.TempDir()
+	streamCfg.StreamBlockEdges = 1024
+	res, err := Generate(streamCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph != nil {
+		t.Fatal("streamed run materialised a graph")
+	}
+	g, err := ReadStreamDir(streamCfg.StreamDir, cfg.Ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != base.Graph.N || len(g.Edges) != len(base.Graph.Edges) {
+		t.Fatalf("streamed graph is %d nodes / %d edges, want %d / %d",
+			g.N, len(g.Edges), base.Graph.N, len(base.Graph.Edges))
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != base.Graph.Edges[i] {
+			t.Fatalf("edge %d is %+v, want %+v", i, g.Edges[i], base.Graph.Edges[i])
+		}
+	}
+}
+
 func TestDegreesStreamed(t *testing.T) {
 	cfg := Config{N: 8000, X: 4, Ranks: 4, Seed: 41}
 	deg, res, err := DegreesStreamed(cfg)
