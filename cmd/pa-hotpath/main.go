@@ -6,6 +6,8 @@
 //	pa-hotpath -n 1000000 -x 4 -ranks 4,8                  # print TSV
 //	pa-hotpath -n 1000000 -x 4 -ranks 1 -workers 1,2,4,8   # worker sweep
 //	pa-hotpath ... -pollevery 0,16,64,1024                 # polling ablation
+//	pa-hotpath ... -transport shm,local                    # transport ablation
+//	pa-hotpath -n 1000000 -ranks 2,4 -workers 1,2,4 -matrix # efficiency matrix
 //	pa-hotpath ... -label after -baseline old.json -out f  # write trajectory
 //	pa-hotpath -n 1000000 -ranks 4 -hub-prefix 0 -out results/BENCH_hubcache.json
 //	pa-hotpath -n 1000000 -ranks 4 -resolve -out results/BENCH_recompute.json
@@ -14,6 +16,15 @@
 // count it measures cross-rank data messages and bytes per edge with
 // the cache off, then at each listed setting (0 = auto-sized), and
 // reports the reduction.
+//
+// -transport sweeps the in-process transports (shm hands message
+// batches between co-located ranks by reference; local round-trips
+// them through the wire codec), and every row records the transport,
+// GOMAXPROCS and work-steal counts it ran with. -matrix additionally
+// measures the ranks x workers efficiency matrix — each cell's wall
+// time, its speedup over workers=1 at the same rank count and
+// transport, and the parallel efficiency — appended to the report as
+// the "matrix" block.
 //
 // -resolve switches to the resolve-mode census: for every rank count it
 // measures traffic per edge under the wire protocol, the hub-prefix
@@ -34,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pagen/internal/bench"
 	"pagen/internal/cliutil"
@@ -45,6 +57,8 @@ func main() {
 		x           = flag.Int("x", 4, "edges per node")
 		ps          = flag.String("ranks", "4,8", "comma-separated rank counts")
 		ws          = flag.String("workers", "1", "comma-separated per-rank worker counts")
+		transports  = flag.String("transport", "shm", "comma-separated in-process transports to sweep: shm, local")
+		matrix      = flag.Bool("matrix", false, "measure the intra-host ranks x workers efficiency matrix instead of the flat sweep")
 		pe          = flag.String("pollevery", "", "comma-separated polling intervals to sweep (0 = adaptive; empty = engine default)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		label       = flag.String("label", "current", "label recorded in the report")
@@ -72,6 +86,17 @@ func main() {
 		pollList, err = cliutil.ParseIntsMin(*pe, 0)
 		if err != nil {
 			fatal(err)
+		}
+	}
+	var transportList []string
+	for _, t := range strings.Split(*transports, ",") {
+		t = strings.TrimSpace(t)
+		switch t {
+		case "shm", "local":
+			transportList = append(transportList, t)
+		case "":
+		default:
+			fatal(fmt.Errorf("-transport %q: want shm or local", t))
 		}
 	}
 
@@ -207,17 +232,32 @@ func main() {
 
 	rep, err := bench.HotPathSweep(bench.HotPathConfig{
 		N: *n, X: *x, Ranks: rankList, Workers: workerList,
-		PollEvery: pollList, Seed: *seed,
+		PollEvery: pollList, Transports: transportList, Seed: *seed,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	rep.Label = *label
+	if *matrix {
+		rep.Matrix, err = bench.HotPathMatrix(bench.MatrixConfig{
+			N: *n, X: *x, Ranks: rankList, Workers: workerList,
+			Transports: transportList, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	if *out == "" {
 		fmt.Printf("# hot path (n=%d, x=%d, RRP)\n", *n, *x)
 		if err := bench.WriteHotPath(os.Stdout, rep); err != nil {
 			fatal(err)
+		}
+		if len(rep.Matrix) > 0 {
+			fmt.Printf("# ranks x workers matrix (n=%d, x=%d, GOMAXPROCS=%d)\n", *n, *x, rep.GOMAXPROCS)
+			if err := bench.WriteMatrix(os.Stdout, rep.Matrix); err != nil {
+				fatal(err)
+			}
 		}
 		return
 	}

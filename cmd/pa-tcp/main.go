@@ -46,6 +46,13 @@
 // streams: kills mid-run (even mid-flush) resume without duplicating or
 // dropping edges.
 //
+// pa-tcp ranks are separate OS processes, so they only speak
+// -transport=tcp (the default; the flag exists for symmetry with pagen
+// and rejects anything else). To run co-located ranks over the shared-
+// memory or codec-ablation transports, run them in one process:
+// pagen -ranks P -transport=shm|local (docs/OPERATIONS.md §8 has the
+// single-host decision guide).
+//
 // See examples/distributed for a driver that spawns the ranks and merges
 // the shards.
 package main
@@ -80,6 +87,7 @@ func main() {
 		scheme    = flag.String("scheme", "RRP", "partitioning scheme")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "generation goroutines for this rank (0 = GOMAXPROCS)")
+		transp    = flag.String("transport", "tcp", "rank-to-rank transport; pa-tcp only speaks tcp (co-located ranks without process isolation: use pagen -transport=shm)")
 		hub       = flag.Int64("hub-prefix", 0, "hub-prefix cache size H (0 = auto, <0 = off); all ranks must agree")
 		resolve   = flag.String("resolve", "wire", "non-local dependency resolution: wire or recompute; all ranks must agree")
 		rcDepth   = flag.Int("recompute-depth", 0, "recompute replay chain depth cap before wire fallback (0 = ~2*log2(n))")
@@ -103,6 +111,9 @@ func main() {
 	addrList := strings.Split(*addrs, ",")
 	if len(addrList) < 1 || *addrs == "" {
 		fatal(fmt.Errorf("need -addrs with one address per rank"))
+	}
+	if *transp != "tcp" {
+		fatal(fmt.Errorf("-transport %q: pa-tcp ranks are separate processes and only speak tcp; for shm or local run the ranks in one process with pagen -transport=%s", *transp, *transp))
 	}
 
 	ck := checkpointOptions(*ckptDir, *ckptN, *ckptKeep, *resume)

@@ -26,6 +26,12 @@
 // checkpointing: a killed run resumed with -resume truncates each shard
 // to its snapshot's durable mark and regenerates exactly the missing
 // suffix. Read the shards with pa-analyze -stream-dir.
+//
+// -transport selects how the in-process ranks exchange message batches:
+// shm (the default; batches are handed between rank goroutines by
+// reference, no serialization) or local (every batch round-trips
+// through the wire codec — the serialization ablation). The output is
+// byte-identical for both; tcp is rejected here (use pa-tcp).
 package main
 
 import (
@@ -44,6 +50,7 @@ func main() {
 		p           = flag.Float64("p", 0.5, "direct-attachment probability (0.5 = exact BA)")
 		ranks       = flag.Int("ranks", 4, "number of parallel ranks")
 		workers     = flag.Int("workers", 0, "generation goroutines per rank (0 = GOMAXPROCS)")
+		transport   = flag.String("transport", "shm", "in-process transport between ranks: shm (by-reference) or local (serialization ablation); output is identical for both")
 		scheme      = flag.String("scheme", "RRP", "partitioning scheme: UCP, LCP, RRP, ExactCP")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		hub         = flag.Int64("hub-prefix", 0, "hub-prefix cache size H (0 = auto, <0 = off); output is identical for every setting")
@@ -67,8 +74,16 @@ func main() {
 	if *ranks < 1 {
 		fatal(fmt.Errorf("-ranks %d: need at least 1 rank", *ranks))
 	}
+	switch *transport {
+	case "shm", "local":
+	case "tcp":
+		fatal(fmt.Errorf("-transport tcp: pagen runs its ranks in one process; use pa-tcp for the TCP mesh"))
+	default:
+		fatal(fmt.Errorf("-transport %q: want shm or local", *transport))
+	}
 	cfg := pagen.Config{N: *n, X: *x, P: *p, Ranks: *ranks, Workers: *workers,
-		Scheme: *scheme, Seed: *seed, HubPrefix: *hub,
+		Transport: *transport,
+		Scheme:    *scheme, Seed: *seed, HubPrefix: *hub,
 		Resolve: *resolve, RecomputeDepth: *rcDepth,
 		CollectNodeLoad: *metrics != "",
 		CheckpointDir:   *ckptDir, CheckpointEvery: *ckptN,

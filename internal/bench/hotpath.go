@@ -19,12 +19,19 @@ import (
 // (allocations per edge, bytes per frame) rather than the figure-level
 // results of the paper experiments.
 type HotPathPoint struct {
-	Ranks         int     `json:"ranks"`
-	Workers       int     `json:"workers"`
-	PollEvery     int     `json:"poll_every,omitempty"`
-	N             int64   `json:"n"`
-	X             int     `json:"x"`
-	Edges         int64   `json:"edges"`
+	Ranks      int    `json:"ranks"`
+	Workers    int    `json:"workers"`
+	PollEvery  int    `json:"poll_every,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Transport  string `json:"transport"`
+	N          int64  `json:"n"`
+	X          int    `json:"x"`
+	Edges      int64  `json:"edges"`
+	// Steals / StolenNodes count intra-rank work stealing across all
+	// ranks of the run: spans claimed by a non-owner worker and the
+	// nodes those spans covered.
+	Steals        int64   `json:"steals"`
+	StolenNodes   int64   `json:"stolen_nodes"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
 	NsPerEdge     float64 `json:"ns_per_edge"`
 	AllocsPerEdge float64 `json:"allocs_per_edge"`
@@ -35,6 +42,25 @@ type HotPathPoint struct {
 	BytesSent     int64   `json:"bytes_sent"`
 }
 
+// MatrixPoint is one cell of the intra-host ranks × workers efficiency
+// matrix: wall time at the cell's configuration, its speedup over the
+// workers=1 run at the same rank count and transport, and the parallel
+// efficiency (speedup / workers).
+type MatrixPoint struct {
+	Ranks       int     `json:"ranks"`
+	Workers     int     `json:"workers"`
+	Transport   string  `json:"transport"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	N           int64   `json:"n"`
+	X           int     `json:"x"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	NsPerEdge   float64 `json:"ns_per_edge"`
+	Steals      int64   `json:"steals"`
+	StolenNodes int64   `json:"stolen_nodes"`
+	SpeedupVsW1 float64 `json:"speedup_vs_w1"`
+	Efficiency  float64 `json:"efficiency"`
+}
+
 // HotPathReport is the hot-path trajectory record written to
 // BENCH_hotpath.json so later optimisation PRs can compare against it.
 type HotPathReport struct {
@@ -42,6 +68,9 @@ type HotPathReport struct {
 	GoVersion  string         `json:"go_version"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	Points     []HotPathPoint `json:"points"`
+	// Matrix holds the intra-host ranks × workers efficiency sweep when
+	// one was run (pa-hotpath -matrix).
+	Matrix []MatrixPoint `json:"matrix,omitempty"`
 }
 
 // HotPathConfig describes a hot-path sweep: the cross product of rank,
@@ -54,7 +83,10 @@ type HotPathConfig struct {
 	Ranks     []int
 	Workers   []int
 	PollEvery []int
-	Seed      uint64
+	// Transports lists the in-process transports to sweep ("shm",
+	// "local"); empty means {"shm"}, the engine default.
+	Transports []string
+	Seed       uint64
 }
 
 // HotPath measures the generation hot path at n nodes, x attachments per
@@ -86,6 +118,10 @@ func HotPathSweep(cfg HotPathConfig) (HotPathReport, error) {
 	if len(polls) == 0 {
 		polls = []int{core.DefaultPollEvery}
 	}
+	transports := cfg.Transports
+	if len(transports) == 0 {
+		transports = []string{"shm"}
+	}
 	for _, p := range cfg.Ranks {
 		part, err := partition.New(partition.KindRRP, cfg.N, p)
 		if err != nil {
@@ -93,60 +129,166 @@ func HotPathSweep(cfg HotPathConfig) (HotPathReport, error) {
 		}
 		for _, nw := range workers {
 			for _, pe := range polls {
-				opts := core.Options{
-					Params: pr, Part: part, Seed: cfg.Seed,
-					Workers: nw, PollEvery: pe,
+				for _, tr := range transports {
+					opts := core.Options{
+						Params: pr, Part: part, Seed: cfg.Seed,
+						Workers: nw, PollEvery: pe, Transport: tr,
+					}
+					pt, err := measureHotPath(opts)
+					if err != nil {
+						return rep, err
+					}
+					pt.Ranks, pt.Workers = p, nw
+					pt.N, pt.X = cfg.N, cfg.X
+					pt.Transport = tr
+					if pe != core.DefaultPollEvery {
+						pt.PollEvery = pe
+					}
+					rep.Points = append(rep.Points, pt)
 				}
-				// Warm run so pools and lazily-grown structures reach
-				// steady state before the measured run.
-				if _, err := core.Run(opts, false); err != nil {
-					return rep, err
-				}
-				runtime.GC()
-				var before, after runtime.MemStats
-				runtime.ReadMemStats(&before)
-				start := time.Now()
-				res, err := core.Run(opts, false)
-				if err != nil {
-					return rep, err
-				}
-				elapsed := time.Since(start)
-				runtime.ReadMemStats(&after)
-
-				var frames, bytes, msgs, edges int64
-				for _, st := range res.Ranks {
-					frames += st.Comm.FramesSent
-					bytes += st.Comm.BytesSent
-					msgs += st.Comm.MessagesSent()
-					edges += st.Edges
-				}
-				pt := HotPathPoint{
-					Ranks:         p,
-					Workers:       nw,
-					N:             cfg.N,
-					X:             cfg.X,
-					Edges:         edges,
-					ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
-					NsPerEdge:     float64(elapsed.Nanoseconds()) / float64(edges),
-					AllocsPerEdge: float64(after.Mallocs-before.Mallocs) / float64(edges),
-					FramesSent:    frames,
-					BytesSent:     bytes,
-				}
-				if pe != core.DefaultPollEvery {
-					pt.PollEvery = pe
-				}
-				if frames > 0 {
-					pt.BytesPerFrame = float64(bytes) / float64(frames)
-					pt.MsgsPerFrame = float64(msgs) / float64(frames)
-				}
-				if msgs > 0 {
-					pt.BytesPerMsg = float64(bytes) / float64(msgs)
-				}
-				rep.Points = append(rep.Points, pt)
 			}
 		}
 	}
 	return rep, nil
+}
+
+// measureHotPath runs one warmed, GC-bracketed measurement of opts and
+// fills the measurement-derived fields of a HotPathPoint.
+func measureHotPath(opts core.Options) (HotPathPoint, error) {
+	// Warm run so pools and lazily-grown structures reach steady state
+	// before the measured run.
+	if _, err := core.Run(opts, false); err != nil {
+		return HotPathPoint{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := core.Run(opts, false)
+	if err != nil {
+		return HotPathPoint{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	var frames, bytes, msgs, edges, steals, stolen int64
+	for _, st := range res.Ranks {
+		frames += st.Comm.FramesSent
+		bytes += st.Comm.BytesSent
+		msgs += st.Comm.MessagesSent()
+		edges += st.Edges
+		steals += st.Steals
+		stolen += st.StolenNodes
+	}
+	pt := HotPathPoint{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Edges:         edges,
+		Steals:        steals,
+		StolenNodes:   stolen,
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+		NsPerEdge:     float64(elapsed.Nanoseconds()) / float64(edges),
+		AllocsPerEdge: float64(after.Mallocs-before.Mallocs) / float64(edges),
+		FramesSent:    frames,
+		BytesSent:     bytes,
+	}
+	if frames > 0 {
+		pt.BytesPerFrame = float64(bytes) / float64(frames)
+		pt.MsgsPerFrame = float64(msgs) / float64(frames)
+	}
+	if msgs > 0 {
+		pt.BytesPerMsg = float64(bytes) / float64(msgs)
+	}
+	return pt, nil
+}
+
+// MatrixConfig describes an intra-host efficiency sweep: every ranks ×
+// workers × transport cell at fixed n and x, each compared against the
+// workers=1 cell of its rank count and transport.
+type MatrixConfig struct {
+	N          int64
+	X          int
+	Ranks      []int
+	Workers    []int
+	Transports []string
+	Seed       uint64
+}
+
+// HotPathMatrix measures the ranks × workers × transport matrix. The
+// workers list is measured in the given order; each cell's speedup is
+// relative to the workers=1 cell at the same ranks and transport (a
+// workers=1 cell is measured implicitly when the list omits it).
+func HotPathMatrix(cfg MatrixConfig) ([]MatrixPoint, error) {
+	pr := model.Params{N: cfg.N, X: cfg.X, P: 0.5}
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4}
+	}
+	transports := cfg.Transports
+	if len(transports) == 0 {
+		transports = []string{"shm"}
+	}
+	hasW1 := false
+	for _, w := range workers {
+		if w == 1 {
+			hasW1 = true
+		}
+	}
+	if !hasW1 {
+		workers = append([]int{1}, workers...)
+	}
+	var out []MatrixPoint
+	for _, p := range cfg.Ranks {
+		part, err := partition.New(partition.KindRRP, cfg.N, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range transports {
+			var w1ms float64
+			for _, nw := range workers {
+				pt, err := measureHotPath(core.Options{
+					Params: pr, Part: part, Seed: cfg.Seed,
+					Workers: nw, Transport: tr,
+				})
+				if err != nil {
+					return nil, err
+				}
+				mp := MatrixPoint{
+					Ranks: p, Workers: nw, Transport: tr,
+					GOMAXPROCS: pt.GOMAXPROCS,
+					N:          cfg.N, X: cfg.X,
+					ElapsedMS: pt.ElapsedMS, NsPerEdge: pt.NsPerEdge,
+					Steals: pt.Steals, StolenNodes: pt.StolenNodes,
+				}
+				if nw == 1 {
+					w1ms = pt.ElapsedMS
+				}
+				if w1ms > 0 && pt.ElapsedMS > 0 {
+					mp.SpeedupVsW1 = w1ms / pt.ElapsedMS
+					mp.Efficiency = mp.SpeedupVsW1 / float64(nw)
+				}
+				out = append(out, mp)
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteMatrix prints an efficiency matrix as a TSV table.
+func WriteMatrix(w io.Writer, pts []MatrixPoint) error {
+	if _, err := fmt.Fprintln(w, "ranks\tworkers\ttransport\tgomaxprocs\twall_ms\tns_per_edge\tsteals\tstolen_nodes\tspeedup_vs_w1\tefficiency"); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%s\t%d\t%.1f\t%.1f\t%d\t%d\t%.2f\t%.2f\n",
+			pt.Ranks, pt.Workers, pt.Transport, pt.GOMAXPROCS, pt.ElapsedMS,
+			pt.NsPerEdge, pt.Steals, pt.StolenNodes, pt.SpeedupVsW1, pt.Efficiency); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteHotPathJSON writes a hot-path trajectory file: the current report
@@ -183,7 +325,7 @@ func ReadHotPathJSON(path string) (*HotPathReport, error) {
 
 // WriteHotPath prints a hot-path report as a TSV table.
 func WriteHotPath(w io.Writer, rep HotPathReport) error {
-	if _, err := fmt.Fprintln(w, "ranks\tworkers\tn\tx\twall_ms\tns_per_edge\tallocs_per_edge\tbytes_per_frame\tmsgs_per_frame\tbytes_per_msg"); err != nil {
+	if _, err := fmt.Fprintln(w, "ranks\tworkers\ttransport\tn\tx\twall_ms\tns_per_edge\tallocs_per_edge\tbytes_per_frame\tmsgs_per_frame\tbytes_per_msg\tsteals"); err != nil {
 		return err
 	}
 	for _, pt := range rep.Points {
@@ -191,9 +333,13 @@ func WriteHotPath(w io.Writer, rep HotPathReport) error {
 		if workers == 0 {
 			workers = 1 // reports written before the workers sweep existed
 		}
-		if _, err := fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.1f\t%.1f\t%.4f\t%.1f\t%.1f\t%.2f\n",
-			pt.Ranks, workers, pt.N, pt.X, pt.ElapsedMS, pt.NsPerEdge, pt.AllocsPerEdge,
-			pt.BytesPerFrame, pt.MsgsPerFrame, pt.BytesPerMsg); err != nil {
+		tr := pt.Transport
+		if tr == "" {
+			tr = "local" // reports written before the shm transport existed
+		}
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%s\t%d\t%d\t%.1f\t%.1f\t%.4f\t%.1f\t%.1f\t%.2f\t%d\n",
+			pt.Ranks, workers, tr, pt.N, pt.X, pt.ElapsedMS, pt.NsPerEdge, pt.AllocsPerEdge,
+			pt.BytesPerFrame, pt.MsgsPerFrame, pt.BytesPerMsg, pt.Steals); err != nil {
 			return err
 		}
 	}

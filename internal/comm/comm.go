@@ -96,7 +96,11 @@ type Comm struct {
 	framesRecv   int64
 	bytesRecv    int64
 
-	tr         transport.Transport
+	tr transport.Transport
+	// ms is non-nil when tr provides the shared-memory no-serialize
+	// path: flushes hand the stripe buffer across by reference instead
+	// of encoding it, and a fresh buffer is leased from the pool.
+	ms         transport.MsgSender
 	cap        int
 	stripes    []stripe
 	requestsTo []int64 // atomic
@@ -113,8 +117,10 @@ func New(tr transport.Transport, cfg Config) *Comm {
 	if capacity <= 0 {
 		capacity = DefaultBufferCap
 	}
+	ms, _ := tr.(transport.MsgSender)
 	return &Comm{
 		tr:         tr,
+		ms:         ms,
 		cap:        capacity,
 		stripes:    make([]stripe, tr.Size()),
 		requestsTo: make([]int64, tr.Size()),
@@ -246,6 +252,17 @@ func (c *Comm) flushLocked(to int, s *stripe) error {
 	if len(s.buf) == 0 {
 		return nil
 	}
+	if c.ms != nil {
+		// Shared-memory fast path: the buffered batch crosses by
+		// reference — ownership of the slice transfers to the receiver
+		// (its decode releases it) and a fresh buffer is leased for the
+		// stripe. No bytes are serialized, so BytesSent stays put;
+		// FramesSent still counts the transfer.
+		ms := s.buf
+		s.buf = transport.LeaseMsgs(c.cap)
+		atomic.AddInt64(&c.framesSent, 1)
+		return c.ms.SendMsgs(to, ms)
+	}
 	// Lease the frame buffer from the transport pool (the receiving
 	// decode path releases it) and encode compactly: at steady state a
 	// flush allocates nothing.
@@ -307,6 +324,27 @@ func (c *Comm) Buffered(to int) int {
 // It consumes the frame: the buffer returns to the transport pool (the
 // release half of the lease/release protocol).
 func (c *Comm) decode(dst []msg.Message, f transport.Frame) ([]msg.Message, error) {
+	if f.Msgs != nil {
+		// Shared-memory fast path: the batch arrived by reference; copy
+		// it out and release the slice back to the pool (the release
+		// half of the lease/release protocol, mirroring ReleaseFrame).
+		dst = append(dst, f.Msgs...)
+		c.framesRecv++
+		for _, m := range f.Msgs {
+			switch m.Kind {
+			case msg.KindRequest:
+				c.requestsRecv++
+			case msg.KindResolved:
+				c.resolvedRecv++
+			case msg.KindPublish:
+				c.publishRecv++
+			default:
+				c.controlRecv++
+			}
+		}
+		transport.ReleaseMsgs(f.Msgs)
+		return dst, nil
+	}
 	before := len(dst)
 	dst, err := msg.DecodeBatch(dst, f.Data)
 	size := int64(len(f.Data))

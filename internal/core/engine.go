@@ -135,6 +135,13 @@ type Options struct {
 	// (nodes replayed per query). Zero selects
 	// DefaultRecomputeDepth(n); it is ignored in wire mode.
 	RecomputeDepth int
+	// Transport selects the in-process transport Run wires the ranks
+	// with: "shm" (the default — co-located ranks hand message batches
+	// across by reference, no serialization) or "local" (every frame
+	// runs through the v3 codec; the serialization ablation). RunRank
+	// ignores it — callers that build their own endpoints (pa-tcp,
+	// chaos tests) pass whatever transport they constructed.
+	Transport string
 }
 
 // DefaultPollEvery is the generation-loop polling interval the adaptive
@@ -143,11 +150,18 @@ const DefaultPollEvery = 64
 
 // Adaptive PollEvery policy bounds: the interval is halved toward
 // adaptiveMinPoll while more than adaptiveHighWater waiter entries are
-// pending, and doubled toward adaptiveMaxPoll while none are.
+// pending or the measured inbox wakeup latency exceeds adaptiveLatHigh,
+// and doubled toward adaptiveMaxPoll while no waiters are pending and
+// messages are being drained within adaptiveLatLow of arriving.
 const (
 	adaptiveMinPoll   = 16
 	adaptiveMaxPoll   = 1024
 	adaptiveHighWater = 128
+	// Wakeup-latency thresholds (nanoseconds of first-enqueue-to-drain
+	// sojourn, the inbox's latEWMA): above High, messages sit too long
+	// between polls; below Low, the consumer keeps up easily.
+	adaptiveLatHigh = 100e3
+	adaptiveLatLow  = 10e3
 )
 
 // RankStats are one rank's load and traffic statistics — the measurements
@@ -214,6 +228,14 @@ type RankStats struct {
 	// memo) — the empirical counterpart of the Theorem 3.3 O(log n)
 	// chain-depth bound the recompute mode's viability rests on.
 	ReplayDepth obs.Histogram
+	// Steals counts node sub-block spans idle workers claimed from
+	// loaded siblings' unstarted tails; StolenNodes counts the local
+	// node indices those spans covered. Zero outside concurrent mode.
+	// The output graph is identical whatever these count — stealing
+	// moves which goroutine runs a node's generation, never the node's
+	// random stream or its slot bookkeeping.
+	Steals      int64
+	StolenNodes int64
 	// BusyTime is wall time minus time spent blocked waiting for
 	// messages (the dispatcher's blocked time when workers > 1).
 	BusyTime time.Duration
@@ -334,6 +356,12 @@ const (
 	// kindCkptResume wakes a worker parked by a checkpoint epoch: the
 	// cut is committed (or abandoned) and generation may continue.
 	kindCkptResume
+	// kindSlotDone tells a node's static owner that a thief resolved
+	// one of the node's slots (T, E, V mirror a <resolved>): the owner
+	// runs the slot's bookkeeping — unresolved count, waiter chains,
+	// hub publish — so fences and Done accounting stay with the static
+	// shard layout whatever the steal schedule was.
+	kindSlotDone
 )
 
 // engine is the per-rank state machine.
@@ -362,6 +390,11 @@ type engine struct {
 	// concurrent is nw > 1: selects atomic slot access and the
 	// dispatcher/inbox topology instead of the inline single-worker loop.
 	concurrent bool
+	// spanSize is the work-stealing granularity: each worker's block is
+	// divided into spans of this many local indices, claimed atomically
+	// (by the owner as its pass enters them, by an idle thief from the
+	// tail) so every node has exactly one generator.
+	spanSize int64
 
 	// f holds F_t(e) at f[part.Index(rank,t)*x + e]; -1 = NILL. Each
 	// slot is written exactly once (-1 -> v) by its owning worker; when
@@ -576,6 +609,14 @@ func newEngine(tr transport.Transport, opts Options) (*engine, error) {
 			e.hubPeers = hubPeerRanks(opts.Part, rank, e.p)
 		}
 	}
+	// Steal spans: cap a block at 64 spans so a thief's victim scan is
+	// O(64) per sibling, with a 64-node floor so a span amortises its
+	// claim CAS. Fixed before the workers are built (they size their
+	// claim arrays from it).
+	e.spanSize = 64
+	if s := (blk + 63) / 64; s > e.spanSize {
+		e.spanSize = s
+	}
 	e.workers = make([]*worker, nw)
 	for i := 0; i < nw; i++ {
 		lo := int64(i) * blk
@@ -656,8 +697,29 @@ func (e *engine) slot(t int64, edge int) int64 {
 
 func (e *engine) localIdx(t int64) int64 { return e.part.Index(e.rank, t) }
 
-// workerOf returns the worker owning local node index idx.
+// workerOf returns the worker statically owning local node index idx —
+// the keeper of its slots' waiter queues and its shard's unresolved
+// count, whatever the steal schedule.
 func (e *engine) workerOf(idx int64) int { return int(idx / e.blk) }
+
+// generatorOf returns the worker generating local node index idx: the
+// claimant of idx's steal span when one is recorded, the static owner
+// otherwise. Resolutions must reach the generator (it holds the node's
+// suspension record); requests still go to the static owner. The answer
+// is stable for any node with traffic in flight: a span's claim is
+// CASed exactly once, before any node in it is initiated — so before
+// any request (whose response this routes) can exist.
+func (e *engine) generatorOf(idx int64) int {
+	ow := int(idx / e.blk)
+	w := e.workers[ow]
+	if w.claims == nil {
+		return ow
+	}
+	if c := atomic.LoadInt32(&w.claims[(idx-w.lo)/e.spanSize]); c >= 0 {
+		return int(c)
+	}
+	return ow
+}
 
 // setSlot publishes F value v for flat slot s. Slots are write-once
 // (-1 -> v); under concurrency the store is atomic so sibling workers'
@@ -668,6 +730,17 @@ func (e *engine) setSlot(s, v int64) {
 		return
 	}
 	e.f[s] = v
+}
+
+// getSlot reads flat slot s. Atomic under concurrency: with stealing
+// any slot's writer may be a thief, so not even a worker's static block
+// is privately readable (only a node's own generator may read its slots
+// plainly, via isDup).
+func (e *engine) getSlot(s int64) int64 {
+	if e.concurrent {
+		return atomic.LoadInt64(&e.f[s])
+	}
+	return e.f[s]
 }
 
 // noteLoad counts one copy query received by local node index kidx.
@@ -920,6 +993,8 @@ func (e *engine) finishStats() {
 	}
 	for _, w := range e.workers {
 		e.stats.Retries += w.retries
+		e.stats.Steals += w.steals
+		e.stats.StolenNodes += w.stolenNodes
 		e.stats.QueuedWaits += w.queuedWaits
 		e.stats.LocalWaits += w.localWaits
 		e.stats.HubCacheHits += w.hubHits
@@ -1292,7 +1367,10 @@ func (e *engine) deliver(ms []msg.Message) error {
 			wid := e.workerOf(e.localIdx(m.K))
 			route[wid] = append(route[wid], m)
 		case msg.KindResolved:
-			wid := e.workerOf(e.localIdx(m.T))
+			// To the generator, not the static owner: the suspension
+			// record this answers lives with whoever claimed the node's
+			// steal span.
+			wid := e.generatorOf(e.localIdx(m.T))
 			route[wid] = append(route[wid], m)
 		case msg.KindPublish:
 			if err := e.applyPublish(m); err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"pagen/internal/msg"
 )
@@ -10,6 +11,13 @@ import (
 // dispatcher and sibling workers produce, the owning worker consumes.
 // The consumer drains everything in one pop that swaps the queue against
 // a spare buffer, so steady-state operation moves slices, not messages.
+//
+// Wakeups are epoch-batched: at most one Signal per park episode. A
+// producer signals only when the consumer is parked and no signal is
+// outstanding (the signaled flag, managed entirely under the lock);
+// every further push before the consumer runs rides the same wakeup and
+// is picked up by the drain-until-empty swap. The consumer re-arms the
+// flag before every Wait, so a wakeup can never be lost.
 //
 // Blocking contract: only the dispatcher may use the blocking pushBatch
 // (a full worker is never itself blocked, so the dispatcher always
@@ -30,8 +38,18 @@ type inbox struct {
 	// quiescence: all workers parked on empty inboxes with identical
 	// counters across both passes means no message moved in between.
 	parked bool
-	pushes int64
-	pops   int64
+	// signaled marks an outstanding wakeup for a parked consumer; while
+	// set, further pushes skip the Signal (the batching in "epoch-
+	// batched wakeups").
+	signaled bool
+	pushes   int64
+	pops     int64
+	wakeups  int64
+	// firstAt stamps (UnixNano) the push that made the queue non-empty;
+	// pop folds now-firstAt into latEWMA, the measured first-enqueue-to-
+	// drain sojourn that drives the worker's adaptive PollEvery retuning.
+	firstAt int64
+	latEWMA float64
 	// onIdle, when set, fires (under the lock) as the consumer parks —
 	// the checkpoint protocol's cue to re-examine quiescence. It must
 	// not block; the kick it delivers is a buffered non-blocking send.
@@ -62,10 +80,21 @@ func (b *inbox) tryPush(m msg.Message) bool {
 	b.buf = append(b.buf, m)
 	b.pushes++
 	if len(b.buf) == 1 {
-		b.notEmpty.Signal()
+		b.firstAt = time.Now().UnixNano()
 	}
+	b.wake()
 	b.mu.Unlock()
 	return true
+}
+
+// wake delivers the park episode's single wakeup if it is still owed.
+// Callers hold b.mu.
+func (b *inbox) wake() {
+	if b.parked && !b.signaled {
+		b.signaled = true
+		b.wakeups++
+		b.notEmpty.Signal()
+	}
 }
 
 // pushBatch appends every message, blocking while the inbox is full.
@@ -85,8 +114,11 @@ func (b *inbox) pushBatch(ms []msg.Message) bool {
 		}
 		b.buf = append(b.buf, m)
 		b.pushes++
+		if len(b.buf) == 1 {
+			b.firstAt = time.Now().UnixNano()
+		}
 	}
-	b.notEmpty.Signal()
+	b.wake()
 	b.mu.Unlock()
 	return true
 }
@@ -105,14 +137,24 @@ func (b *inbox) pop(spare []msg.Message, block bool) (items []msg.Message, open 
 					b.onIdle()
 				}
 			}
+			// Re-arm under the lock before sleeping: Wait releases the
+			// lock atomically, so a producer that sets signaled after
+			// this point necessarily Signals after our Wait is queued.
+			b.signaled = false
 			b.notEmpty.Wait()
 		}
 		b.parked = false
+		b.signaled = false
 	}
 	if len(b.buf) == 0 {
 		open = !b.closed
 		b.mu.Unlock()
 		return spare[:0], open
+	}
+	if b.firstAt != 0 {
+		lat := float64(time.Now().UnixNano() - b.firstAt)
+		b.latEWMA += (lat - b.latEWMA) / 8
+		b.firstAt = 0
 	}
 	b.pops += int64(len(b.buf))
 	items = b.buf
@@ -130,6 +172,24 @@ func (b *inbox) scanState() (parked, empty bool, pushes, pops int64) {
 	parked, empty, pushes, pops = b.parked, len(b.buf) == 0, b.pushes, b.pops
 	b.mu.Unlock()
 	return parked, empty, pushes, pops
+}
+
+// wakeupCount returns how many Signals producers have delivered — one
+// per park episode at most, however many pushes rode each of them.
+func (b *inbox) wakeupCount() int64 {
+	b.mu.Lock()
+	w := b.wakeups
+	b.mu.Unlock()
+	return w
+}
+
+// wakeLatency returns the EWMA of the first-enqueue-to-drain sojourn in
+// nanoseconds — the wakeup latency the adaptive poller steers by.
+func (b *inbox) wakeLatency() float64 {
+	b.mu.Lock()
+	l := b.latEWMA
+	b.mu.Unlock()
+	return l
 }
 
 // close marks the inbox finished and wakes every waiter.

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pagen/internal/msg"
+)
+
+// TestInboxWakeupBatching pins the epoch-batched wakeup contract: a park
+// episode costs at most one Signal no matter how many pushes land before
+// the consumer runs, and the drain-until-empty swap hands all of them
+// over in that single wakeup.
+func TestInboxWakeupBatching(t *testing.T) {
+	b := newInbox(64)
+
+	// Pushes to an unparked consumer signal nobody.
+	for i := 0; i < 5; i++ {
+		if !b.tryPush(msg.Request(int64(i), 0, 0, 0)) {
+			t.Fatalf("tryPush %d refused", i)
+		}
+	}
+	if got := b.wakeupCount(); got != 0 {
+		t.Fatalf("wakeups before any park: %d, want 0", got)
+	}
+	items, open := b.pop(nil, false)
+	if !open || len(items) != 5 {
+		t.Fatalf("pop: %d msgs open=%v, want 5 true", len(items), open)
+	}
+
+	// Park the consumer, then land a burst while it sleeps: one Signal,
+	// one drain with the whole burst.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		items, open := b.pop(items, true)
+		if !open {
+			t.Error("pop reported closed")
+			return
+		}
+		// The batch may arrive split across drains if the consumer runs
+		// between pushes; collect until all 8 arrived.
+		total := len(items)
+		for total < 8 {
+			more, open := b.pop(nil, true)
+			if !open {
+				t.Error("pop reported closed mid-collect")
+				return
+			}
+			total += len(more)
+		}
+		if total != 8 {
+			t.Errorf("drained %d msgs, want 8", total)
+		}
+	}()
+	waitParked(t, b)
+	for i := 0; i < 8; i++ {
+		if !b.tryPush(msg.Request(int64(i), 0, 0, 0)) {
+			t.Fatalf("burst push %d refused", i)
+		}
+	}
+	wg.Wait()
+	// Worst case the consumer woke between pushes and re-parked each
+	// time; best (and usual) case the burst rode one Signal. Either way
+	// wakeups is bounded by park episodes, never by pushes — and after a
+	// real drain the sojourn EWMA must have folded in a sample.
+	if got := b.wakeupCount(); got < 1 || got > 8 {
+		t.Fatalf("wakeups after burst: %d, want within [1,8]", got)
+	}
+	if b.wakeLatency() <= 0 {
+		t.Fatalf("wakeLatency after parked drain: %v, want > 0", b.wakeLatency())
+	}
+
+	// close wakes a parked consumer and pop reports it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, open := b.pop(nil, true); open {
+			t.Error("pop after close reported open")
+		}
+	}()
+	waitParked(t, b)
+	b.close()
+	wg.Wait()
+}
+
+// TestInboxSingleWakeupPerEpisode drives the scenario the batching
+// exists for: with the consumer provably parked once, N producers each
+// push a message before the consumer is allowed to run — the signaled
+// flag must collapse their N wakeups into exactly one.
+func TestInboxSingleWakeupPerEpisode(t *testing.T) {
+	b := newInbox(1024)
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		items, _ := b.pop(nil, true) // parks; wakes on the burst's Signal
+		<-release
+		more, _ := b.pop(nil, false)
+		done <- len(items) + len(more)
+	}()
+	waitParked(t, b)
+	before := b.wakeupCount()
+	const burst = 100
+	for i := 0; i < burst; i++ {
+		b.tryPush(msg.Request(int64(i), 0, 0, 0))
+	}
+	// All pushes landed before the consumer could re-park (it is gated
+	// on release), so this burst spans exactly one park episode.
+	if got := b.wakeupCount() - before; got != 1 {
+		t.Fatalf("burst of %d pushes cost %d wakeups, want exactly 1", burst, got)
+	}
+	close(release)
+	if got := <-done; got != burst {
+		t.Fatalf("consumer drained %d msgs, want %d", got, burst)
+	}
+}
+
+func waitParked(t *testing.T, b *inbox) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if parked, _, _, _ := b.scanState(); parked {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	t.Fatal("consumer never parked")
+}

@@ -263,6 +263,14 @@ func (e *engine) restore() error {
 			st.key = -1 // re-derived from the Remote chains below
 			st.rng.SetState(sr.RNG)
 			w.susp.put(sr.Idx, st)
+			// Pre-claim the node's steal span for its static owner: the
+			// suspension record lives in the owner's table, so a thief
+			// generating this span would miss it (nodeInitiatedLocal
+			// checks only the generator's own table) and double-generate
+			// the node. Plain stores are safe pre-worker-start.
+			if w.claims != nil {
+				w.claims[(sr.Idx-w.lo)/e.spanSize] = int32(w.id)
+			}
 		}
 		for _, wr := range ws.Waiters {
 			w := e.workers[e.workerOf(wr.Slot/e.x64)]

@@ -46,9 +46,31 @@ func Run(opts Options, recordTrace bool) (*Result, error) {
 		return nil, fmt.Errorf("core: nil partition scheme")
 	}
 	p := opts.Part.P()
-	group, err := transport.NewLocalGroup(p)
-	if err != nil {
-		return nil, err
+	// Endpoint picks one rank's endpoint regardless of the concrete
+	// group type; both in-process groups expose it.
+	var endpoint func(r int) transport.Transport
+	var closeEndpoint func(r int)
+	switch opts.Transport {
+	case "", "shm":
+		// Default: the shared-memory transport hands message batches
+		// across co-located ranks by reference — no per-message codec.
+		group, err := transport.NewShmGroup(p)
+		if err != nil {
+			return nil, err
+		}
+		endpoint = func(r int) transport.Transport { return group.Endpoint(r) }
+		closeEndpoint = func(r int) { group.Endpoint(r).Close() }
+	case "local":
+		// Serialization ablation: same process, but every batch goes
+		// through the byte codec exactly as it would on a wire.
+		group, err := transport.NewLocalGroup(p)
+		if err != nil {
+			return nil, err
+		}
+		endpoint = func(r int) transport.Transport { return group.Endpoint(r) }
+		closeEndpoint = func(r int) { group.Endpoint(r).Close() }
+	default:
+		return nil, fmt.Errorf("core: unknown transport %q (in-process runs accept \"shm\" or \"local\")", opts.Transport)
 	}
 	if recordTrace {
 		opts.Trace = model.NewTrace(opts.Params)
@@ -64,7 +86,7 @@ func Run(opts Options, recordTrace bool) (*Result, error) {
 	abort := func() {
 		closeOnce.Do(func() {
 			for r := 0; r < p; r++ {
-				group.Endpoint(r).Close()
+				closeEndpoint(r)
 			}
 		})
 	}
@@ -73,7 +95,7 @@ func Run(opts Options, recordTrace bool) (*Result, error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			results[r], errs[r] = RunRank(group.Endpoint(r), opts)
+			results[r], errs[r] = RunRank(endpoint(r), opts)
 			if errs[r] != nil {
 				abort()
 			}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"pagen/internal/ckpt"
+	"pagen/internal/graph"
+	"pagen/internal/model"
+	"pagen/internal/partition"
+	"pagen/internal/seq"
+	"pagen/internal/transport"
+)
+
+// The determinism contract of intra-rank work stealing: the output edge
+// set is a pure function of (n, x, p, seed) at every ranks × workers ×
+// transport combination, no matter which worker ends up generating
+// which span. The sweep also proves the shm transport (by-reference
+// batches) and the local transport (byte codec) agree bit for bit.
+// needProcs raises GOMAXPROCS for the duration of a test that asserts
+// steal activity. On a single P a thief's pre-raid yield hands the
+// scheduler to its victim, which then runs its whole block without
+// preemption — so steals legitimately never fire there and a test
+// insisting on them would be schedule-vacuous.
+func needProcs(t *testing.T, n int) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) >= n {
+		return
+	}
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+func TestStealOutputInvariance(t *testing.T) {
+	needProcs(t, 4)
+	pr := model.Params{N: 12_000, X: 4, P: 0.5}
+	sg, _, err := seq.CopyModel(pr, 11, seq.CopyModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := edgeSet(t, sg.Edges)
+	var steals int64
+	for _, ranks := range []int{1, 2, 4} {
+		part, err := partition.New(partition.KindRRP, pr.N, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3} {
+			for _, tr := range []string{"shm", "local"} {
+				res, err := Run(Options{
+					Params: pr, Part: part, Seed: 11,
+					Workers: workers, Transport: tr,
+				}, false)
+				if err != nil {
+					t.Fatalf("ranks=%d workers=%d transport=%s: %v", ranks, workers, tr, err)
+				}
+				label := fmt.Sprintf("ranks=%d workers=%d transport=%s", ranks, workers, tr)
+				sameEdgeSet(t, label, res.Graph.Edges, want)
+				for _, st := range res.Ranks {
+					steals += st.Steals
+					if workers == 1 && st.Steals != 0 {
+						t.Fatalf("%s: %d steals with a single worker", label, st.Steals)
+					}
+				}
+			}
+		}
+	}
+	// Scheduling decides how often stealing fires, but across the whole
+	// sweep at least one span must have moved or the sweep never
+	// exercised the machinery it is named for.
+	if steals == 0 {
+		t.Fatal("no steal happened anywhere in the sweep")
+	}
+}
+
+// An unknown transport name must fail loudly, not fall back.
+func TestRunUnknownTransport(t *testing.T) {
+	pr := model.Params{N: 1000, X: 2, P: 0.5}
+	part, err := partition.New(partition.KindRRP, pr.N, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Options{Params: pr, Part: part, Seed: 1, Transport: "tcp"}, false); err == nil {
+		t.Fatal("Run with Transport tcp succeeded; in-process runs cannot speak tcp")
+	}
+}
+
+// Batched inbox wakeups under seeded delay chaos with sharded ranks:
+// chaos-wrapped endpoints hide the SendMsgs fast path, so this also
+// runs the byte-codec fallback of the shm group, at 2 and 4 ranks with
+// workers > 1.
+func TestStealChaosDelayWorkers(t *testing.T) {
+	pr := model.Params{N: 6_000, X: 3, P: 0.5}
+	sg, _, err := seq.CopyModel(pr, 9, seq.CopyModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := edgeSet(t, sg.Edges)
+	for _, p := range []int{2, 4} {
+		for _, workers := range []int{2, 3} {
+			part, err := partition.New(partition.KindRRP, pr.N, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			group, err := transport.NewShmGroup(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			results := make([]*RankResult, p)
+			errs := make([]error, p)
+			for r := 0; r < p; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					tr := transport.NewChaos(group.Endpoint(r), transport.ChaosConfig{
+						Seed:      uint64(700 + 10*p + r),
+						DelayProb: 0.3,
+						MaxDelay:  500 * time.Microsecond,
+					})
+					defer tr.Close()
+					results[r], errs[r] = RunRank(tr, Options{
+						Params: pr, Part: part, Seed: 9, Workers: workers,
+					})
+				}(r)
+			}
+			wg.Wait()
+			var all []graph.Edge
+			for r := 0; r < p; r++ {
+				if errs[r] != nil {
+					t.Fatalf("ranks=%d workers=%d rank %d: %v", p, workers, r, errs[r])
+				}
+				all = append(all, results[r].Edges...)
+			}
+			sameEdgeSet(t, fmt.Sprintf("chaos ranks=%d workers=%d", p, workers), all, want)
+		}
+	}
+}
+
+// Seeded drop chaos with workers > 1: hub publishes are the one
+// drop-tolerated message class (requests fall back to the wire), so
+// losing all of them with sharded ranks must still produce the
+// baseline's edges — at 2 and 4 ranks.
+func TestStealPublishDropWorkers(t *testing.T) {
+	pr := model.Params{N: 6_000, X: 3, P: 0.5}
+	for _, p := range []int{2, 4} {
+		part, err := partition.New(partition.KindRRP, pr.N, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline, _ := runFiltered(t, Options{
+			Params: pr, Part: part, Seed: 17, Workers: 2, HubPrefix: -1,
+		}, p, false)
+		dropped, filters := runFiltered(t, Options{
+			Params: pr, Part: part, Seed: 17, Workers: 2, HubPrefix: 0,
+		}, p, false)
+		var lost int64
+		for r := 0; r < p; r++ {
+			equalEdges(t, fmt.Sprintf("drop ranks=%d rank=%d", p, r),
+				dropped[r].Edges, baseline[r].Edges)
+			lost += filters[r].dropped
+		}
+		if lost == 0 {
+			t.Fatalf("ranks=%d: filter dropped no publishes; loss path unexercised", p)
+		}
+	}
+}
+
+// Checkpoint snapshots are steal-agnostic: a snapshot library built by
+// a 3-worker run whose spans moved between workers restores at any
+// worker count — the v4 records are keyed by node, not by the worker
+// that happened to generate it, and restore re-shards by the restoring
+// run's static layout. Also emulates the crash case by trimming the
+// newest epoch and resuming from the one before it.
+func TestStealCheckpointRestoreWorkerCounts(t *testing.T) {
+	needProcs(t, 4)
+	pr := model.Params{N: 20_000, X: 3, P: 0.5}
+	const ranks = 3
+	newPart := func() partition.Scheme {
+		part, err := partition.New(partition.KindRRP, pr.N, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return part
+	}
+	base, err := Run(Options{Params: pr, Part: newPart(), Seed: 23, Workers: 3}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the snapshot library with a worker count that steals, and
+	// insist the library-producing run actually stole: a cut of a run
+	// with no steal activity would not pin anything.
+	var dir string
+	var epochs []int64
+	for every := int64(500); every >= 50; every /= 2 {
+		dir = t.TempDir()
+		res, err := Run(Options{
+			Params: pr, Part: newPart(), Seed: 23, Workers: 3,
+			Checkpoint: &CheckpointOptions{Dir: dir, Every: every, Keep: 1000},
+		}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var steals int64
+		for _, st := range res.Ranks {
+			steals += st.Steals
+		}
+		if steals == 0 {
+			continue
+		}
+		if epochs, err = ckpt.Epochs(dir, 0); err != nil {
+			t.Fatal(err)
+		}
+		if len(epochs) >= 2 {
+			break
+		}
+	}
+	if len(epochs) < 2 {
+		t.Skip("no run with both steals and 2+ epochs; schedule-dependent, nothing to assert")
+	}
+
+	resume := func(label string, workers int) {
+		res, err := Run(Options{
+			Params: pr, Part: newPart(), Seed: 23, Workers: workers,
+			Checkpoint: &CheckpointOptions{Dir: dir, Keep: 1000, Resume: true},
+		}, false)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		equalEdges(t, label, res.Graph.Edges, base.Graph.Edges)
+	}
+	top := epochs[len(epochs)-1]
+	resume(fmt.Sprintf("epoch %d workers=3", top), 3)
+	resume(fmt.Sprintf("epoch %d workers=1", top), 1)
+	resume(fmt.Sprintf("epoch %d workers=4", top), 4)
+
+	// Crash emulation: drop the newest epoch (as a kill mid-epoch would
+	// leave the directory) and restore the previous cut at a different
+	// worker count.
+	for r := 0; r < ranks; r++ {
+		if err := removeEpoch(dir, r, top); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resume(fmt.Sprintf("epoch %d after trim workers=2", epochs[len(epochs)-2]), 2)
+}
+
+func removeEpoch(dir string, rank int, epoch int64) error {
+	return os.Remove(ckpt.Path(dir, rank, epoch))
+}

@@ -65,6 +65,20 @@ type worker struct {
 	// checkpoint pause stops the pass mid-block and a later pass (or a
 	// restored run) continues from here.
 	cursor int64
+	// claims is this worker's per-span claim table (concurrent mode):
+	// span i covers local indices [lo+i*spanSize, min(lo+(i+1)*spanSize,
+	// hi)) and claims[i] records the worker generating it — -1 until the
+	// owner's pass enters it (head-first CAS) or an idle sibling steals
+	// it (tail-first CAS). A span is claimed exactly once, before any of
+	// its nodes is initiated, which is what makes generatorOf stable.
+	claims []int32
+	// stealLo/stealHi delimit the stolen span this worker is currently
+	// generating ([stealLo, stealHi), empty when stealLo >= stealHi);
+	// a checkpoint pause mid-span parks the range here.
+	stealLo, stealHi int64
+	// sincePoll counts nodes generated since the last inbox service, so
+	// the poll cadence carries across span and steal boundaries.
+	sincePoll int
 	// resumed latches a kindCkptResume delivery: the epoch ended and a
 	// paused generation pass may continue.
 	resumed bool
@@ -75,6 +89,8 @@ type worker struct {
 	adaptive bool
 
 	// stats (merged into RankStats by finishStats)
+	steals             int64
+	stolenNodes        int64
 	retries            int64
 	queuedWaits        int64
 	localWaits         int64
@@ -108,8 +124,24 @@ func newWorker(e *engine, id int, lo, hi int64) *worker {
 		w.spare = make([]msg.Message, 0, 256)
 		w.pendingTo = make([][]msg.Message, e.nw)
 		w.scratch = make([][]msg.Message, e.p)
+		if hi > lo {
+			w.claims = make([]int32, (hi-lo+e.spanSize-1)/e.spanSize)
+			for i := range w.claims {
+				w.claims[i] = -1
+			}
+		}
 	}
 	return w
+}
+
+// spanEnd returns the first index past the span containing local index
+// idx of this worker's block, clamped to the block end.
+func (w *worker) spanEnd(idx int64) int64 {
+	end := w.lo + ((idx-w.lo)/w.e.spanSize+1)*w.e.spanSize
+	if end > w.hi {
+		end = w.hi
+	}
+	return end
 }
 
 func (w *worker) owns(idx int64) bool { return idx >= w.lo && idx < w.hi }
@@ -121,19 +153,27 @@ func (w *worker) fail(err error) {
 	w.e.fail(err)
 }
 
-// adaptPoll retunes the polling interval from the live pending-waiter
-// depth: poll more often while waiters pile up, less while none do.
+// adaptPoll retunes the polling interval from two signals: the live
+// pending-waiter depth and the inbox's measured wakeup latency (the
+// EWMA sojourn from a message's enqueue to its drain). High depth or
+// high latency both mean the generation stretches are too long for the
+// traffic — poll more often; zero depth with low latency means the
+// worker is over-polling — stretch the interval.
 func (w *worker) adaptPoll() {
 	if !w.adaptive {
 		return
 	}
 	depth := w.e.pendingDepth()
+	var lat float64
+	if w.inbox != nil {
+		lat = w.inbox.wakeLatency()
+	}
 	switch {
-	case depth > adaptiveHighWater:
+	case depth > adaptiveHighWater || lat > adaptiveLatHigh:
 		if w.poll > adaptiveMinPoll {
 			w.poll /= 2
 		}
-	case depth == 0:
+	case depth == 0 && lat < adaptiveLatLow:
 		if w.poll < adaptiveMaxPoll {
 			w.poll *= 2
 		}
@@ -157,7 +197,8 @@ func (w *worker) emit(t, s, v int64) {
 }
 
 // isDup reports whether v already appears among t's attachments. Only
-// the owning worker calls it, and a node's slots beyond its current edge
+// t's generating worker calls it — the single writer of t's slots,
+// steal schedule included — and a node's slots beyond its current edge
 // are still NILL (strict per-node sequencing), so plain reads suffice.
 func (w *worker) isDup(t, v int64) bool {
 	e := w.e
@@ -215,12 +256,9 @@ func (w *worker) advance(t int64, edge int, rng *xrand.Rand) {
 				// load (Lemma 3.4's M_k) like a request would.
 				e.noteLoad(kidx)
 				s := kidx*e.x64 + int64(l)
-				var v int64
-				if !e.concurrent || w.owns(kidx) {
-					v = e.f[s]
-				} else {
-					v = atomic.LoadInt64(&e.f[s])
-				}
+				// Atomic even inside this worker's static block: with
+				// stealing, a thief may be the slot's writer.
+				v := e.getSlot(s)
 				if v >= 0 {
 					if w.isDup(t, v) {
 						w.retries++
@@ -376,31 +414,51 @@ func (w *worker) resumeWire(t int64, edge int, v int64) {
 	}
 }
 
-// resolveLocal finalises F_t(edge) = v for a slot this worker owns:
-// records the edge, decrements the shard's unresolved count, and answers
-// every waiter of this slot (Algorithm 3.1 lines 16-19 / Algorithm 3.2
-// lines 21-25).
+// resolveLocal finalises F_t(edge) = v for a locally-owned slot this
+// worker is generating: records the edge and emits it, then runs the
+// slot's bookkeeping — directly when this worker is also t's static
+// owner, via a kindSlotDone handoff when t was stolen (the waiter
+// queues, unresolved count and publish duty never move with a steal).
 func (w *worker) resolveLocal(t int64, edge int, v int64) {
 	e := w.e
 	s := e.slot(t, edge)
 	e.setSlot(s, v)
-	w.unresolved--
 	w.emit(t, s, v)
+	if ow := e.workerOf(e.localIdx(t)); ow != w.id {
+		m := msg.Resolved(t, edge, v)
+		m.Kind = kindSlotDone
+		w.toWorker(ow, m)
+		return
+	}
+	w.finishSlot(t, edge, s, v)
+}
+
+// finishSlot runs the static owner's half of a slot resolution:
+// decrements the shard's unresolved count, publishes hub-prefix nodes,
+// and answers every waiter of this slot (Algorithm 3.1 lines 16-19 /
+// Algorithm 3.2 lines 21-25). Called inline by resolveLocal for
+// unstolen nodes, from a thief's kindSlotDone otherwise — either way on
+// the owning worker's goroutine, so the waiter walk stays lock-free.
+func (w *worker) finishSlot(t int64, edge int, s, v int64) {
+	e := w.e
+	w.unresolved--
 
 	// Hub prefix: replicate the node's slots to every rank that may
 	// query them, batched per node. A node's slots resolve strictly in
-	// order, so edge x-1 resolving means all x values are final;
-	// publishing them together keeps a node's publishes adjacent per
-	// destination, where the v3 codec's slot-delta coding packs each
-	// trailing slot into ~1 byte of header. Peers that query an earlier
-	// slot before the batch lands fall back to the wire protocol (the
-	// replica elides traffic, never correctness), and a restore
-	// republishes resolved prefix slots via publishResolvedPrefix, so
-	// the deferral survives checkpoint cuts too.
+	// order, so edge x-1 resolving means all x values are final
+	// (kindSlotDone messages arrive in resolve order over the FIFO
+	// inbox, and the thief's stores precede its sends); publishing them
+	// together keeps a node's publishes adjacent per destination, where
+	// the v3 codec's slot-delta coding packs each trailing slot into
+	// ~1 byte of header. Peers that query an earlier slot before the
+	// batch lands fall back to the wire protocol (the replica elides
+	// traffic, never correctness), and a restore republishes resolved
+	// prefix slots via publishResolvedPrefix, so the deferral survives
+	// checkpoint cuts too.
 	if hub := e.hub; hub != nil && t < hub.h && edge == e.x-1 {
 		base := s - int64(edge)
 		for l := int64(0); l < e.x64; l++ {
-			m := msg.Publish(t, int(l), e.f[base+l])
+			m := msg.Publish(t, int(l), e.getSlot(base+l))
 			for _, r := range e.hubPeers {
 				w.sendData(r, m)
 			}
@@ -448,9 +506,11 @@ func (w *worker) noteShardDone() {
 	e.reportDone()
 }
 
-// deliverResolved routes a resolution to the owner of the waiting slot —
-// by direct call for this worker's own nodes, through an inbox for a
-// sibling's, as a resolved message for a remote rank's.
+// deliverResolved routes a resolution to the waiting node's generator —
+// by direct call when that is this worker, through an inbox for a
+// sibling's, as a resolved message for a remote rank's. The generator
+// (steal-aware via generatorOf), not the static owner, holds the
+// node's suspension record.
 func (w *worker) deliverResolved(t int64, edge int, v int64) {
 	e := w.e
 	owner := e.part.Owner(t)
@@ -458,7 +518,7 @@ func (w *worker) deliverResolved(t int64, edge int, v int64) {
 		w.sendData(owner, msg.Resolved(t, edge, v))
 		return
 	}
-	tw := e.workerOf(e.localIdx(t))
+	tw := e.generatorOf(e.localIdx(t))
 	if tw == w.id {
 		w.resume(t, edge, v)
 		return
@@ -479,7 +539,7 @@ func (w *worker) onRequest(m msg.Message, remote bool) {
 		e.noteLoad(kidx)
 	}
 	s := kidx*e.x64 + int64(m.L)
-	v := e.f[s]
+	v := e.getSlot(s)
 	if v < 0 {
 		if remote {
 			w.queuedWaits++
@@ -588,6 +648,10 @@ func (w *worker) processBatch(ms []msg.Message) {
 			// Same-rank sibling answers never coalesce (the chain is for
 			// wire requests), so the plain path applies.
 			w.resume(m.T, int(m.E), m.V)
+		case kindSlotDone:
+			// A thief resolved one of this shard's slots; run the
+			// owner-side bookkeeping (the value is already in F).
+			w.finishSlot(m.T, int(m.E), w.e.slot(m.T, int(m.E)), m.V)
 		case kindCkptResume:
 			w.resumed = true
 		}
@@ -609,29 +673,30 @@ func (w *worker) pollPoint() {
 	w.adaptPoll()
 }
 
-// genPass advances the generation cursor over this worker's node block,
+// genRange advances generation over local indices [*cur, hi),
 // servicing the inbox every poll interval. It never blocks: nodes that
-// cannot finish an edge suspend and the pass moves on. It returns true
-// when the block is exhausted, false when a checkpoint epoch paused the
-// pass mid-block (the cursor stays put; the next pass continues there).
-func (w *worker) genPass() bool {
+// cannot finish an edge suspend and the pass moves on. Shared by the
+// worker's own spans and stolen ones (cur points at the live cursor for
+// either). It returns true when the range is exhausted (or the worker
+// failed), false when a checkpoint epoch paused the pass mid-range (the
+// cursor stays put; the next pass continues there).
+func (w *worker) genRange(cur *int64, hi int64) bool {
 	e := w.e
-	sincePoll := 0
-	for w.cursor < w.hi {
+	for *cur < hi {
 		if w.err != nil {
 			return true
 		}
-		idx := w.cursor
-		w.cursor++
-		if t := e.part.NodeAt(e.rank, idx); t > e.x64 && !(e.restored && e.nodeInitiated(idx)) {
+		idx := *cur
+		*cur++
+		if t := e.part.NodeAt(e.rank, idx); t > e.x64 && !(e.restored && w.nodeInitiatedLocal(idx)) {
 			w.genNode(t)
 			if e.ckTrig {
 				e.ckptNoteInit()
 			}
 		}
-		sincePoll++
-		if sincePoll >= w.poll {
-			sincePoll = 0
+		w.sincePoll++
+		if w.sincePoll >= w.poll {
+			w.sincePoll = 0
 			if e.aborted() {
 				w.err = e.takeErr()
 				return true
@@ -648,14 +713,115 @@ func (w *worker) genPass() bool {
 	return true
 }
 
+// nodeInitiatedLocal reports whether a restored snapshot already
+// initiated local node idx, using only state this goroutine may read:
+// the node's final slot (write-once, atomic under concurrency) and this
+// worker's own suspension table. Restored suspension records land in
+// static owners' tables, and restore pre-claims their spans for those
+// owners, so the generator visiting idx is exactly the worker whose
+// table could hold its record.
+func (w *worker) nodeInitiatedLocal(idx int64) bool {
+	e := w.e
+	if e.getSlot(idx*e.x64+e.x64-1) >= 0 {
+		return true
+	}
+	return w.susp.has(idx)
+}
+
+// genPass drives one generation pass: finish an interrupted stolen span
+// first, then advance over the worker's own block span by span,
+// claiming each span before entering it (a span a sibling already stole
+// is skipped whole). Returns false when a checkpoint epoch paused the
+// pass (cursors keep their place), true when no unclaimed work remains
+// in this worker's block.
+func (w *worker) genPass() bool {
+	e := w.e
+	if w.stealLo < w.stealHi {
+		if !w.genRange(&w.stealLo, w.stealHi) {
+			return false
+		}
+	}
+	for w.cursor < w.hi {
+		if w.err != nil {
+			return true
+		}
+		span := (w.cursor - w.lo) / e.spanSize
+		if !atomic.CompareAndSwapInt32(&w.claims[span], -1, int32(w.id)) &&
+			atomic.LoadInt32(&w.claims[span]) != int32(w.id) {
+			// A sibling stole this span; skip it whole.
+			w.cursor = w.spanEnd(w.cursor)
+			continue
+		}
+		// Claimed (or re-entered after a checkpoint pause mid-span).
+		if !w.genRange(&w.cursor, w.spanEnd(w.cursor)) {
+			return false
+		}
+	}
+	return true
+}
+
+// trySteal claims one span of unstarted work from the sibling with the
+// most unclaimed spans, taking the tail-most one (the victim's own pass
+// claims head-first, so contention meets in the middle). Returns true
+// after installing the stolen range for genPass, false when no
+// unclaimed span exists anywhere — which, since claims only ever move
+// -1 -> worker id, means no steal will ever succeed again.
+func (w *worker) trySteal() bool {
+	e := w.e
+	// Yield before raiding: exhausting the own block used to park the
+	// worker, which was the scheduling point that let the dispatcher
+	// (checkpoint triggers, wire delivery) and slower siblings run on
+	// saturated hosts. Stealing removes the park, so restore the yield
+	// explicitly — this is the idle path, the hot loop never pays it.
+	runtime.Gosched()
+	for {
+		victim, bestSpan, bestAvail := -1, -1, 0
+		for i, v := range e.workers {
+			if i == w.id || v.claims == nil {
+				continue
+			}
+			avail, last := 0, -1
+			for s := range v.claims {
+				if atomic.LoadInt32(&v.claims[s]) < 0 {
+					avail++
+					last = s
+				}
+			}
+			if avail > bestAvail {
+				victim, bestSpan, bestAvail = i, last, avail
+			}
+		}
+		if victim < 0 {
+			return false
+		}
+		v := e.workers[victim]
+		if !atomic.CompareAndSwapInt32(&v.claims[bestSpan], -1, int32(w.id)) {
+			continue // lost the race; rescan
+		}
+		w.stealLo = v.lo + int64(bestSpan)*e.spanSize
+		w.stealHi = v.spanEnd(w.stealLo)
+		w.steals++
+		w.stolenNodes += w.stealHi - w.stealLo
+		return true
+	}
+}
+
 // runConcurrent is a worker goroutine's whole life: generation passes
 // interleaved with checkpoint pauses (serve the cascade until the cut
-// commits, then continue the pass), then serve the inbox until the
-// dispatcher closes it (stop) or the engine aborts.
+// commits, then continue the pass), then — once its own block is done —
+// stealing unstarted spans from loaded siblings until none remain, then
+// serving the inbox until the dispatcher closes it (stop) or the engine
+// aborts.
 func (w *worker) runConcurrent() {
-	for !w.genPass() {
-		if !w.serve(true) {
-			return
+	for {
+		if !w.genPass() {
+			if !w.serve(true) {
+				return
+			}
+			continue
+		}
+		if w.err != nil || !w.trySteal() {
+			break
 		}
 	}
 	w.serve(false)

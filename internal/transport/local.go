@@ -3,7 +3,9 @@ package transport
 import "fmt"
 
 // LocalGroup is a set of in-process endpoints, one per rank, sharing
-// unbounded mailboxes. Create one per simulated "cluster".
+// mailboxes bounded at DefaultQueueLimit frames (a stalled rank fails
+// its senders with ErrBacklog rather than growing the queue without
+// limit). Create one per simulated "cluster".
 type LocalGroup struct {
 	boxes []*mailbox
 }
@@ -15,7 +17,7 @@ func NewLocalGroup(p int) (*LocalGroup, error) {
 	}
 	g := &LocalGroup{boxes: make([]*mailbox, p)}
 	for i := range g.boxes {
-		g.boxes[i] = newMailbox()
+		g.boxes[i] = newMailboxLimited(DefaultQueueLimit)
 	}
 	return g, nil
 }

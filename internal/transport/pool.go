@@ -1,6 +1,10 @@
 package transport
 
-import "sync"
+import (
+	"sync"
+
+	"pagen/internal/msg"
+)
 
 // Frame-buffer pooling. The hot path sends one frame per flushed message
 // batch; leasing the byte buffers from a pool instead of allocating per
@@ -55,4 +59,45 @@ func ReleaseFrame(b []byte) {
 	fb := emptyBoxes.Get().(*frameBuf)
 	fb.b = b
 	fullFrames.Put(fb)
+}
+
+// Message-slice pooling for the MsgSender fast path: the same
+// lease/release ownership rule as frame buffers, applied to decoded
+// []msg.Message batches handed across ranks by reference. The producer
+// leases with LeaseMsgs and hands ownership to SendMsgs; the consumer
+// releases exactly once with ReleaseMsgs after copying the messages
+// out; leaked slices (shutdown drops) are garbage collected.
+
+// msgBuf boxes a pooled message slice so Put never allocates.
+type msgBuf struct{ ms []msg.Message }
+
+var (
+	fullMsgs      sync.Pool // *msgBuf with ms != nil
+	emptyMsgBoxes = sync.Pool{New: func() any { return new(msgBuf) }}
+)
+
+// LeaseMsgs returns a zero-length message slice with capacity at least
+// capHint, reusing a released slice when one is available.
+func LeaseMsgs(capHint int) []msg.Message {
+	if v := fullMsgs.Get(); v != nil {
+		mb := v.(*msgBuf)
+		ms := mb.ms[:0]
+		mb.ms = nil
+		emptyMsgBoxes.Put(mb)
+		if cap(ms) >= capHint {
+			return ms
+		}
+	}
+	return make([]msg.Message, 0, capHint)
+}
+
+// ReleaseMsgs returns a message slice to the pool. Zero-capacity slices
+// are dropped.
+func ReleaseMsgs(ms []msg.Message) {
+	if cap(ms) == 0 {
+		return
+	}
+	mb := emptyMsgBoxes.Get().(*msgBuf)
+	mb.ms = ms
+	fullMsgs.Put(mb)
 }

@@ -1,13 +1,19 @@
 // Package transport provides the point-to-point message substrate the
 // communicator (internal/comm) is built on — the role MPI plays in the
-// paper. Two implementations are provided:
+// paper. Three implementations are provided:
 //
-//   - Local: ranks are goroutines in one process, connected by unbounded
+//   - Local: ranks are goroutines in one process, connected by
 //     mailboxes. Deterministic-ish, cheap, and deadlock-free by
 //     construction: a send never blocks, so the circular-wait scenario
 //     the paper's Section 3.5.2 guards against cannot wedge the runtime
 //     (the buffering *policy* is still implemented faithfully in
 //     internal/comm, where its effect on message counts is measured).
+//     Mailbox depth is bounded at DefaultQueueLimit: a wedged consumer
+//     fails the sender fast with ErrBacklog instead of growing the
+//     queue until the process OOMs.
+//   - Shm: Local plus the MsgSender fast path — co-located ranks hand
+//     pooled message batches across by reference, skipping the v3 codec
+//     entirely. This is the default for pagen -ranks on one host.
 //   - TCP: ranks are separate OS processes in a full mesh of TCP
 //     connections with length-prefixed frames — genuine distributed
 //     memory. Per-connection reader goroutines pump frames into the same
@@ -18,17 +24,57 @@
 // internal/msg, batching policy in internal/comm.
 package transport
 
-import "errors"
+import (
+	"errors"
 
-// Frame is one received transport frame.
+	"pagen/internal/msg"
+)
+
+// Frame is one received transport frame. Exactly one of Data and Msgs
+// is set: Data carries serialized bytes (the wire formats in
+// internal/msg), Msgs carries decoded messages handed across by
+// reference on a shared-memory transport (see MsgSender). Consumers
+// must check Msgs first and fall back to decoding Data.
 type Frame struct {
 	From int
 	Data []byte
+	Msgs []msg.Message
 }
 
 // ErrClosed is returned by Recv after Close, and by Send on a closed
 // transport.
 var ErrClosed = errors.New("transport: closed")
+
+// ErrBacklog is returned by Send on a bounded in-process transport when
+// the destination mailbox has accumulated DefaultQueueLimit undelivered
+// frames. It means the receiving rank has effectively stopped consuming
+// (deadlock, livelock, or a wedged goroutine): the protocol's buffering
+// policy flushes at most one frame per BufferCap messages, so a healthy
+// receiver drains far faster than any sender can legally produce.
+// Failing fast surfaces the wedge instead of growing the queue until
+// the process OOMs.
+var ErrBacklog = errors.New("transport: receiver backlog limit exceeded")
+
+// DefaultQueueLimit bounds the per-rank mailbox depth of the bounded
+// in-process transports (Local and Shm). At the default BufferCap of
+// 256 messages per frame this is ≈33M buffered messages per receiver —
+// orders of magnitude beyond any healthy backlog, so the limit only
+// trips on a genuinely stuck consumer.
+const DefaultQueueLimit = 1 << 17
+
+// MsgSender is the optional no-serialize fast path a Transport may
+// provide for co-located ranks. SendMsgs hands a decoded message batch
+// to rank to by reference; the callee takes ownership of ms (the caller
+// must not touch it afterwards), mirroring the Send contract for byte
+// buffers. The consumer releases the slice exactly once with
+// ReleaseMsgs, mirroring ReleaseFrame.
+//
+// Wrappers that operate on frame bytes (Chaos, Delayed) deliberately do
+// not implement MsgSender, so wrapping an Shm endpoint transparently
+// falls back to the serialized path.
+type MsgSender interface {
+	SendMsgs(to int, ms []msg.Message) error
+}
 
 // Transport is a reliable, per-pair-ordered frame transport among P ranks.
 type Transport interface {
@@ -58,6 +104,7 @@ type mailbox struct {
 	notify chan struct{} // 1-buffered wakeup
 	q      []Frame
 	head   int
+	limit  int // max undelivered frames; 0 = unbounded
 	closed bool
 }
 
@@ -70,6 +117,17 @@ func newMailbox() *mailbox {
 	return m
 }
 
+// newMailboxLimited returns a mailbox whose push fails with ErrBacklog
+// once limit frames are queued undelivered. The in-process group
+// transports use this to bound queue growth behind a stuck consumer;
+// TCP keeps unbounded mailboxes because its reader goroutines must
+// never stall the peer's kernel buffers.
+func newMailboxLimited(limit int) *mailbox {
+	m := newMailbox()
+	m.limit = limit
+	return m
+}
+
 func (m *mailbox) lock()   { <-m.mu }
 func (m *mailbox) unlock() { m.mu <- struct{}{} }
 
@@ -78,6 +136,10 @@ func (m *mailbox) push(f Frame) error {
 	if m.closed {
 		m.unlock()
 		return ErrClosed
+	}
+	if m.limit > 0 && len(m.q)-m.head >= m.limit {
+		m.unlock()
+		return ErrBacklog
 	}
 	m.q = append(m.q, f)
 	m.unlock()

@@ -86,6 +86,12 @@ type Config struct {
 	// the rank's local node count. Output is byte-identical across
 	// worker counts.
 	Workers int
+	// Transport selects how co-located ranks exchange message batches:
+	// "shm" (the default; batches move between rank goroutines by
+	// reference, no per-message serialization) or "local" (every batch
+	// round-trips through the wire codec — the serialization ablation).
+	// Output is byte-identical across transports.
+	Transport string
 	// Scheme is the node-partitioning scheme: "RRP" (default), "LCP",
 	// "UCP" or "ExactCP".
 	Scheme string
@@ -231,6 +237,7 @@ func Generate(cfg Config) (*Result, error) {
 		Part:             part,
 		Seed:             cfg.Seed,
 		Workers:          cfg.Workers,
+		Transport:        cfg.Transport,
 		BufferCap:        cfg.BufferCap,
 		PollEvery:        cfg.PollEvery,
 		HubPrefix:        cfg.HubPrefix,
@@ -322,6 +329,7 @@ func GenerateStream(cfg Config, sink func(rank int, e Edge)) (*Result, error) {
 		Part:           part,
 		Seed:           cfg.Seed,
 		Workers:        cfg.Workers,
+		Transport:      cfg.Transport,
 		BufferCap:      cfg.BufferCap,
 		PollEvery:      cfg.PollEvery,
 		HubPrefix:      cfg.HubPrefix,
@@ -356,6 +364,7 @@ func GenerateToShards(cfg Config, dir string) (*Result, error) {
 		Part:           part,
 		Seed:           cfg.Seed,
 		Workers:        cfg.Workers,
+		Transport:      cfg.Transport,
 		BufferCap:      cfg.BufferCap,
 		PollEvery:      cfg.PollEvery,
 		HubPrefix:      cfg.HubPrefix,

@@ -24,6 +24,12 @@
 # fingerprint as an in-memory run of the same configuration, and
 # converting it with pa-analyze -export-binary must reproduce the
 # in-memory binary output byte for byte.
+#
+# With "shm" as the first argument it runs the in-process transport
+# smoke instead: pagen over the shared-memory transport (message
+# batches by reference, no codec) against the codec-ablation local
+# transport, at 1 and 2 workers per rank — all four outputs must be
+# byte-identical (DESIGN.md §13.1).
 set -eu
 
 MODE=${1:-basic}
@@ -36,6 +42,31 @@ TIMEOUT=${TIMEOUT:-120}
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
+
+if [ "$MODE" = shm ]; then
+    # In-process transport smoke: the shm fast path and the local codec
+    # path must agree byte for byte, at every worker count.
+    SEED=${SEED:-7}
+    go build -o "$workdir/pagen" ./cmd/pagen
+
+    ref=""
+    for tr in shm local; do
+        for w in 1 2; do
+            out="$workdir/$tr-w$w.bin"
+            timeout "$TIMEOUT" "$workdir/pagen" -n "$N" -x "$X" -seed "$SEED" \
+                -ranks "$RANKS" -workers "$w" -transport "$tr" \
+                -format binary -o "$out"
+            if [ -z "$ref" ]; then
+                ref="$out"
+            else
+                cmp "$ref" "$out" \
+                    || { echo "output differs: $ref vs $out" >&2; exit 1; }
+            fi
+        done
+    done
+    echo "pagen shm smoke: $RANKS ranks, shm and local transports at 1 and 2 workers, all outputs byte-identical (n=$N, x=$X)"
+    exit 0
+fi
 
 go build -o "$workdir/pa-tcp" ./cmd/pa-tcp
 
