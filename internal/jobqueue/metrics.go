@@ -1,0 +1,66 @@
+package jobqueue
+
+import "pagen/internal/obs"
+
+// metricCounters are the queue's monotone counters and latency
+// histograms, maintained under the queue lock. The histograms reuse
+// internal/obs's fixed power-of-two-bucket Histogram — the same
+// machinery (and JSON shape) the per-run metric records use — so the
+// control plane's latency telemetry composes with the generator's.
+type metricCounters struct {
+	// Submitted counts accepted Submit calls; Rejected the Submit
+	// calls refused with ErrQueueFull.
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	// Completed/Failed/Cancelled count terminal transitions;
+	// Preempted operator preemptions; Restarts crash respawns.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Preempted int64 `json:"preempted"`
+	Restarts  int64 `json:"restarts"`
+	// QueueWait observes each admission's wait (nanoseconds: the
+	// stint between entering the pending queue and getting slots);
+	// RunTime each completed job's cumulative pool time (nanoseconds).
+	QueueWait obs.Histogram `json:"queue_wait_nanos"`
+	RunTime   obs.Histogram `json:"run_nanos"`
+}
+
+// MetricsSnapshot is the exported /metrics record of the control
+// plane: the monotone counters plus a point-in-time view of the pool
+// and the queue. The invariant the load test reconciles:
+// submitted == completed + failed + cancelled + queued + running +
+// checkpointed (every accepted job is in exactly one bucket).
+type MetricsSnapshot struct {
+	metricCounters
+	// SlotsTotal and SlotsFree describe the rank-slot pool now.
+	SlotsTotal int `json:"slots_total"`
+	SlotsFree  int `json:"slots_free"`
+	// Queued, Running and Checkpointed count jobs currently in each
+	// non-terminal state.
+	Queued       int `json:"queued"`
+	Running      int `json:"running"`
+	Checkpointed int `json:"checkpointed"`
+}
+
+// Metrics returns a consistent snapshot of the queue's metrics.
+func (q *Queue) Metrics() MetricsSnapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := MetricsSnapshot{
+		metricCounters: q.met,
+		SlotsTotal:     q.cfg.Slots,
+		SlotsFree:      q.free,
+	}
+	for _, j := range q.jobs {
+		switch j.State {
+		case StateQueued:
+			s.Queued++
+		case StateRunning:
+			s.Running++
+		case StateCheckpointed:
+			s.Checkpointed++
+		}
+	}
+	return s
+}

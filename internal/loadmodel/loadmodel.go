@@ -9,6 +9,11 @@
 // reproduces the relative behaviour of UCP/LCP/RRP in Figures 5 and 6
 // independently of how many physical cores execute the simulation — the
 // substitution DESIGN.md documents for this container's single core.
+//
+// The same makespan is the job-length scale in the pa-serve control
+// plane's admission analysis (DESIGN.md §14.2): the queue's starvation
+// bound is ReserveAfter plus the drain makespan of the running set,
+// and Makespan is the natural predictor for an EASY-backfill extension.
 package loadmodel
 
 import (

@@ -8,9 +8,13 @@
 #   2. No undocumented flags: every flag a binary defines must be
 #      mentioned either in that binary's own doc comment (the // block
 #      `go doc` shows) or in the prose documentation above.
+#   3. pa-serve's HTTP surface: every route literal the daemon
+#      registers must be documented in docs/API.md, and every route
+#      docs/API.md mentions must be served — an endpoint cannot be
+#      added, renamed or removed without updating the API reference.
 #
 # Run from the repository root; exits non-zero listing every stale or
-# undocumented flag.
+# undocumented flag or endpoint.
 set -eu
 
 bindir=$(mktemp -d)
@@ -65,7 +69,31 @@ for b in "$bindir"/*; do
     done
 done
 
+# Direction 3: the pa-serve HTTP surface. Route literals are the Go
+# 1.22 mux patterns ("METHOD /path") registered in cmd/pa-serve;
+# docs/API.md must mention each one in backticks, and must not mention
+# any the daemon does not serve.
+served="$bindir/served"
+for f in cmd/pa-serve/*.go; do
+    case "$f" in *_test.go) continue ;; esac
+    grep -ho '"\(GET\|POST\|PUT\|PATCH\|DELETE\) /[^"]*"' "$f" || true
+done | tr -d '"' | sort -u >"$served"
+
+documented="$bindir/documented"
+grep -ho '`\(GET\|POST\|PUT\|PATCH\|DELETE\) /[^`]*`' docs/API.md \
+    | tr -d '\`' | sort -u >"$documented"
+
+if ! cmp -s "$served" "$documented"; then
+    comm -23 "$served" "$documented" | while read -r r; do
+        echo "undocumented endpoint: pa-serve serves \"$r\", docs/API.md never mentions it" >&2
+    done
+    comm -13 "$served" "$documented" | while read -r r; do
+        echo "stale endpoint: docs/API.md documents \"$r\", pa-serve does not serve it" >&2
+    done
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "cli flags: docs and -h agree for all $(ls cmd | wc -l | tr -d ' ') binaries"
+echo "cli flags: docs and -h agree for all $(ls cmd | wc -l | tr -d ' ') binaries; pa-serve routes match docs/API.md ($(wc -l <"$served" | tr -d ' ') endpoints)"

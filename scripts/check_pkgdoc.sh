@@ -6,6 +6,8 @@
 #   - every internal/ package: a "// Package <name> ..." block,
 #   - every cmd/ program:      a "// Command <name> ..." block,
 #   - the root package pagen:  a "// Package pagen ..." block,
+#   - every examples/ program: a leading // block on its main file
+#     (the text `go doc ./examples/<name>` shows),
 #
 # and every block must be substantive — at least MIN_LINES comment
 # lines — so a one-line stub dropped in to silence the checker fails
@@ -42,11 +44,31 @@ check() { # check DIR NAME PREFIX
     fi
 }
 
+# check_main DIR — examples carry their doc as the contiguous // block
+# immediately above the `package main` clause.
+check_main() {
+    dir=$1
+    f=$(grep -l '^package main$' "$dir"*.go | head -1 || true)
+    if [ -z "$f" ]; then
+        echo "missing main package: $dir has no 'package main' file" >&2
+        fail=1
+        return
+    fi
+    lines=$(awk '/^\/\//{c++; next} /^package main$/{print c + 0; exit} {c = 0}' "$f")
+    if [ "${lines:-0}" -lt "$MIN_LINES" ]; then
+        echo "stub doc comment: $f has ${lines:-0} comment lines before 'package main', want >= $MIN_LINES" >&2
+        fail=1
+    fi
+}
+
 for dir in internal/*/; do
     check "$dir" "$(basename "$dir")" Package
 done
 for dir in cmd/*/; do
     check "$dir" "$(basename "$dir")" Command
+done
+for dir in examples/*/; do
+    check_main "$dir"
 done
 check "./" pagen Package
 
