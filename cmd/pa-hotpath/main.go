@@ -39,6 +39,18 @@
 //
 //	pa-hotpath -n 100000000 -x 1 -ranks 1 -stream-dir /tmp/shards \
 //	    -out results/BENCH_stream.json
+//
+// -ckpt-every DLIST switches to the checkpoint-stall sweep: for each
+// cadence one streamed+checkpointed run at the first -ranks/-workers
+// setting records the per-epoch generation pause and background publish
+// time (the low-stall checkpointing trajectory), -ckpt-full-every adds
+// base+delta rows at that full-snapshot cadence, and -ckpt-kill-sends
+// adds kill/resume legs verifying the resumed shard output is identical
+// to an uninterrupted run. It maintains results/BENCH_ckpt.json:
+//
+//	pa-hotpath -n 1000000 -ranks 4 -workers 1 -ckpt-every 50000,100000 \
+//	    -ckpt-dir /tmp/ckbench -ckpt-full-every 4 -ckpt-kill-sends 40,400 \
+//	    -baseline old.json -out results/BENCH_ckpt.json
 package main
 
 import (
@@ -70,6 +82,10 @@ func main() {
 		rcDepth     = flag.Int("recompute-depth", 0, "recompute replay chain depth cap for the -resolve sweep (0 = ~2*log2(n))")
 		streamDir   = flag.String("stream-dir", "", "benchmark one streamed run spilling shards to this directory (records throughput, sink counters and peak RSS)")
 		streamBlock = flag.Int("stream-block-edges", 0, "edge records per stream block for the -stream-dir benchmark (0 = 65536)")
+		ckptEvery   = flag.String("ckpt-every", "", "comma-separated checkpoint cadences to sweep; measures per-epoch pause/publish instead of the hot path (needs -ckpt-dir)")
+		ckptDir     = flag.String("ckpt-dir", "", "scratch directory for the -ckpt-every sweep's checkpoints and shards")
+		ckptFull    = flag.Int("ckpt-full-every", 0, "adds base+delta rows at this full-snapshot cadence to the -ckpt-every sweep (0 = full-only rows)")
+		ckptKills   = flag.String("ckpt-kill-sends", "", "comma-separated chaos kill budgets for the -ckpt-every resume-identity legs (empty = skip)")
 	)
 	flag.Parse()
 
@@ -110,6 +126,74 @@ func main() {
 				fmt.Printf("n=%d x=%d ranks=%d workers=%d seed=%d fingerprint=%016x\n", *n, *x, p, w, *seed, h)
 			}
 		}
+		return
+	}
+
+	if *ckptEvery != "" {
+		everyList, err := cliutil.ParseInts(*ckptEvery)
+		if err != nil {
+			fatal(err)
+		}
+		var killList []int
+		if *ckptKills != "" {
+			if killList, err = cliutil.ParseInts(*ckptKills); err != nil {
+				fatal(err)
+			}
+		}
+		if *ckptDir == "" {
+			fatal(fmt.Errorf("-ckpt-every needs -ckpt-dir (scratch space for checkpoints and shards)"))
+		}
+		ranks, workers := 1, 1
+		if len(rankList) > 0 {
+			ranks = rankList[0]
+		}
+		if len(workerList) > 0 {
+			workers = workerList[0]
+		}
+		cfg := bench.CkptConfig{
+			N: *n, X: *x, Ranks: ranks, Workers: workers, Seed: *seed,
+			FullEvery: *ckptFull, Dir: *ckptDir,
+		}
+		for _, e := range everyList {
+			cfg.Every = append(cfg.Every, int64(e))
+		}
+		for _, k := range killList {
+			cfg.KillSends = append(cfg.KillSends, int64(k))
+		}
+		rep, err := bench.CkptSweep(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Label = *label
+		var base *bench.CkptReport
+		if *baseline != "" {
+			if base, err = bench.ReadCkptJSON(*baseline); err != nil {
+				fatal(err)
+			}
+			rep.Baseline = base.Rows
+			rep.BaselineLabel = base.Label
+		}
+		if *out == "" {
+			if err := bench.WriteCkpt(os.Stdout, rep); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteCkptJSON(f, base, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteCkpt(os.Stderr, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
 		return
 	}
 

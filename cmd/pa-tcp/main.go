@@ -98,8 +98,9 @@ func main() {
 			"mesh-establishment deadline (a peer missing past it is an error, not a hang)")
 		ckptDir     = flag.String("checkpoint-dir", "", "write per-rank snapshots to this directory (shared across ranks)")
 		ckptN       = flag.Int64("checkpoint-every", 0, "protocol events between checkpoint epochs (requires -checkpoint-dir)")
-		ckptKeep    = flag.Int("checkpoint-keep", 0, "committed epochs to retain per rank (0 = default)")
-		resume      = flag.Bool("resume", false, "resume from the latest complete epoch in -checkpoint-dir")
+		ckptKeep    = flag.Int("checkpoint-keep", 0, "full epochs to retain per rank (0 = default)")
+		ckptFull    = flag.Int("checkpoint-full-every", 0, "full-snapshot cadence: every Nth epoch is full, the rest are incremental deltas (0 or 1 = all full)")
+		resume      = flag.Bool("resume", false, "resume from the latest restorable epoch in -checkpoint-dir")
 		supervise   = flag.Bool("supervise", false, "run as a supervisor: spawn all ranks locally, restart the cluster from the last checkpoint on crash")
 		maxRestarts = flag.Int("max-restarts", 3, "restart attempts before the supervisor gives up")
 		shardDir    = flag.String("shard-dir", "", "supervisor mode: directory the child ranks write their shards to")
@@ -116,10 +117,7 @@ func main() {
 		fatal(fmt.Errorf("-transport %q: pa-tcp ranks are separate processes and only speak tcp; for shm or local run the ranks in one process with pagen -transport=%s", *transp, *transp))
 	}
 
-	ck := checkpointOptions(*ckptDir, *ckptN, *ckptKeep, *resume)
-	if ck != nil && *metrics != "" {
-		fatal(fmt.Errorf("checkpointing is incompatible with -metrics (node-load counters are not captured in snapshots)"))
-	}
+	ck := checkpointOptions(*ckptDir, *ckptN, *ckptKeep, *ckptFull, *resume)
 
 	mode, err := core.ParseResolveMode(*resolve)
 	if err != nil {
@@ -131,7 +129,7 @@ func main() {
 			n: *n, x: *x, p: *p, scheme: *scheme, seed: *seed,
 			workers: *workers, hub: *hub, stats: *stats, handshake: *handshake,
 			resolve: *resolve, rcDepth: *rcDepth,
-			ckptDir: *ckptDir, ckptN: *ckptN, ckptKeep: *ckptKeep,
+			ckptDir: *ckptDir, ckptN: *ckptN, ckptKeep: *ckptKeep, ckptFull: *ckptFull,
 			resume: *resume, maxRestarts: *maxRestarts, shardDir: *shardDir,
 			streamDir: *streamDir, streamBlock: *streamBlock,
 		})
@@ -172,7 +170,10 @@ func main() {
 		HubPrefix:        *hub,
 		Resolve:          mode,
 		RecomputeDepth:   *rcDepth,
-		CollectNodeLoad:  *metrics != "",
+		// Node-load counters are the one metrics input snapshots do not
+		// capture; under checkpointing -metrics still exports everything
+		// else (pause/write histograms included).
+		CollectNodeLoad:  *metrics != "" && ck == nil,
 		Checkpoint:       ck,
 		StreamDir:        *streamDir,
 		StreamBlockEdges: *streamBlock,
@@ -290,11 +291,11 @@ func writeMetrics(path string, rank int, res *core.RankResult, part partition.Sc
 
 // checkpointOptions translates the checkpoint flags to engine options
 // (nil when checkpointing is not requested).
-func checkpointOptions(dir string, every int64, keep int, resume bool) *core.CheckpointOptions {
+func checkpointOptions(dir string, every int64, keep, fullEvery int, resume bool) *core.CheckpointOptions {
 	if dir == "" && every == 0 && !resume {
 		return nil
 	}
-	return &core.CheckpointOptions{Dir: dir, Every: every, Keep: keep, Resume: resume}
+	return &core.CheckpointOptions{Dir: dir, Every: every, Keep: keep, FullEvery: fullEvery, Resume: resume}
 }
 
 // reportResumeScan previews what a resume will find for this rank:
@@ -337,6 +338,7 @@ type supervisorConfig struct {
 	ckptDir     string
 	ckptN       int64
 	ckptKeep    int
+	ckptFull    int
 	resume      bool
 	maxRestarts int
 	shardDir    string
@@ -412,6 +414,7 @@ func superviseOnce(exe string, addrList []string, sc supervisorConfig, resume bo
 			"-checkpoint-dir", sc.ckptDir,
 			"-checkpoint-every", strconv.FormatInt(sc.ckptN, 10),
 			"-checkpoint-keep", strconv.Itoa(sc.ckptKeep),
+			"-checkpoint-full-every", strconv.Itoa(sc.ckptFull),
 		}
 		if sc.streamDir != "" {
 			args = append(args,

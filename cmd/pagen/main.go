@@ -66,8 +66,9 @@ func main() {
 		metrics     = flag.String("metrics", "", "write run metrics JSON to this file (\"-\" = stderr)")
 		ckptDir     = flag.String("checkpoint-dir", "", "write per-rank snapshots to this directory (see docs/OPERATIONS.md)")
 		ckptN       = flag.Int64("checkpoint-every", 0, "protocol events between checkpoint epochs (requires -checkpoint-dir)")
-		ckptKeep    = flag.Int("checkpoint-keep", 0, "committed epochs to retain per rank (0 = default)")
-		resume      = flag.Bool("resume", false, "resume from the latest complete epoch in -checkpoint-dir")
+		ckptKeep    = flag.Int("checkpoint-keep", 0, "full epochs to retain per rank (0 = default)")
+		ckptFull    = flag.Int("checkpoint-full-every", 0, "full-snapshot cadence: every Nth epoch is full, the rest are incremental deltas (0 or 1 = all full)")
+		resume      = flag.Bool("resume", false, "resume from the latest restorable epoch in -checkpoint-dir")
 	)
 	flag.Parse()
 
@@ -81,13 +82,18 @@ func main() {
 	default:
 		fatal(fmt.Errorf("-transport %q: want shm or local", *transport))
 	}
+	ckptOn := *ckptDir != "" || *ckptN != 0 || *resume
 	cfg := pagen.Config{N: *n, X: *x, P: *p, Ranks: *ranks, Workers: *workers,
 		Transport: *transport,
 		Scheme:    *scheme, Seed: *seed, HubPrefix: *hub,
 		Resolve: *resolve, RecomputeDepth: *rcDepth,
-		CollectNodeLoad: *metrics != "",
+		// Per-node load counters are the one metrics input snapshots do
+		// not capture; under checkpointing -metrics still exports
+		// everything else (pause/write histograms included), just
+		// without the load curve.
+		CollectNodeLoad: *metrics != "" && !ckptOn,
 		CheckpointDir:   *ckptDir, CheckpointEvery: *ckptN,
-		CheckpointKeep: *ckptKeep, Resume: *resume,
+		CheckpointKeep: *ckptKeep, CheckpointFullEvery: *ckptFull, Resume: *resume,
 		StreamDir: *streamDir, StreamBlockEdges: *streamBlock}
 
 	if *seq && *metrics != "" {
@@ -96,14 +102,12 @@ func main() {
 	if *seq && *resolve != "wire" {
 		fatal(fmt.Errorf("-resolve needs the parallel engine (drop -seq)"))
 	}
-	if *ckptDir != "" || *ckptN != 0 || *resume {
+	if ckptOn {
 		switch {
 		case *seq:
 			fatal(fmt.Errorf("checkpointing needs the parallel engine (drop -seq)"))
 		case *shardDir != "":
 			fatal(fmt.Errorf("checkpointing is incompatible with -shard-dir (snapshots cannot rewind streamed edges; use -stream-dir, whose shards resume)"))
-		case *metrics != "":
-			fatal(fmt.Errorf("checkpointing is incompatible with -metrics (node-load counters are not captured in snapshots)"))
 		}
 	}
 

@@ -1,0 +1,97 @@
+package ckpt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSnapshot builds a representative full snapshot: a 1M-slot F
+// table with realistic values, a worker shard with a few suspended
+// nodes and waiters, and a sink mark.
+func benchSnapshot(kind int) *Snapshot {
+	rng := rand.New(rand.NewSource(7))
+	s := &Snapshot{
+		Meta: Meta{N: 250_000, X: 4, P: 0.5, Seed: 42, Ranks: 4, Rank: 1,
+			Scheme: "RRP"},
+		Epoch:   3,
+		NextTag: 17,
+		Kind:    kind,
+		Workers: []WorkerState{{
+			Lo: 0, Hi: 62_500,
+			Susp: []SuspRecord{
+				{Idx: 100, Edge: 2, RNG: [4]uint64{1, 2, 3, 4}},
+				{Idx: 30_000, Edge: 0, RNG: [4]uint64{5, 6, 7, 8}},
+			},
+			Waiters: []WaiterRecord{{Slot: 12, T: 99, E: 1}, {Slot: 12, T: 120, E: 3}},
+		}},
+		Stats: Stats{Retries: 5, QueuedWaits: 11, LocalWaits: 7},
+		Sink:  &SinkMark{Offset: 1 << 20, Blocks: 16, Edges: 1_000_000},
+	}
+	const flen = 1_000_000
+	if kind == KindDelta {
+		s.BaseEpoch = 2
+		s.FLen = flen
+		// ~2% of the table dirtied in a handful of contiguous ranges —
+		// the shape a between-fulls epoch produces.
+		vals := make([]int64, 20_000)
+		for i := range vals {
+			vals[i] = rng.Int63n(flen) - 1
+		}
+		for i := 0; i < 4; i++ {
+			lo := i * 5000
+			s.Delta = append(s.Delta, DeltaRange{
+				Start:  int64(i * 250_000),
+				Values: vals[lo : lo+5000],
+			})
+		}
+	} else {
+		s.F = make([]int64, flen)
+		for i := range s.F {
+			s.F[i] = rng.Int63n(flen) - 1
+		}
+	}
+	return s
+}
+
+// BenchmarkEncodeFull measures the background writer's encode step for
+// a full snapshot with the pooled Encoder. After the first iteration
+// grows the scratch buffer, steady state is zero allocations per epoch.
+func BenchmarkEncodeFull(b *testing.B) {
+	s := benchSnapshot(KindFull)
+	var enc Encoder
+	enc.Encode(s) // warm the scratch buffer (the pool's steady state)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(enc.Encode(s)) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+// BenchmarkEncodeDelta measures the encode step for an incremental
+// delta epoch (~2% dirty) — the common between-fulls case.
+func BenchmarkEncodeDelta(b *testing.B) {
+	s := benchSnapshot(KindDelta)
+	var enc Encoder
+	enc.Encode(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(enc.Encode(s)) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+// TestEncoderSteadyStateAllocs pins the pooling contract the capture
+// pause relies on: once the scratch buffer has grown to the snapshot's
+// size, Encode allocates nothing.
+func TestEncoderSteadyStateAllocs(t *testing.T) {
+	s := benchSnapshot(KindFull)
+	var enc Encoder
+	enc.Encode(s)
+	if avg := testing.AllocsPerRun(5, func() { enc.Encode(s) }); avg > 0 {
+		t.Errorf("steady-state Encode allocates %.1f objects per epoch, want 0", avg)
+	}
+}

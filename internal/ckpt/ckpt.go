@@ -5,19 +5,26 @@
 // prefix of the F attachment table, every suspended node's private RNG
 // stream position and edge index, the pending waiter queues, any
 // not-yet-flushed outbound message batches, and the collective tag
-// counter. The format is streamed (the writer needs O(1) memory beyond
-// the state it serializes, dominated by varint-packed F), byte-for-byte
-// specified in docs/CHECKPOINT_FORMAT.md, and verified on read by a
-// whole-file CRC-32C so a torn write is detected rather than resumed
-// from.
+// counter. The format is byte-for-byte specified in
+// docs/CHECKPOINT_FORMAT.md and verified on read by a whole-file
+// CRC-32C so a torn write is detected rather than resumed from.
+//
+// Snapshots come in two kinds. A full snapshot carries the entire F
+// table. A delta snapshot carries only the F ranges dirtied since its
+// base epoch plus full copies of the (small, quiescent-time) worker and
+// sink sections; restoring a delta replays its base+delta chain back to
+// the nearest full snapshot. Encoding is buffer-based — Encoder reuses
+// one scratch buffer across epochs so a steady checkpoint cadence
+// performs no O(state) transient allocations.
 //
 // The package is pure serialization: which state goes into a snapshot,
-// and when all ranks' snapshots form a mutually consistent cut, is
-// internal/core's business (DESIGN.md §9).
+// when all ranks' snapshots form a mutually consistent cut, and which
+// epochs are safe to prune is negotiated by internal/core (DESIGN.md
+// §9); this package supplies the chain mechanics (Materialize, Latest,
+// Prune) those policies are built from.
 package ckpt
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -31,16 +38,28 @@ import (
 const Magic = "PAGENCK1"
 
 // Version is the current snapshot format version. Readers reject any
-// other value: the format carries no compat shims yet, and resuming
-// from a mis-parsed snapshot would silently corrupt the output graph.
+// other value: the format carries no compat shims, and resuming from a
+// mis-parsed snapshot would silently corrupt the output graph.
 // Version 2 added the requester-side coalescing chains (Remote) to the
 // worker sections; version 3 added the resolve mode and recompute depth
 // cap to the meta section so a resume cannot silently change resolver
 // settings mid-run; version 4 added the optional sink-mark section 'K'
 // recording the streaming edge sink's durable shard position at the
-// cut, so a streamed run can truncate its shard back to the mark and
-// resume without duplicating or dropping edges.
-const Version = 4
+// cut; version 5 added the snapshot kind and base epoch to the meta
+// section and the delta-F section 'D', enabling incremental (base +
+// delta chain) epochs.
+const Version = 5
+
+// Snapshot kinds (Snapshot.Kind).
+const (
+	// KindFull: the snapshot carries the entire F table ('F' section)
+	// and restores on its own.
+	KindFull = 0
+	// KindDelta: the snapshot carries only F ranges dirtied since epoch
+	// BaseEpoch ('D' section); restoring requires the full chain back
+	// to the nearest KindFull member.
+	KindDelta = 1
+)
 
 // castagnoli is the CRC-32C table (iSCSI polynomial) shared by writer
 // and reader.
@@ -122,9 +141,9 @@ type OutboundBatch struct {
 // SinkMark is the streaming edge sink's durable position at the cut:
 // the rank's shard file holds exactly Blocks complete blocks with Edges
 // edge records in its first Offset bytes, flushed and fsynced before
-// the snapshot was written. A resumed streamed run truncates the shard
-// to Offset and regenerates exactly the missing suffix (esink.Mark is
-// the engine-side twin). Present only in streamed runs.
+// the snapshot was published. A resumed streamed run truncates the
+// shard to Offset and regenerates exactly the missing suffix
+// (esink.Mark is the engine-side twin). Present only in streamed runs.
 type SinkMark struct {
 	Offset int64
 	Blocks int64
@@ -139,13 +158,34 @@ type Stats struct {
 	LocalWaits  int64
 }
 
+// DeltaRange is one contiguous run of F slots carried by a delta
+// snapshot: Values[i] is the value of slot Start+i at the cut. F slots
+// are write-once (NILL → value), so overlaying ranges over the base
+// never regresses a resolved slot.
+type DeltaRange struct {
+	Start  int64
+	Values []int64
+}
+
 // Snapshot is one rank's full checkpoint state.
 type Snapshot struct {
 	Meta    Meta
 	Epoch   int64
 	NextTag int64 // coll.Seq tag counter for the resumed run
+	// Kind is KindFull or KindDelta; BaseEpoch names the previous
+	// epoch in the chain for a delta (0 for a full snapshot).
+	Kind      int
+	BaseEpoch int64
 	// F is the rank's flat attachment table (slot s holds F, -1 = NILL).
-	F        []int64
+	// Populated for full snapshots; nil in an on-disk delta.
+	F []int64
+	// FLen is the total F table length, carried by delta snapshots so
+	// chain replay can validate range bounds before touching the base.
+	// Zero for a full snapshot (whose table length is len(F)).
+	FLen int64
+	// Delta holds the dirtied F ranges of a delta snapshot (nil for a
+	// full one).
+	Delta    []DeltaRange
 	Workers  []WorkerState
 	Outbound []OutboundBatch
 	Stats    Stats
@@ -155,7 +195,9 @@ type Snapshot struct {
 }
 
 // Path returns the snapshot filename for (rank, epoch) under dir. The
-// fixed-width fields make lexicographic and numeric order agree.
+// fixed-width fields make lexicographic and numeric order agree. Full
+// and delta snapshots share the naming scheme; the kind lives in the
+// file header (see ReadHeader).
 func Path(dir string, rank int, epoch int64) string {
 	return filepath.Join(dir, fmt.Sprintf("rank%04d-epoch%08d.ckpt", rank, epoch))
 }
@@ -178,154 +220,160 @@ func parseName(name string) (rank int, epoch int64, ok bool) {
 	return r, e, true
 }
 
-// crcWriter streams bytes into a buffered file while folding them into
-// a running CRC-32C, so the trailer covers exactly what hit the file.
-type crcWriter struct {
-	w   *bufio.Writer
-	crc uint32
-	n   int64
-	err error
+// Encoder serializes snapshots into a reused scratch buffer, so a
+// steady checkpoint cadence performs no O(state) transient allocations:
+// the buffer grows to the largest snapshot seen and is then recycled
+// epoch after epoch. An Encoder is not safe for concurrent use; the
+// engine gives its background writer a private one.
+type Encoder struct {
+	buf []byte
 }
 
-func (cw *crcWriter) Write(p []byte) (int, error) {
-	if cw.err != nil {
-		return 0, cw.err
+// Encode serializes s — sections plus the CRC-32C trailer — into the
+// encoder's scratch buffer and returns the encoded bytes. The returned
+// slice aliases the scratch buffer and is valid until the next Encode
+// call.
+func (enc *Encoder) Encode(s *Snapshot) []byte {
+	b := enc.buf[:0]
+	b = append(b, Magic...)
+	b = binary.AppendUvarint(b, Version)
+
+	// 'M': run identity + epoch + collective tag counter + kind/base.
+	b = append(b, 'M')
+	b = binary.AppendUvarint(b, uint64(s.Meta.N))
+	b = binary.AppendUvarint(b, uint64(s.Meta.X))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Meta.P))
+	b = binary.LittleEndian.AppendUint64(b, s.Meta.Seed)
+	b = binary.AppendUvarint(b, uint64(s.Meta.Ranks))
+	b = binary.AppendUvarint(b, uint64(s.Meta.Rank))
+	b = binary.AppendUvarint(b, uint64(len(s.Meta.Scheme)))
+	b = append(b, s.Meta.Scheme...)
+	b = binary.AppendUvarint(b, uint64(s.Meta.Resolve))
+	b = binary.AppendUvarint(b, uint64(s.Meta.RecomputeDepth))
+	b = binary.AppendUvarint(b, uint64(s.Epoch))
+	b = binary.AppendUvarint(b, uint64(s.NextTag))
+	b = binary.AppendUvarint(b, uint64(s.Kind))
+	b = binary.AppendUvarint(b, uint64(s.BaseEpoch))
+
+	if s.Kind == KindDelta {
+		// 'D': dirtied F ranges, varint-packed as value+1 like 'F'.
+		b = append(b, 'D')
+		b = binary.AppendUvarint(b, uint64(s.FLen))
+		b = binary.AppendUvarint(b, uint64(len(s.Delta)))
+		for _, dr := range s.Delta {
+			b = binary.AppendUvarint(b, uint64(dr.Start))
+			b = binary.AppendUvarint(b, uint64(len(dr.Values)))
+			for _, v := range dr.Values {
+				b = binary.AppendUvarint(b, uint64(v+1))
+			}
+		}
+	} else {
+		// 'F': the attachment table, varint-packed as value+1 so NILL
+		// (-1) costs one byte.
+		b = append(b, 'F')
+		b = binary.AppendUvarint(b, uint64(len(s.F)))
+		for _, v := range s.F {
+			b = binary.AppendUvarint(b, uint64(v+1))
+		}
 	}
-	cw.crc = crc32.Update(cw.crc, castagnoli, p)
-	cw.n += int64(len(p))
-	_, cw.err = cw.w.Write(p)
-	return len(p), cw.err
+
+	// 'W' (repeated): one section per worker shard of the writing run.
+	for _, ws := range s.Workers {
+		b = append(b, 'W')
+		b = binary.AppendUvarint(b, uint64(ws.Lo))
+		b = binary.AppendUvarint(b, uint64(ws.Hi))
+		b = binary.AppendUvarint(b, uint64(len(ws.Susp)))
+		for _, sr := range ws.Susp {
+			b = binary.AppendUvarint(b, uint64(sr.Idx))
+			b = binary.AppendUvarint(b, uint64(sr.Edge))
+			for _, w := range sr.RNG {
+				b = binary.LittleEndian.AppendUint64(b, w)
+			}
+		}
+		b = appendWaiterRecords(b, ws.Waiters)
+		b = appendWaiterRecords(b, ws.Remote)
+	}
+
+	// 'O': unflushed outbound batches (empty at a quiescent cut).
+	b = append(b, 'O')
+	b = binary.AppendUvarint(b, uint64(len(s.Outbound)))
+	for _, ob := range s.Outbound {
+		b = binary.AppendUvarint(b, uint64(ob.To))
+		b = binary.AppendUvarint(b, uint64(len(ob.Frame)))
+		b = append(b, ob.Frame...)
+	}
+
+	// 'S': cumulative counters.
+	b = append(b, 'S')
+	b = binary.AppendUvarint(b, uint64(s.Stats.Retries))
+	b = binary.AppendUvarint(b, uint64(s.Stats.QueuedWaits))
+	b = binary.AppendUvarint(b, uint64(s.Stats.LocalWaits))
+
+	// 'K' (optional, streamed runs only): the edge sink's durable shard
+	// mark. Then the end marker and CRC trailer.
+	if s.Sink != nil {
+		b = append(b, 'K')
+		b = binary.AppendUvarint(b, uint64(s.Sink.Offset))
+		b = binary.AppendUvarint(b, uint64(s.Sink.Blocks))
+		b = binary.AppendUvarint(b, uint64(s.Sink.Edges))
+	}
+	b = append(b, 'Z')
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+	enc.buf = b
+	return b
 }
 
-func (cw *crcWriter) uvarint(v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	cw.Write(buf[:binary.PutUvarint(buf[:], v)])
-}
-
-func (cw *crcWriter) u64(v uint64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	cw.Write(buf[:])
-}
-
-// waiterRecords writes one length-prefixed list of waiter records —
-// the shared shape of a worker's Waiters and Remote sections.
-func (cw *crcWriter) waiterRecords(rs []WaiterRecord) {
-	cw.uvarint(uint64(len(rs)))
+// appendWaiterRecords appends one length-prefixed list of waiter
+// records — the shared shape of a worker's Waiters and Remote sections.
+func appendWaiterRecords(b []byte, rs []WaiterRecord) []byte {
+	b = binary.AppendUvarint(b, uint64(len(rs)))
 	for _, wr := range rs {
-		cw.uvarint(uint64(wr.Slot))
-		cw.uvarint(uint64(wr.T))
-		cw.uvarint(uint64(wr.E))
+		b = binary.AppendUvarint(b, uint64(wr.Slot))
+		b = binary.AppendUvarint(b, uint64(wr.T))
+		b = binary.AppendUvarint(b, uint64(wr.E))
 	}
+	return b
 }
 
-// Write serializes s to Path(dir, s.Meta.Rank, s.Epoch) atomically:
-// stream into a temporary file, fsync, rename. It returns the final
-// path and the file size. A crash at any point leaves either no file or
-// a complete one; a torn temporary never carries the final name.
-func Write(dir string, s *Snapshot) (path string, size int64, err error) {
+// WriteEncoded publishes pre-encoded snapshot bytes to
+// Path(dir, rank, epoch) atomically: write a temporary file, fsync,
+// rename. A crash at any point leaves either no file or a complete one;
+// a torn temporary never carries the final name.
+func WriteEncoded(dir string, rank int, epoch int64, data []byte) (path string, size int64, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", 0, err
 	}
-	path = Path(dir, s.Meta.Rank, s.Epoch)
+	path = Path(dir, rank, epoch)
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return "", 0, err
 	}
-	cw := &crcWriter{w: bufio.NewWriterSize(f, 1<<16)}
-
-	cw.Write([]byte(Magic))
-	cw.uvarint(Version)
-
-	// 'M': run identity + epoch + collective tag counter.
-	cw.Write([]byte{'M'})
-	cw.uvarint(uint64(s.Meta.N))
-	cw.uvarint(uint64(s.Meta.X))
-	cw.u64(math.Float64bits(s.Meta.P))
-	cw.u64(s.Meta.Seed)
-	cw.uvarint(uint64(s.Meta.Ranks))
-	cw.uvarint(uint64(s.Meta.Rank))
-	cw.uvarint(uint64(len(s.Meta.Scheme)))
-	cw.Write([]byte(s.Meta.Scheme))
-	cw.uvarint(uint64(s.Meta.Resolve))
-	cw.uvarint(uint64(s.Meta.RecomputeDepth))
-	cw.uvarint(uint64(s.Epoch))
-	cw.uvarint(uint64(s.NextTag))
-
-	// 'F': the attachment table, varint-packed as value+1 so NILL (-1)
-	// costs one byte.
-	cw.Write([]byte{'F'})
-	cw.uvarint(uint64(len(s.F)))
-	for _, v := range s.F {
-		cw.uvarint(uint64(v + 1))
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
 	}
-
-	// 'W' (repeated): one section per worker shard of the writing run.
-	for _, ws := range s.Workers {
-		cw.Write([]byte{'W'})
-		cw.uvarint(uint64(ws.Lo))
-		cw.uvarint(uint64(ws.Hi))
-		cw.uvarint(uint64(len(ws.Susp)))
-		for _, sr := range ws.Susp {
-			cw.uvarint(uint64(sr.Idx))
-			cw.uvarint(uint64(sr.Edge))
-			for _, w := range sr.RNG {
-				cw.u64(w)
-			}
-		}
-		cw.waiterRecords(ws.Waiters)
-		cw.waiterRecords(ws.Remote)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
 	}
-
-	// 'O': unflushed outbound batches (empty at a quiescent cut).
-	cw.Write([]byte{'O'})
-	cw.uvarint(uint64(len(s.Outbound)))
-	for _, ob := range s.Outbound {
-		cw.uvarint(uint64(ob.To))
-		cw.uvarint(uint64(len(ob.Frame)))
-		cw.Write(ob.Frame)
-	}
-
-	// 'S': cumulative counters.
-	cw.Write([]byte{'S'})
-	cw.uvarint(uint64(s.Stats.Retries))
-	cw.uvarint(uint64(s.Stats.QueuedWaits))
-	cw.uvarint(uint64(s.Stats.LocalWaits))
-
-	// 'K' (optional, streamed runs only): the edge sink's durable shard
-	// mark. Then the end marker and CRC trailer.
-	if s.Sink != nil {
-		cw.Write([]byte{'K'})
-		cw.uvarint(uint64(s.Sink.Offset))
-		cw.uvarint(uint64(s.Sink.Blocks))
-		cw.uvarint(uint64(s.Sink.Edges))
-	}
-	cw.Write([]byte{'Z'})
-
-	var trailer [4]byte
-	binary.LittleEndian.PutUint32(trailer[:], cw.crc)
-	if cw.err == nil {
-		_, cw.err = cw.w.Write(trailer[:])
-	}
-	if cw.err == nil {
-		cw.err = cw.w.Flush()
-	}
-	if cw.err == nil {
-		cw.err = f.Sync()
-	}
-	if cerr := f.Close(); cw.err == nil {
-		cw.err = cerr
-	}
-	if cw.err != nil {
+	if werr != nil {
 		os.Remove(tmp)
-		return "", 0, fmt.Errorf("ckpt: write %s: %w", path, cw.err)
+		return "", 0, fmt.Errorf("ckpt: write %s: %w", path, werr)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return "", 0, err
 	}
-	return path, cw.n + 4, nil
+	return path, int64(len(data)), nil
+}
+
+// Write encodes and publishes s in one call, for callers without a
+// long-lived Encoder (tests, tools). The engine's background writer
+// uses Encoder + WriteEncoded directly so the scratch buffer survives
+// across epochs.
+func Write(dir string, s *Snapshot) (path string, size int64, err error) {
+	var enc Encoder
+	return WriteEncoded(dir, s.Meta.Rank, s.Epoch, enc.Encode(s))
 }
 
 // reader parses a snapshot from an in-memory buffer (the CRC already
@@ -372,7 +420,8 @@ func (r *reader) tag() (byte, error) {
 
 // Read loads and fully validates the snapshot at path: magic, version,
 // whole-file CRC-32C, and structural parse. Any failure — including a
-// torn or truncated file — returns an error naming the file.
+// torn or truncated file — returns an error naming the file. A delta
+// snapshot is returned as stored; Materialize replays its chain.
 func Read(path string) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -407,6 +456,7 @@ func parse(data []byte) (*Snapshot, error) {
 	}
 
 	s := &Snapshot{}
+	sawF, sawD := false, false
 	for {
 		t, err := r.tag()
 		if err != nil {
@@ -418,6 +468,7 @@ func parse(data []byte) (*Snapshot, error) {
 				return nil, fmt.Errorf("meta: %w", err)
 			}
 		case 'F':
+			sawF = true
 			n, err := r.uvarint()
 			if err != nil {
 				return nil, err
@@ -434,6 +485,11 @@ func parse(data []byte) (*Snapshot, error) {
 					return nil, fmt.Errorf("F[%d]: %w", i, err)
 				}
 				s.F[i] = int64(v) - 1
+			}
+		case 'D':
+			sawD = true
+			if err := s.parseDelta(r); err != nil {
+				return nil, fmt.Errorf("delta: %w", err)
 			}
 		case 'W':
 			ws, err := parseWorker(r)
@@ -501,6 +557,16 @@ func parse(data []byte) (*Snapshot, error) {
 			if len(r.b) != 0 {
 				return nil, fmt.Errorf("%d trailing bytes after end marker", len(r.b))
 			}
+			// The kind declared in the meta section and the F-carrying
+			// section present must agree: a mismatch means a corrupted
+			// or hand-assembled file, and restoring it would splice the
+			// wrong table shape.
+			if s.Kind == KindDelta && (!sawD || sawF) {
+				return nil, fmt.Errorf("delta snapshot without 'D' section (or with stray 'F')")
+			}
+			if s.Kind == KindFull && (!sawF || sawD) {
+				return nil, fmt.Errorf("full snapshot without 'F' section (or with stray 'D')")
+			}
 			return s, nil
 		default:
 			return nil, fmt.Errorf("unknown section tag %q", t)
@@ -558,6 +624,72 @@ func (s *Snapshot) parseMeta(r *reader) error {
 		return err
 	}
 	s.NextTag = int64(v)
+	if v, err = r.uvarint(); err != nil {
+		return err
+	}
+	if v != KindFull && v != KindDelta {
+		return fmt.Errorf("unknown snapshot kind %d", v)
+	}
+	s.Kind = int(v)
+	if v, err = r.uvarint(); err != nil {
+		return err
+	}
+	s.BaseEpoch = int64(v)
+	if s.Kind == KindDelta && (s.BaseEpoch <= 0 || s.BaseEpoch >= s.Epoch) {
+		return fmt.Errorf("delta epoch %d has invalid base epoch %d", s.Epoch, s.BaseEpoch)
+	}
+	if s.Kind == KindFull && s.BaseEpoch != 0 {
+		return fmt.Errorf("full snapshot has nonzero base epoch %d", s.BaseEpoch)
+	}
+	return nil
+}
+
+func (s *Snapshot) parseDelta(r *reader) error {
+	flen, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	s.FLen = int64(flen)
+	nr, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	// Every range costs at least two bytes: reject inflated counts
+	// before allocating.
+	if nr > uint64(len(r.b))/2+1 {
+		return fmt.Errorf("range count %d exceeds file", nr)
+	}
+	s.Delta = make([]DeltaRange, 0, nr)
+	prevEnd := int64(0)
+	for i := uint64(0); i < nr; i++ {
+		start, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		cnt, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if cnt > uint64(len(r.b)) {
+			return fmt.Errorf("range %d value count %d exceeds file", i, cnt)
+		}
+		end := int64(start) + int64(cnt)
+		// Ranges are sorted, non-overlapping and in-bounds, so chain
+		// replay can overlay them without further checks.
+		if int64(start) < prevEnd || end > s.FLen || cnt == 0 {
+			return fmt.Errorf("range %d [%d,%d) invalid (prev end %d, F length %d)", i, start, end, prevEnd, s.FLen)
+		}
+		prevEnd = end
+		vals := make([]int64, cnt)
+		for j := range vals {
+			v, err := r.uvarint()
+			if err != nil {
+				return fmt.Errorf("range %d value %d: %w", i, j, err)
+			}
+			vals[j] = int64(v) - 1
+		}
+		s.Delta = append(s.Delta, DeltaRange{Start: int64(start), Values: vals})
+	}
 	return nil
 }
 
@@ -645,11 +777,128 @@ func parseWaiterRecords(r *reader) ([]WaiterRecord, error) {
 	return out, nil
 }
 
-// Latest returns the newest valid snapshot for rank under dir, walking
-// epochs newest-first and skipping (with a reason) any file that fails
-// validation — the torn-latest-epoch fallback. It returns (nil, skipped,
-// nil) when the rank has no valid snapshot, and an error only when the
-// directory itself cannot be read.
+// Header is the cheap prefix view of a snapshot file: the identity
+// needed for retention decisions without reading (or CRC-checking) the
+// whole file. The meta section is always first in a well-formed
+// snapshot, so a small prefix read suffices.
+type Header struct {
+	Rank      int
+	Epoch     int64
+	Kind      int
+	BaseEpoch int64
+}
+
+// headerPrefix bounds the prefix read for ReadHeader: magic + version +
+// the meta section, whose only variable-length field is the partition
+// scheme name, is far smaller than this.
+const headerPrefix = 4096
+
+// ReadHeader parses just the meta section of the snapshot at path. The
+// whole-file CRC is NOT verified — a torn tail is invisible here — so
+// the result is only suitable for decisions that are safe under
+// corruption, like pruning (a torn file never anchors retention, and
+// restore re-validates everything it reads).
+func ReadHeader(path string) (*Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, headerPrefix)
+	n, err := f.Read(buf)
+	if n == 0 && err != nil {
+		return nil, err
+	}
+	buf = buf[:n]
+	if len(buf) < len(Magic)+1 || string(buf[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("ckpt: %s: bad magic", path)
+	}
+	r := &reader{b: buf[len(Magic):]}
+	ver, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", path, err)
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("ckpt: %s: unsupported snapshot version %d (reader supports %d)", path, ver, Version)
+	}
+	t, err := r.tag()
+	if err != nil || t != 'M' {
+		return nil, fmt.Errorf("ckpt: %s: meta section not first", path)
+	}
+	var s Snapshot
+	if err := s.parseMeta(r); err != nil {
+		return nil, fmt.Errorf("ckpt: %s: meta: %w", path, err)
+	}
+	return &Header{Rank: s.Meta.Rank, Epoch: s.Epoch, Kind: s.Kind, BaseEpoch: s.BaseEpoch}, nil
+}
+
+// maxChain bounds base-chain walks so a corrupted BaseEpoch loop cannot
+// spin forever; real chains are capped by the full-snapshot cadence.
+const maxChain = 1 << 16
+
+// Materialize loads the snapshot for (rank, epoch) and, if it is a
+// delta, replays its base+delta chain into a full in-memory snapshot:
+// the nearest full ancestor's F overlaid with every chain member's
+// dirty ranges, oldest first, and all other sections (which every
+// snapshot carries in full) taken from the requested epoch. Any broken
+// link — missing file, CRC failure, meta mismatch, out-of-order base —
+// fails the whole materialization; callers fall back to an older epoch
+// exactly as they do for a torn full snapshot.
+func Materialize(dir string, rank int, epoch int64) (*Snapshot, error) {
+	head, err := Read(Path(dir, rank, epoch))
+	if err != nil {
+		return nil, err
+	}
+	if head.Kind == KindFull {
+		return head, nil
+	}
+	chain := []*Snapshot{head}
+	cur := head
+	for cur.Kind == KindDelta {
+		if len(chain) > maxChain {
+			return nil, fmt.Errorf("ckpt: epoch %d rank %d: delta chain longer than %d", epoch, rank, maxChain)
+		}
+		base, err := Read(Path(dir, rank, cur.BaseEpoch))
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: epoch %d rank %d: chain member: %w", epoch, rank, err)
+		}
+		if base.Meta != head.Meta {
+			return nil, fmt.Errorf("ckpt: epoch %d rank %d: chain member epoch %d belongs to a different run", epoch, rank, base.Epoch)
+		}
+		if base.Epoch != cur.BaseEpoch || (base.Kind == KindDelta && base.BaseEpoch >= base.Epoch) {
+			return nil, fmt.Errorf("ckpt: epoch %d rank %d: chain member epoch %d malformed", epoch, rank, base.Epoch)
+		}
+		chain = append(chain, base)
+		cur = base
+	}
+	// cur is the full base; overlay deltas oldest-first. F slots are
+	// write-once so newer ranges only ever add resolutions, but replay
+	// order is kept oldest-first regardless — it is the order the state
+	// was produced in.
+	f := cur.F
+	for i := len(chain) - 2; i >= 0; i-- {
+		d := chain[i]
+		if d.FLen != int64(len(f)) {
+			return nil, fmt.Errorf("ckpt: epoch %d rank %d: delta epoch %d F length %d != base %d", epoch, rank, d.Epoch, d.FLen, len(f))
+		}
+		for _, dr := range d.Delta {
+			copy(f[dr.Start:dr.Start+int64(len(dr.Values))], dr.Values)
+		}
+	}
+	head.F = f
+	head.FLen = 0
+	head.Kind = KindFull
+	head.BaseEpoch = 0
+	head.Delta = nil
+	return head, nil
+}
+
+// Latest returns the newest restorable snapshot for rank under dir,
+// walking epochs newest-first and skipping (with a reason) any epoch
+// that fails to materialize — a torn file, or a delta whose chain has a
+// torn or missing member. It returns (nil, skipped, nil) when the rank
+// has no restorable snapshot, and an error only when the directory
+// itself cannot be read.
 func Latest(dir string, rank int) (snap *Snapshot, skipped []string, err error) {
 	epochs, err := Epochs(dir, rank)
 	if err != nil {
@@ -659,10 +908,9 @@ func Latest(dir string, rank int) (snap *Snapshot, skipped []string, err error) 
 		return nil, nil, err
 	}
 	for i := len(epochs) - 1; i >= 0; i-- {
-		path := Path(dir, rank, epochs[i])
-		s, err := Read(path)
+		s, err := Materialize(dir, rank, epochs[i])
 		if err != nil {
-			skipped = append(skipped, fmt.Sprintf("%s: %v", path, err))
+			skipped = append(skipped, fmt.Sprintf("%s: %v", Path(dir, rank, epochs[i]), err))
 			continue
 		}
 		return s, skipped, nil
@@ -688,9 +936,16 @@ func Epochs(dir string, rank int) ([]int64, error) {
 	return out, nil
 }
 
-// Prune deletes rank's snapshot files under dir beyond the keep newest
-// epochs. Keeping at least two epochs is what makes the torn-latest
-// fallback possible.
+// Prune deletes rank's snapshot files under dir older than the keep-th
+// newest full snapshot. Full snapshots are the retention barriers: a
+// delta is only restorable while its whole chain survives, so retention
+// is counted in full epochs and everything strictly older than the
+// oldest retained full (the anchor of the oldest retained chain) is
+// deleted — deltas hanging off it included. With full-only
+// checkpointing this reduces to keeping the keep newest epochs.
+// Keeping at least two fulls is what makes the torn-latest fallback
+// possible. Files whose header cannot be read (torn, foreign) never
+// count as barriers but are deleted once they age past one.
 func Prune(dir string, rank int, keep int) error {
 	epochs, err := Epochs(dir, rank)
 	if err != nil {
@@ -699,8 +954,22 @@ func Prune(dir string, rank int, keep int) error {
 	if keep < 1 {
 		keep = 1
 	}
-	for i := 0; i+keep < len(epochs); i++ {
-		if err := os.Remove(Path(dir, rank, epochs[i])); err != nil {
+	var fulls []int64
+	for _, ep := range epochs {
+		h, err := ReadHeader(Path(dir, rank, ep))
+		if err == nil && h.Kind == KindFull {
+			fulls = append(fulls, ep)
+		}
+	}
+	if len(fulls) < keep {
+		return nil
+	}
+	barrier := fulls[len(fulls)-keep]
+	for _, ep := range epochs {
+		if ep >= barrier {
+			break
+		}
+		if err := os.Remove(Path(dir, rank, ep)); err != nil {
 			return err
 		}
 	}
@@ -708,7 +977,7 @@ func Prune(dir string, rank int, keep int) error {
 }
 
 // Remove deletes rank's snapshot of the given epoch, ignoring a missing
-// file (an aborted epoch may have failed before its write).
+// file (an abandoned epoch may have failed before its write).
 func Remove(dir string, rank int, epoch int64) error {
 	err := os.Remove(Path(dir, rank, epoch))
 	if os.IsNotExist(err) {

@@ -1,0 +1,253 @@
+package ckpt
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// deltaSample builds a delta snapshot on top of base: the returned
+// snapshot rewrites the given (start, values) ranges of base's F.
+func deltaSample(base *Snapshot, epoch int64, ranges []DeltaRange) *Snapshot {
+	s := sample(base.Meta.Rank, epoch)
+	s.F = nil
+	s.FLen = int64(len(base.F))
+	s.Kind = KindDelta
+	s.BaseEpoch = base.Epoch
+	s.Delta = ranges
+	return s
+}
+
+// applyRanges computes the expected materialized F by hand.
+func applyRanges(f []int64, ranges []DeltaRange) []int64 {
+	out := append([]int64(nil), f...)
+	for _, r := range ranges {
+		copy(out[r.Start:], r.Values)
+	}
+	return out
+}
+
+// A base+delta+delta chain must materialize to exactly the full table
+// the writing run held, and every chain member must carry its own
+// non-F state (workers, counters) rather than the base's.
+func TestDeltaChainMaterialize(t *testing.T) {
+	dir := t.TempDir()
+	base := sample(2, 4)
+	if _, _, err := Write(dir, base); err != nil {
+		t.Fatal(err)
+	}
+	r5 := []DeltaRange{{Start: 1, Values: []int64{10, 11}}}
+	d5 := deltaSample(base, 5, r5)
+	if _, _, err := Write(dir, d5); err != nil {
+		t.Fatal(err)
+	}
+	r6 := []DeltaRange{{Start: 0, Values: []int64{20}}, {Start: 4, Values: []int64{21, 22}}}
+	d6 := deltaSample(base, 6, r6)
+	d6.BaseEpoch = 5
+	d6.NextTag = 77
+	if _, _, err := Write(dir, d6); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Materialize(dir, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := applyRanges(applyRanges(base.F, r5), r6)
+	if !reflect.DeepEqual(got.F, wantF) {
+		t.Fatalf("materialized F = %v, want %v", got.F, wantF)
+	}
+	if got.Epoch != 6 || got.NextTag != 77 {
+		t.Fatalf("materialized epoch/tag = %d/%d, want 6/77 (the delta's own state, not the base's)",
+			got.Epoch, got.NextTag)
+	}
+	// The materialized snapshot presents as a restorable full state.
+	if got.Kind != KindFull || len(got.F) != len(base.F) {
+		t.Fatalf("materialized kind=%d len(F)=%d, want a full %d-slot table", got.Kind, len(got.F), len(base.F))
+	}
+
+	// Intermediate chain member materializes too.
+	mid, err := Materialize(dir, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mid.F, applyRanges(base.F, r5)) {
+		t.Fatalf("epoch-5 materialization wrong: %v", mid.F)
+	}
+}
+
+// Latest over a healthy chain returns the newest epoch materialized.
+func TestLatestMaterializesChain(t *testing.T) {
+	dir := t.TempDir()
+	base := sample(0, 1)
+	if _, _, err := Write(dir, base); err != nil {
+		t.Fatal(err)
+	}
+	d := deltaSample(base, 2, []DeltaRange{{Start: 2, Values: []int64{42}}})
+	if _, _, err := Write(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	snap, skipped, err := Latest(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped %v on a healthy chain", skipped)
+	}
+	if snap == nil || snap.Epoch != 2 || snap.F[2] != 42 {
+		t.Fatalf("Latest = %+v, want materialized epoch 2 with F[2]=42", snap)
+	}
+}
+
+// A torn delta must not break the chain prefix: Latest falls back to
+// the newest epoch whose chain is intact and reports the damage.
+func TestLatestTornDeltaFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	base := sample(0, 1)
+	if _, _, err := Write(dir, base); err != nil {
+		t.Fatal(err)
+	}
+	d2 := deltaSample(base, 2, []DeltaRange{{Start: 0, Values: []int64{9}}})
+	if _, _, err := Write(dir, d2); err != nil {
+		t.Fatal(err)
+	}
+	d3 := deltaSample(base, 3, []DeltaRange{{Start: 1, Values: []int64{8}}})
+	d3.BaseEpoch = 2
+	if _, _, err := Write(dir, d3); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newest delta.
+	path := Path(dir, 0, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, skipped, err := Latest(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Epoch != 2 || snap.F[0] != 9 {
+		t.Fatalf("Latest = %+v, want materialized epoch 2", snap)
+	}
+	if len(skipped) == 0 {
+		t.Fatal("torn delta not reported in skipped")
+	}
+}
+
+// A delta whose base is missing strands its whole chain: Latest must
+// fall back past every chained epoch to the previous full snapshot —
+// and to nothing at all when no full remains.
+func TestLatestMissingBaseFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	old := sample(0, 1)
+	if _, _, err := Write(dir, old); err != nil {
+		t.Fatal(err)
+	}
+	base := sample(0, 2)
+	if _, _, err := Write(dir, base); err != nil {
+		t.Fatal(err)
+	}
+	d3 := deltaSample(base, 3, []DeltaRange{{Start: 0, Values: []int64{5}}})
+	if _, _, err := Write(dir, d3); err != nil {
+		t.Fatal(err)
+	}
+	d4 := deltaSample(base, 4, []DeltaRange{{Start: 1, Values: []int64{6}}})
+	d4.BaseEpoch = 3
+	if _, _, err := Write(dir, d4); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(Path(dir, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := Latest(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Epoch != 1 {
+		t.Fatalf("Latest = %+v, want the epoch-1 full (the only intact state)", snap)
+	}
+	// Remove the last full too: nothing is restorable.
+	if err := os.Remove(Path(dir, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err = Latest(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatalf("Latest = %+v with every base gone, want nil (fresh start)", snap)
+	}
+}
+
+// A delta whose ranges overrun the declared table length must be
+// rejected at materialization, not corrupt memory.
+func TestMaterializeRejectsOutOfRangeDelta(t *testing.T) {
+	dir := t.TempDir()
+	base := sample(0, 1)
+	if _, _, err := Write(dir, base); err != nil {
+		t.Fatal(err)
+	}
+	bad := deltaSample(base, 2, []DeltaRange{{Start: int64(len(base.F) - 1), Values: []int64{1, 2, 3}}})
+	if _, _, err := Write(dir, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Materialize(dir, 0, 2); err == nil {
+		t.Fatal("out-of-range delta materialized without error")
+	}
+}
+
+// Prune must treat full epochs as retention barriers: dropping a base
+// that newer retained deltas still need would strand them, so the
+// newest K fulls and every delta chained above them survive.
+func TestPruneKeepsChainsIntact(t *testing.T) {
+	dir := t.TempDir()
+	// fulls at 1 and 4, deltas 2,3 on 1 and 5,6 on 4.
+	f1 := sample(0, 1)
+	if _, _, err := Write(dir, f1); err != nil {
+		t.Fatal(err)
+	}
+	prev := f1
+	for _, e := range []int64{2, 3} {
+		d := deltaSample(f1, e, []DeltaRange{{Start: 0, Values: []int64{e}}})
+		d.BaseEpoch = prev.Epoch
+		if _, _, err := Write(dir, d); err != nil {
+			t.Fatal(err)
+		}
+		prev = d
+	}
+	f4 := sample(0, 4)
+	if _, _, err := Write(dir, f4); err != nil {
+		t.Fatal(err)
+	}
+	prev = f4
+	for _, e := range []int64{5, 6} {
+		d := deltaSample(f4, e, []DeltaRange{{Start: 0, Values: []int64{e}}})
+		d.BaseEpoch = prev.Epoch
+		if _, _, err := Write(dir, d); err != nil {
+			t.Fatal(err)
+		}
+		prev = d
+	}
+	if err := Prune(dir, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Epochs(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{4, 5, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("epochs after Prune(keep=1) = %v, want %v", got, want)
+	}
+	// The surviving chain still materializes.
+	snap, skipped, err := Latest(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Epoch != 6 || len(skipped) != 0 {
+		t.Fatalf("Latest after prune = %+v (skipped %v), want intact epoch 6", snap, skipped)
+	}
+}

@@ -3,19 +3,23 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"pagen/internal/ckpt"
+	"pagen/internal/esink"
 	"pagen/internal/msg"
+	"pagen/internal/obs"
 )
 
 // CheckpointOptions enables cooperative checkpointing: the engine
 // periodically pauses generation at a globally quiescent point (a
-// consistent cut — see DESIGN.md §9), writes one snapshot file per rank
-// under Dir, and resumes. A later run with Resume set restarts from the
-// newest epoch every rank holds a valid snapshot of, producing output
-// byte-identical to an uninterrupted run.
+// consistent cut — see DESIGN.md §9), captures its mutable state into
+// pooled buffers, resumes immediately, and publishes the snapshot file
+// from a per-rank background writer. A later run with Resume set
+// restarts from the newest epoch every rank holds a restorable snapshot
+// of, producing output byte-identical to an uninterrupted run.
 type CheckpointOptions struct {
 	// Dir is the snapshot directory (one file per rank per epoch).
 	Dir string
@@ -24,16 +28,24 @@ type CheckpointOptions struct {
 	// Zero disables triggering — useful with Resume to restart a run
 	// without further checkpoints.
 	Every int64
-	// Keep is the number of committed epochs retained per rank (older
-	// ones are pruned). Values below 2 are raised to 2 so one torn
-	// latest epoch still leaves a common fallback. 0 selects the default.
+	// Keep is the number of full epochs retained per rank (older ones,
+	// and the delta chains hanging off them, are pruned). Values below
+	// 2 are raised to 2 so one torn latest epoch still leaves a common
+	// fallback. 0 selects the default.
 	Keep int
+	// FullEvery is the full-snapshot cadence: every FullEvery-th epoch
+	// is a full snapshot and the epochs between are deltas carrying
+	// only the F ranges dirtied since the previous epoch (ckpt format
+	// v5 base+delta chains). 0 or 1 selects full-only checkpointing.
+	// An epoch after a restore or an abandoned epoch is forced full so
+	// every chain stands on state that is known to be on disk.
+	FullEvery int
 	// Resume makes the run restart from the newest epoch all ranks can
-	// read; with no usable snapshots the run starts fresh.
+	// restore; with no usable snapshots the run starts fresh.
 	Resume bool
 }
 
-// DefaultCheckpointKeep is the default number of retained epochs.
+// DefaultCheckpointKeep is the default number of retained full epochs.
 const DefaultCheckpointKeep = 2
 
 // Checkpoint-epoch phases (ckptRun.phase, atomic: workers read it at
@@ -51,6 +63,12 @@ const (
 // looping forever (and keeps the round number inside its uint16 field).
 const ckptMaxRounds = 10000
 
+// ckptDirtyShift sets the dirty-tracking granularity: one bitmap word
+// covers 1<<ckptDirtyShift F slots (4096 slots = 32 KiB of table), so
+// the bitmap costs 1/8192 of the table and the hot-path mark is one
+// predictable load+branch.
+const ckptDirtyShift = 12
+
 // errAborted reports that the engine aborted while a receive was
 // blocked; the first real error is latched in engine.firstErr.
 var errAborted = errors.New("core: engine aborted")
@@ -59,9 +77,10 @@ var errAborted = errors.New("core: engine aborted")
 // except the atomics belong to the rank's coordinator goroutine (the
 // dispatcher, or the single-worker loop).
 type ckptRun struct {
-	dir   string
-	every int64
-	keep  int
+	dir       string
+	every     int64
+	keep      int
+	fullEvery int
 	// kick wakes a dispatcher blocked on the transport when a worker
 	// crosses the trigger threshold or parks during an epoch.
 	kick chan struct{}
@@ -72,7 +91,26 @@ type ckptRun struct {
 
 	epochNext int64 // next epoch number to open (rank 0)
 	epoch     int64 // epoch currently active (all ranks)
-	lastGood  int64 // newest committed epoch
+	lastGood  int64 // newest locally captured epoch (delta base)
+	// forceFull forces the next epoch to capture a full snapshot: set
+	// after a restore, after an abandoned epoch, and after a skipped
+	// capture, so no delta ever chains onto state that may not be on
+	// disk.
+	forceFull bool
+
+	// writer is the rank's background publisher: encode, CRC, write,
+	// fsync, rename and prune all run there, off the pause path.
+	writer *ckptWriter
+
+	// votes tallies the asynchronous per-epoch commit votes (rank 0
+	// only). An entry exists from the first vote until all p arrive;
+	// rank 0 defers the stop broadcast while any tally is open so an
+	// abandon always precedes stop on every channel.
+	votes map[int64]*ckptVoteState
+	// voted0 remembers epochs this rank itself voted 0 on (capture
+	// skipped), so the arriving abandon does not uncount an epoch that
+	// was never counted.
+	voted0 map[int64]bool
 
 	// Quiescence-detection state. Rank 0 collects per-rank (sent, recv)
 	// data-message counters round by round; two consecutive identical,
@@ -80,16 +118,15 @@ type ckptRun struct {
 	round         int              // current counter round (rank 0)
 	pendingRound  int              // newest round this rank must report for
 	reportedRound int              // newest round this rank has reported
-	cutAsked      bool             // CkptCut received, snapshot due
 	cutSent       bool             // rank 0: cut already broadcast
 	cur, prev     map[int][2]int64 // per-rank (sent, recv) this/last round
 
 	// doneRecv counts Done reports received over the wire (rank 0), so
 	// the balance counters cover the termination protocol's traffic too.
 	doneRecv int64
-	// held parks non-collective messages that arrive while the cut's
-	// commit collectives own the receive path; they are delivered after
-	// the epoch ends.
+	// held parks non-collective messages that arrive while the resume
+	// negotiation's collectives own the receive path; they are
+	// delivered once the restored state exists.
 	held []msg.Message
 
 	pauseStart time.Time
@@ -97,8 +134,154 @@ type ckptRun struct {
 	// that establishes local quiescence.
 	scanPush, scanPop []int64
 
-	// metrics
-	epochs, failed, bytes, writeNanos, pauseNanos int64
+	// metrics (pause side; the write side lives in the writer).
+	epochs, failed, pauseNanos int64
+	pauseHist                  obs.Histogram
+}
+
+// ckptVoteState is one epoch's open vote tally (rank 0).
+type ckptVoteState struct {
+	n   int
+	bad bool
+}
+
+// ckptCapture is one pooled capture buffer: the snapshot struct plus
+// the reusable backing arrays its slices point into. Two captures
+// rotate between the cut (fill) and the background writer (drain), so
+// a steady cadence allocates nothing epoch over epoch once the buffers
+// have grown to the rank's state size.
+type ckptCapture struct {
+	snap ckpt.Snapshot
+	// f backs snap.F for full captures; dvals is the flat value store
+	// the delta ranges subslice.
+	f       []int64
+	dvals   []int64
+	ranges  []ckpt.DeltaRange
+	workers []ckpt.WorkerState
+	out     []ckpt.OutboundBatch
+}
+
+// ckptWriteReq is one background-writer work item: publish a capture
+// (c != nil) or remove an abandoned epoch's file (c == nil). Removes
+// ride the same FIFO channel as writes so an abandon enqueued after its
+// epoch's capture always deletes the file the write produced.
+type ckptWriteReq struct {
+	c     *ckptCapture
+	epoch int64
+}
+
+// ckptWriter is the per-rank background snapshot publisher. The cut
+// hands it a filled capture and resumes generation; encode, CRC-32C,
+// tmp+fsync+rename, chain pruning and (for streamed runs) the shard
+// fsync that makes the sink mark durable all run here. The first error
+// latches and fails the *next* epoch's commit vote rather than the run;
+// takeErr consumes the latch so one failure abandons exactly one epoch.
+type ckptWriter struct {
+	dir    string
+	rank   int
+	keep   int
+	stream *esink.Writer
+
+	ch   chan ckptWriteReq
+	free chan *ckptCapture
+	done chan struct{}
+	once sync.Once
+
+	mu         sync.Mutex
+	err        error
+	bytes      int64
+	writeNanos int64
+	writeHist  obs.Histogram
+	enc        ckpt.Encoder
+}
+
+func newCkptWriter(dir string, rank, keep int, stream *esink.Writer) *ckptWriter {
+	bw := &ckptWriter{
+		dir:    dir,
+		rank:   rank,
+		keep:   keep,
+		stream: stream,
+		// Two captures bound the overlap: one filling at a cut while
+		// one drains in the writer. A third epoch arriving before the
+		// writer frees a buffer waits at the cut — back-pressure that
+		// shows up honestly in the pause histogram. The channel is
+		// deeper than the capture pool so abandon-removes never block
+		// the coordinator.
+		ch:   make(chan ckptWriteReq, 8),
+		free: make(chan *ckptCapture, 2),
+		done: make(chan struct{}),
+	}
+	bw.free <- &ckptCapture{}
+	bw.free <- &ckptCapture{}
+	go bw.loop()
+	return bw
+}
+
+func (bw *ckptWriter) loop() {
+	defer close(bw.done)
+	for req := range bw.ch {
+		if req.c == nil {
+			// Abandoned epoch: best-effort file removal. Not latched —
+			// a stale file is re-validated (and skipped or reused) by
+			// resume, so failing a later epoch over it buys nothing.
+			ckpt.Remove(bw.dir, bw.rank, req.epoch)
+			continue
+		}
+		t0 := time.Now()
+		size, err := bw.publish(req.c)
+		dt := time.Since(t0).Nanoseconds()
+		bw.mu.Lock()
+		bw.writeNanos += dt
+		bw.writeHist.Observe(dt)
+		if err == nil {
+			bw.bytes += size
+		} else if bw.err == nil {
+			bw.err = err
+		}
+		bw.mu.Unlock()
+		// Return the buffer last: a cut blocked on the free list may
+		// otherwise capture into it while publish still reads it.
+		bw.free <- req.c
+	}
+}
+
+// publish makes one captured epoch durable: shard fsync first (the
+// snapshot's sink mark must name bytes that are on disk before the
+// snapshot carrying it exists), then encode into the pooled scratch,
+// write+fsync+rename, then prune superseded epochs.
+func (bw *ckptWriter) publish(c *ckptCapture) (int64, error) {
+	if c.snap.Sink != nil && bw.stream != nil {
+		if err := bw.stream.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	data := bw.enc.Encode(&c.snap)
+	_, size, err := ckpt.WriteEncoded(bw.dir, bw.rank, c.snap.Epoch, data)
+	if err != nil {
+		return 0, err
+	}
+	if err := ckpt.Prune(bw.dir, bw.rank, bw.keep); err != nil {
+		return size, err
+	}
+	return size, nil
+}
+
+// takeErr consumes the latched error, if any. The cut calls it once per
+// epoch, so each background failure costs exactly one abandoned epoch.
+func (bw *ckptWriter) takeErr() error {
+	bw.mu.Lock()
+	defer bw.mu.Unlock()
+	err := bw.err
+	bw.err = nil
+	return err
+}
+
+// shutdown drains and stops the writer. Idempotent; blocks until every
+// queued capture is published (or failed), so callers observe final
+// byte counts and the newest epoch's durability before reporting stats.
+func (bw *ckptWriter) shutdown() {
+	bw.once.Do(func() { close(bw.ch) })
+	<-bw.done
 }
 
 // kickNow wakes the dispatcher without blocking (the channel holds one
@@ -129,6 +312,25 @@ func (e *engine) ckptMetric() int64 {
 	return atomic.LoadInt64(&e.ck.initiated) + c.RequestsRecv + c.ResolvedRecv
 }
 
+// ckptMarkDirty records that flat slot s changed since the last capture
+// (delta-epoch dirty tracking; no-op unless delta epochs are enabled).
+// The bitmap word is only written while still clear, so the hot path's
+// steady state is one cached load. Cross-worker stores of the same word
+// are idempotent (both write 1) and the quiescent cut's capture is
+// ordered after every worker's park, so the bits are visible there.
+func (e *engine) ckptMarkDirty(s int64) {
+	w := &e.ckDirty[s>>ckptDirtyShift]
+	if e.concurrent {
+		if atomic.LoadUint32(w) == 0 {
+			atomic.StoreUint32(w, 1)
+		}
+		return
+	}
+	if *w == 0 {
+		*w = 1
+	}
+}
+
 // ckptBegin (rank 0) opens a new epoch: pause generation everywhere,
 // then detect global quiescence via counter rounds.
 func (e *engine) ckptBegin() error {
@@ -141,7 +343,6 @@ func (e *engine) ckptBegin() error {
 	ck.round = 1
 	ck.pendingRound = 1
 	ck.reportedRound = 0
-	ck.cutAsked = false
 	ck.cutSent = false
 	ck.cur = make(map[int][2]int64, e.p)
 	ck.prev = nil
@@ -168,12 +369,14 @@ func (e *engine) ckptOnMsg(m msg.Message) error {
 			return fmt.Errorf("core: rank 0 received checkpoint begin")
 		}
 		if atomic.LoadInt32(&ck.phase) != ckIdle {
+			// The cut executes at its stream marker (see CkptCut), so a
+			// begin can only find the epoch still open if the protocol
+			// itself broke.
 			return fmt.Errorf("core: checkpoint begin for epoch %d while epoch %d active", m.K, ck.epoch)
 		}
 		ck.epoch = m.K
 		ck.pendingRound = int(m.L)
 		ck.reportedRound = 0
-		ck.cutAsked = false
 		ck.pauseStart = time.Now()
 		atomic.StoreInt32(&ck.phase, ckPaused)
 	case msg.CkptProbe:
@@ -187,18 +390,93 @@ func (e *engine) ckptOnMsg(m msg.Message) error {
 		}
 		ck.cur[int(m.T)] = [2]int64{m.K, m.V}
 	case msg.CkptCut:
-		ck.cutAsked = true
+		// Execute the cut at its marker, in stream order. With the
+		// asynchronous commit, rank 0 resumes generating right after
+		// its own capture, so data sent post-cut can share a frame with
+		// this marker; deferring the cut past the batch (the old
+		// cutAsked path) would push that data to the worker inboxes
+		// first, racing the capture against live workers and leaking
+		// post-cut effects into the epoch. Everything before the marker
+		// is fully drained — that is what the quiescence rounds proved
+		// — so this rank is quiescent here, exactly as the cut
+		// requires, and data later in the frame still sits unrouted in
+		// the deliver pass's route buffers until after the capture.
+		return e.ckptCut()
+	case msg.CkptVote:
+		if e.rank != 0 {
+			return fmt.Errorf("core: rank %d received checkpoint vote", e.rank)
+		}
+		return e.ckptRecordVote(m.K, m.V == 1)
+	case msg.CkptAbandon:
+		if e.rank == 0 {
+			return fmt.Errorf("core: rank 0 received checkpoint abandon")
+		}
+		e.ckptAbandon(m.K)
 	default:
 		return fmt.Errorf("core: unknown checkpoint op %d", op)
 	}
 	return nil
 }
 
+// ckptRecordVote (rank 0) tallies one rank's asynchronous commit vote
+// for an epoch. When the last vote lands the epoch either stands on
+// every rank or is abandoned everywhere: a single abandon broadcast,
+// ordered before any later stop on each channel, keeps the ranks'
+// epoch accounting aligned without a blocking collective in any cut.
+func (e *engine) ckptRecordVote(epoch int64, ok bool) error {
+	ck := e.ck
+	if ck.votes == nil {
+		ck.votes = make(map[int64]*ckptVoteState)
+	}
+	st := ck.votes[epoch]
+	if st == nil {
+		st = &ckptVoteState{}
+		ck.votes[epoch] = st
+	}
+	st.n++
+	if !ok {
+		st.bad = true
+	}
+	if st.n < e.p {
+		return nil
+	}
+	delete(ck.votes, epoch)
+	if st.bad {
+		for r := 1; r < e.p; r++ {
+			if err := e.cm.SendNow(r, msg.Ckpt(e.rank, msg.CkptAbandon, 0, epoch, 0)); err != nil {
+				return err
+			}
+		}
+		e.ckptAbandon(epoch)
+	}
+	// A completed tally may have been the last thing deferring the stop
+	// broadcast.
+	return e.maybeBroadcastStop()
+}
+
+// ckptAbandon applies an epoch abandonment on this rank: uncount the
+// epoch (unless this rank never captured it), queue its file for
+// removal behind any in-flight write of it, and force the next epoch
+// full so no delta chains onto state that may not be on disk.
+func (e *engine) ckptAbandon(epoch int64) {
+	ck := e.ck
+	ck.failed++
+	ck.forceFull = true
+	if ck.voted0[epoch] {
+		delete(ck.voted0, epoch)
+		return
+	}
+	ck.epochs--
+	ck.writer.ch <- ckptWriteReq{epoch: epoch}
+}
+
 // ckptBalance returns this rank's cumulative data-message (sent, recv)
 // counters, including the termination protocol's Done reports — any
 // message type that can be in flight between ranks mid-run. (Stop is
 // excluded: it is deferred while an epoch is active, so it is never in
-// flight during one.)
+// flight during one. Checkpoint-protocol messages — votes and abandons
+// included — are excluded too: they are KindCkpt control traffic the
+// cut does not wait out.)
 func (e *engine) ckptBalance() (sent, recv int64) {
 	c := e.cm.Counters()
 	sent = c.RequestsSent + c.ResolvedSent + c.PublishSent
@@ -336,7 +614,8 @@ func (e *engine) ckptEvaluate() (bool, error) {
 
 // ckptStep runs as much of the checkpoint protocol as can proceed
 // without receiving: open a due epoch (rank 0), report quiescence,
-// evaluate rounds, execute a requested cut. The coordinator calls it
+// evaluate rounds. The cut itself runs from the receive path, at its
+// stream marker (see CkptCut in ckptOnMsg). The coordinator calls it
 // once per receive-loop iteration.
 func (e *engine) ckptStep() error {
 	ck := e.ck
@@ -368,20 +647,16 @@ func (e *engine) ckptStep() error {
 			}
 			progressed = progressed || p
 		}
-		if ck.cutAsked {
-			ck.cutAsked = false
-			return e.ckptCut()
-		}
 		if !progressed {
 			return nil
 		}
 	}
 }
 
-// ckptFilter splits a received batch while commit collectives own the
-// receive path: collective messages pass through, everything else is
-// held (copied — the input aliases comm's reused scratch) for delivery
-// after the epoch ends.
+// ckptFilter splits a received batch while the resume negotiation's
+// collectives own the receive path: collective messages pass through,
+// everything else is held (copied — the input aliases comm's reused
+// scratch) for delivery once the restored state exists.
 func (e *engine) ckptFilter(ms []msg.Message) []msg.Message {
 	colls := ms[:0]
 	for _, m := range ms {
@@ -394,8 +669,8 @@ func (e *engine) ckptFilter(ms []msg.Message) []msg.Message {
 	return colls
 }
 
-// ckptFlushHeld delivers the messages parked during the cut's commit
-// collectives through the normal receive path.
+// ckptFlushHeld delivers the messages parked during the resume
+// negotiation through the normal receive path.
 func (e *engine) ckptFlushHeld() error {
 	ck := e.ck
 	if len(ck.held) == 0 {
@@ -417,80 +692,80 @@ func (e *engine) ckptFlushHeld() error {
 	return e.cm.FlushAll()
 }
 
-// ckptCut executes a declared cut: write the snapshot, vote on the
-// commit, prune or discard, and resume generation. Every rank is
-// globally quiescent here, so the snapshots form a consistent cut.
+// ckptCut executes a declared cut: capture the rank's mutable state
+// into a pooled buffer, send the asynchronous commit vote, hand the
+// capture to the background writer, and resume generation. Every rank
+// is globally quiescent here, so the captures form a consistent cut.
+// The pause ends when capture does — encode, CRC, fsync, rename and
+// prune all happen in the writer, so ckpt_pause_nanos excludes write
+// time by construction.
 func (e *engine) ckptCut() error {
 	ck := e.ck
-	// Streamed runs make the shard prefix durable first: the snapshot's
-	// sink mark must name bytes that are already on disk, or a resume
-	// could truncate to an offset the kill never flushed. A cut failure
-	// abandons the epoch exactly like a snapshot-write failure — and
-	// skips the write, so no snapshot with a dangling mark ever exists.
-	var werr error
-	var size int64
+	ok := true
+	// A latched background failure from an earlier epoch fails this
+	// epoch's vote — not the run (DESIGN.md §9: resume negotiation
+	// skips epochs any rank failed to persist).
+	if werr := ck.writer.takeErr(); werr != nil {
+		ok = false
+	}
+	// Streamed runs fix the shard mark at the cut: flush the open block
+	// (a page-cache write) so the mark names a complete-block prefix.
+	// The fsync that makes the mark durable runs in the writer, before
+	// the snapshot naming it is published.
 	var mark *ckpt.SinkMark
-	if e.stream != nil {
-		m, err := e.stream.Cut()
+	if ok && e.stream != nil {
+		m, err := e.stream.Mark()
 		if err != nil {
-			werr = err
+			ok = false
 		} else {
 			mark = &ckpt.SinkMark{Offset: m.Offset, Blocks: m.Blocks, Edges: m.Edges}
 		}
 	}
-	if werr == nil {
-		snap := e.buildSnapshot()
-		snap.Sink = mark
-		t0 := time.Now()
-		_, size, werr = ckptWrite(ck.dir, snap)
-		ck.writeNanos += time.Since(t0).Nanoseconds()
-	}
-
-	// Commit vote: all-or-nothing, so ranks never disagree about the
-	// newest committed epoch (modulo later file corruption, which
-	// resume detects via CRC and falls back across).
-	ok := int64(1)
-	if werr != nil {
-		ok = 0
-	}
-	votes, err := e.seq.Gather(ok)
-	if err != nil {
-		return err
-	}
-	commit := int64(1)
-	if e.rank == 0 {
-		for _, v := range votes {
-			if v != 1 {
-				commit = 0
-			}
+	var pending *ckptCapture
+	if ok {
+		kind, base := ckpt.KindFull, int64(0)
+		if ck.fullEvery > 1 && !ck.forceFull && ck.lastGood > 0 && (ck.epoch-1)%int64(ck.fullEvery) != 0 {
+			kind, base = ckpt.KindDelta, ck.lastGood
 		}
-	}
-	commit, err = e.seq.Broadcast(commit)
-	if err != nil {
-		return err
-	}
-	if commit == 1 {
+		// Waiting for a free capture buffer is real back-pressure (the
+		// writer still holds both) and is charged to the pause.
+		pending = <-ck.writer.free
+		e.buildSnapshotInto(pending, kind, base)
+		pending.snap.Sink = mark
+		// Optimistic local commit: the vote tally abandons the epoch
+		// later if any rank failed.
 		ck.lastGood = ck.epoch
 		ck.epochs++
-		ck.bytes += size
-		if err := ckptPrune(ck.dir, e.rank, ck.keep); err != nil {
+		ck.forceFull = false
+		// Enqueued before the vote: if the tally completes inside this
+		// call and abandons the epoch, the removal request must trail
+		// the write in the writer's FIFO.
+		ck.writer.ch <- ckptWriteReq{c: pending}
+	} else {
+		ck.voted0[ck.epoch] = true
+		ck.forceFull = true
+	}
+	if e.rank == 0 {
+		if err := e.ckptRecordVote(ck.epoch, ok); err != nil {
 			return err
 		}
 	} else {
-		// Some rank failed to write (e.g. disk full): the epoch is
-		// abandoned, the run continues, and this rank's own file — if
-		// it made it to disk — is removed so resume never sees a
-		// partial epoch.
-		ck.failed++
-		if werr == nil {
-			ckptRemove(ck.dir, e.rank, ck.epoch)
+		v := int64(0)
+		if ok {
+			v = 1
+		}
+		if err := e.cm.SendNow(0, msg.Ckpt(e.rank, msg.CkptVote, 0, ck.epoch, v)); err != nil {
+			return err
 		}
 	}
 
-	// Resume: unpause, wake the workers, release held traffic, retry
-	// the stop broadcast the pause may have deferred.
+	// Resume: unpause, wake the workers, retry the stop broadcast the
+	// pause may have deferred. The snapshot publish proceeds in the
+	// background.
 	atomic.StoreInt32(&ck.phase, ckIdle)
-	ck.pauseNanos += time.Since(ck.pauseStart).Nanoseconds()
+	pauseNs := time.Since(ck.pauseStart).Nanoseconds()
+	ck.pauseNanos += pauseNs
+	ck.pauseHist.Observe(pauseNs)
 	if e.rank == 0 && ck.every > 0 {
 		atomic.StoreInt64(&ck.nextTrigger, e.ckptMetric()+ck.every)
 	}
@@ -501,9 +776,6 @@ func (e *engine) ckptCut() error {
 				return e.takeErr()
 			}
 		}
-	}
-	if err := e.ckptFlushHeld(); err != nil {
-		return err
 	}
 	if err := e.cm.FlushAll(); err != nil {
 		return err

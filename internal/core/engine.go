@@ -242,15 +242,21 @@ type RankStats struct {
 	// WallTime is the rank's total engine time.
 	WallTime time.Duration
 	// CkptEpochs counts committed checkpoint epochs; CkptFailed counts
-	// abandoned ones (some rank's snapshot write failed). CkptBytes is
-	// the committed snapshot bytes written by this rank, CkptWriteTime
-	// the time spent writing them, and CkptPauseTime the total
-	// generation pause across epochs (quiescence wait + write + vote).
+	// abandoned ones (some rank's capture or background publish failed).
+	// CkptBytes is the snapshot bytes this rank's background writer
+	// published, CkptWriteTime the time it spent publishing them
+	// (encode + CRC + write + fsync + rename + prune, off the pause
+	// path), and CkptPauseTime the total generation pause across epochs
+	// (quiescence wait + capture; the publish overlaps generation).
 	CkptEpochs    int64
 	CkptFailed    int64
 	CkptBytes     int64
 	CkptWriteTime time.Duration
 	CkptPauseTime time.Duration
+	// CkptPauseHist / CkptWriteHist are the per-epoch distributions of
+	// the generation pause and the background publish.
+	CkptPauseHist obs.Histogram
+	CkptWriteHist obs.Histogram
 	// Streaming edge-sink counters (StreamDir runs only): blocks
 	// flushed and bytes written to the rank's shard file, and the
 	// fsync count and cumulative fsync stall behind checkpoint cuts
@@ -299,6 +305,8 @@ func (s RankStats) Metrics() obs.RankMetrics {
 		CkptBytes:         s.CkptBytes,
 		CkptWriteNanos:    s.CkptWriteTime.Nanoseconds(),
 		CkptPauseNanos:    s.CkptPauseTime.Nanoseconds(),
+		CkptPausePerEpoch: s.CkptPauseHist,
+		CkptWritePerEpoch: s.CkptWriteHist,
 		SinkBlocks:        s.SinkBlocks,
 		SinkBytes:         s.SinkBytes,
 		SinkFsyncs:        s.SinkFsyncs,
@@ -400,6 +408,11 @@ type engine struct {
 	// slot is written exactly once (-1 -> v) by its owning worker; when
 	// concurrent, writes and cross-worker reads are atomic.
 	f []int64
+	// ckDirty is the delta-checkpoint dirty bitmap: one word per
+	// 1<<ckptDirtyShift F slots, set by setSlot, cleared at each
+	// successful capture. Nil unless delta epochs are enabled
+	// (CheckpointOptions.FullEvery > 1).
+	ckDirty []uint32
 	// nodeLoad counts copy queries received per local node (indexed
 	// like f, but per node not per slot); nil unless CollectNodeLoad.
 	nodeLoad []int64
@@ -484,8 +497,13 @@ func RunRank(tr transport.Transport, opts Options) (*RankResult, error) {
 		return nil, err
 	}
 	// On any failure past this point the shard file keeps its durable
-	// prefix (no end-of-stream record) for a later Recover.
+	// prefix (no end-of-stream record) for a later Recover. The snapshot
+	// writer drains first — it may still hold the stream for a shard
+	// fsync.
 	fail := func(err error) (*RankResult, error) {
+		if e.ck != nil {
+			e.ck.writer.shutdown()
+		}
 		if e.stream != nil {
 			e.stream.Abort()
 		}
@@ -512,6 +530,18 @@ func RunRank(tr transport.Transport, opts Options) (*RankResult, error) {
 	}
 	if err := e.run(); err != nil {
 		return fail(err)
+	}
+	if e.ck != nil {
+		// Drain the background writer before stats (and before the
+		// stream closes — the writer may fsync it). An error surfacing
+		// only now means the newest voted epoch's file never became
+		// durable: uncount it. Resume negotiation would skip it anyway;
+		// this keeps the reported counts honest.
+		e.ck.writer.shutdown()
+		if werr := e.ck.writer.takeErr(); werr != nil {
+			e.ck.epochs--
+			e.ck.failed++
+		}
 	}
 	if e.sink == nil && e.stream == nil {
 		e.collectEdges()
@@ -632,6 +662,8 @@ func newEngine(tr transport.Transport, opts Options) (*engine, error) {
 			return nil, fmt.Errorf("core: checkpointing requires a directory")
 		case c.Every < 0:
 			return nil, fmt.Errorf("core: negative checkpoint interval %d", c.Every)
+		case c.FullEvery < 0:
+			return nil, fmt.Errorf("core: negative checkpoint full-epoch cadence %d", c.FullEvery)
 		case opts.Sink != nil:
 			return nil, fmt.Errorf("core: checkpointing is incompatible with a streaming sink (already-streamed edges cannot be unsent on restart)")
 		case opts.Trace != nil:
@@ -650,8 +682,10 @@ func newEngine(tr transport.Transport, opts Options) (*engine, error) {
 			dir:       c.Dir,
 			every:     c.Every,
 			keep:      keep,
+			fullEvery: c.FullEvery,
 			kick:      make(chan struct{}, 1),
 			epochNext: 1,
+			voted0:    make(map[int64]bool),
 		}
 		e.seq = coll.New(e.cm)
 		e.ckTrig = rank == 0 && c.Every > 0
@@ -687,6 +721,13 @@ func newEngine(tr transport.Transport, opts Options) (*engine, error) {
 			return nil, err
 		}
 		e.stream = w
+	}
+	// The background snapshot writer starts last: it holds the stream
+	// handle (shard fsync before snapshot rename) and nothing can fail
+	// past this point, so the goroutine never leaks on a construction
+	// error.
+	if e.ck != nil {
+		e.ck.writer = newCkptWriter(e.ck.dir, rank, e.ck.keep, e.stream)
 	}
 	return e, nil
 }
@@ -725,6 +766,9 @@ func (e *engine) generatorOf(idx int64) int {
 // (-1 -> v); under concurrency the store is atomic so sibling workers'
 // optimistic reads see either NILL or the final value.
 func (e *engine) setSlot(s, v int64) {
+	if e.ckDirty != nil {
+		e.ckptMarkDirty(s)
+	}
 	if e.concurrent {
 		atomic.StoreInt64(&e.f[s], v)
 		return
@@ -885,6 +929,9 @@ func (e *engine) bootstrap() {
 	for i := range e.f {
 		e.f[i] = -1
 	}
+	if ck := e.ck; ck != nil && ck.fullEvery > 1 {
+		e.ckDirty = make([]uint32, (e.size*e.x64+(1<<ckptDirtyShift)-1)>>ckptDirtyShift)
+	}
 	if e.opts.CollectNodeLoad {
 		e.nodeLoad = make([]int64, e.size)
 		if e.hub != nil {
@@ -1016,9 +1063,15 @@ func (e *engine) finishStats() {
 	if ck := e.ck; ck != nil {
 		e.stats.CkptEpochs = ck.epochs
 		e.stats.CkptFailed = ck.failed
-		e.stats.CkptBytes = ck.bytes
-		e.stats.CkptWriteTime = time.Duration(ck.writeNanos)
 		e.stats.CkptPauseTime = time.Duration(ck.pauseNanos)
+		e.stats.CkptPauseHist = ck.pauseHist
+		// The writer is drained (RunRank shuts it down before stats), so
+		// these are final; the lock is just the memory fence.
+		ck.writer.mu.Lock()
+		e.stats.CkptBytes = ck.writer.bytes
+		e.stats.CkptWriteTime = time.Duration(ck.writer.writeNanos)
+		e.stats.CkptWriteHist = ck.writer.writeHist
+		ck.writer.mu.Unlock()
 	}
 }
 
@@ -1052,20 +1105,6 @@ func (e *engine) reportDone() {
 
 func (e *engine) runSingle() error {
 	w := e.workers[0]
-	if e.ck != nil {
-		// Commit collectives share the loop's receive path; traffic
-		// that races them is held for delivery after the cut.
-		e.seq.SetRecv(func() ([]msg.Message, error) {
-			if err := e.cm.FlushAll(); err != nil {
-				return nil, err
-			}
-			ms, err := e.cm.Wait()
-			if err != nil {
-				return nil, err
-			}
-			return e.ckptFilter(ms), nil
-		})
-	}
 	for {
 		done := e.genSingle()
 		if w.err != nil {
@@ -1130,6 +1169,13 @@ func (e *engine) genSingle() bool {
 				if atomic.LoadInt32(&e.ck.phase) == ckPaused {
 					return false
 				}
+				// Yield at the poll point: with more ranks than cores a
+				// compute-bound rank is otherwise preempted only on the
+				// runtime's ~10ms tick, and every epoch's pause lasts
+				// until the slowest rank notices the begin — the yield
+				// turns that staggered pickup into a round-robin of poll
+				// intervals. Free when nothing else is runnable.
+				runtime.Gosched()
 			}
 		}
 	}
@@ -1233,11 +1279,15 @@ func (e *engine) maybeReportDone() error {
 // maybeBroadcastStop (rank 0) broadcasts stop once every rank reported.
 // While a checkpoint epoch is active the broadcast is deferred — ranks
 // mid-epoch must finish the cut — and ckptCut retries it after resuming.
+// It is also deferred while any epoch's commit-vote tally is open: a
+// completed tally may broadcast an abandon, which must precede stop on
+// every channel (per-destination FIFO) so no rank sees checkpoint
+// traffic after it stops; ckptRecordVote retries after each tally.
 func (e *engine) maybeBroadcastStop() error {
 	if e.doneRanks < e.p || e.stopped {
 		return nil
 	}
-	if e.ck != nil && atomic.LoadInt32(&e.ck.phase) != ckIdle {
+	if e.ck != nil && (atomic.LoadInt32(&e.ck.phase) != ckIdle || len(e.ck.votes) > 0) {
 		return nil
 	}
 	for r := 1; r < e.p; r++ {
@@ -1431,17 +1481,6 @@ func (e *engine) dispatch() {
 		// Normally built here, but the startup held-flush (resume
 		// negotiation traffic) may have routed batches already.
 		e.route = make([][]msg.Message, e.nw)
-	}
-	if e.ck != nil {
-		// Commit collectives share the pump; traffic that races them
-		// is held for delivery after the cut.
-		e.seq.SetRecv(func() ([]msg.Message, error) {
-			ms, _, err := e.pumpRecv(false)
-			if err != nil {
-				return nil, err
-			}
-			return e.ckptFilter(ms), nil
-		})
 	}
 	for !e.finished() {
 		if err := e.ckptStep(); err != nil {

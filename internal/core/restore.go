@@ -2,23 +2,32 @@ package core
 
 import (
 	"fmt"
+	"os"
 
 	"pagen/internal/ckpt"
 	"pagen/internal/msg"
 	"pagen/internal/transport"
 )
 
-// Thin indirections so the protocol file stays free of the snapshot
-// package's namespace.
-func ckptWrite(dir string, s *ckpt.Snapshot) (string, int64, error) { return ckpt.Write(dir, s) }
-func ckptPrune(dir string, rank, keep int) error                    { return ckpt.Prune(dir, rank, keep) }
-func ckptRemove(dir string, rank int, epoch int64)                  { ckpt.Remove(dir, rank, epoch) }
-
 // negotiateResume picks the epoch to restart from: the newest epoch
-// every rank holds a valid snapshot of (an all-reduce minimum over
-// per-rank latest epochs, so a rank whose newest file is torn pulls the
-// whole job back to the previous committed epoch). Leaves resumeSnap
-// nil when any rank has no usable snapshot — the run starts fresh.
+// every rank can materialize (full file, or delta with an intact
+// base+delta chain). Leaves resumeSnap nil when the ranks cannot agree
+// on any epoch — the run starts fresh.
+//
+// The negotiation is a ratchet rather than a single all-reduce because
+// the asynchronous commit protocol lets per-rank epoch sets diverge
+// arbitrarily: a rank whose background writer failed stops persisting
+// epochs (until the abandon forces a full), so the global minimum of
+// per-rank newest epochs is not necessarily restorable on the ranks
+// that are ahead — they may have pruned it, or hold it only as a delta
+// whose chain a crash tore. Each round all-reduces a candidate (min of
+// per-rank newest restorable epochs), then all-reduces whether every
+// rank materialized that exact epoch; on failure each rank falls back
+// to its newest restorable epoch strictly below the candidate and the
+// loop repeats. The candidate strictly decreases, so the loop
+// terminates (at worst with a fresh start), and every rank runs the
+// same collective sequence in lockstep, keeping the tag counters
+// aligned.
 //
 // The collectives run over the engine's own communicator with the held
 // filter installed: a rank that learns the negotiated epoch first
@@ -28,14 +37,9 @@ func ckptRemove(dir string, rank int, epoch int64)                  { ckpt.Remov
 // exists (run's startup flush), instead of aborting the collective.
 func (e *engine) negotiateResume() error {
 	dir := e.opts.Checkpoint.Dir
-	snap, skipped, err := ckpt.Latest(dir, e.rank)
-	if err != nil {
+	epochs, err := ckpt.Epochs(dir, e.rank)
+	if err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("core: resume: %w", err)
-	}
-	_ = skipped // surfaced by CLI pre-scan; harmless to ignore here
-	mine := int64(0)
-	if snap != nil {
-		mine = snap.Epoch
 	}
 	e.seq.SetRecv(func() ([]msg.Message, error) {
 		if err := e.cm.FlushAll(); err != nil {
@@ -48,24 +52,57 @@ func (e *engine) negotiateResume() error {
 		return e.ckptFilter(ms), nil
 	})
 	defer e.seq.SetRecv(nil)
-	chosen, err := e.seq.AllReduceMin(mine)
-	if err != nil {
-		return fmt.Errorf("core: resume negotiation: %w", err)
-	}
-	if chosen <= 0 {
-		return nil // some rank has nothing: fresh start everywhere
-	}
-	if snap.Epoch != chosen {
-		snap, err = ckpt.Read(ckpt.Path(dir, e.rank, chosen))
-		if err != nil {
-			return fmt.Errorf("core: resume: rank %d has no valid snapshot for negotiated epoch %d: %w", e.rank, chosen, err)
+
+	// next walks the epoch list newest-first across rounds; the limit
+	// only ever decreases, so entries skipped in one round never need
+	// revisiting.
+	next := len(epochs) - 1
+	var snap *ckpt.Snapshot
+	newestBelow := func(limit int64) int64 {
+		for ; next >= 0; next-- {
+			ep := epochs[next]
+			if ep >= limit {
+				continue
+			}
+			s, err := ckpt.Materialize(dir, e.rank, ep)
+			if err != nil {
+				continue // torn file or broken chain: fall further back
+			}
+			snap = s
+			return ep
 		}
+		snap = nil
+		return 0
 	}
-	if err := validateSnapshot(snap, e.tr, e.opts); err != nil {
-		return err
+	mine := newestBelow(int64(1) << 62)
+	for {
+		chosen, err := e.seq.AllReduceMin(mine)
+		if err != nil {
+			return fmt.Errorf("core: resume negotiation: %w", err)
+		}
+		if chosen <= 0 {
+			return nil // some rank has nothing left: fresh start everywhere
+		}
+		ok := int64(0)
+		if mine == chosen {
+			ok = 1 // already materialized above
+		} else if s, err := ckpt.Materialize(dir, e.rank, chosen); err == nil {
+			snap = s
+			ok = 1
+		}
+		allOk, err := e.seq.AllReduceMin(ok)
+		if err != nil {
+			return fmt.Errorf("core: resume negotiation: %w", err)
+		}
+		if allOk == 1 {
+			if err := validateSnapshot(snap, e.tr, e.opts); err != nil {
+				return err
+			}
+			e.resumeSnap = snap
+			return nil
+		}
+		mine = newestBelow(chosen)
 	}
-	e.resumeSnap = snap
-	return nil
 }
 
 // validateSnapshot checks that a snapshot belongs to this run: same
@@ -125,12 +162,20 @@ func effectiveResolve(opts Options) (mode, depth int) {
 	return int(ResolveRecompute), depth
 }
 
-// buildSnapshot assembles this rank's snapshot at a cut. The rank is
-// globally quiescent: workers are parked, inboxes are empty, and no
-// data message is in flight, so every piece of protocol state lives in
-// exactly one of the structures captured here.
-func (e *engine) buildSnapshot() *ckpt.Snapshot {
-	s := &ckpt.Snapshot{
+// buildSnapshotInto assembles this rank's snapshot at a cut into a
+// pooled capture buffer (kind KindFull or KindDelta with the given base
+// epoch). The rank is globally quiescent: workers are parked, inboxes
+// are empty, and no data message is in flight, so every piece of
+// protocol state lives in exactly one of the structures captured here.
+// The capture is memcpy-scale by design — the F table (full) or its
+// dirty ranges (delta) copy into the capture's reusable backing arrays,
+// and encoding, CRC and I/O all happen later in the background writer —
+// because its duration is the dominant term of the generation pause.
+// It also clears the dirty bitmap: the capture is the delta baseline
+// whichever kind it is.
+func (e *engine) buildSnapshotInto(c *ckptCapture, kind int, base int64) {
+	s := &c.snap
+	*s = ckpt.Snapshot{
 		Meta: ckpt.Meta{
 			N:              e.opts.Params.N,
 			X:              e.x,
@@ -142,14 +187,58 @@ func (e *engine) buildSnapshot() *ckpt.Snapshot {
 			Resolve:        int(e.opts.Resolve),
 			RecomputeDepth: e.depthCap,
 		},
-		Epoch: e.ck.epoch,
-		// The cut's own commit vote (Gather + Broadcast) consumes two
-		// tags after this point; the resumed run's counter must start
-		// beyond them so tags never collide across the restart.
-		NextTag: e.seq.NextTag() + 2,
-		F:       e.f,
-		Workers: make([]ckpt.WorkerState, 0, e.nw),
+		Epoch:     e.ck.epoch,
+		Kind:      kind,
+		BaseEpoch: base,
+		// The asynchronous commit vote is plain KindCkpt traffic — no
+		// collective runs between here and the next negotiation, so the
+		// live counter value is exactly what a resumed run must continue
+		// from.
+		NextTag: e.seq.NextTag(),
 	}
+	if kind == ckpt.KindFull {
+		c.f = append(c.f[:0], e.f...)
+		s.F = c.f
+	} else {
+		s.FLen = int64(len(e.f))
+		// Two passes over the chunk bitmap: size the flat value store
+		// first so the range subslices never move under a later append.
+		total := int64(0)
+		for ci := 0; ci < len(e.ckDirty); ci++ {
+			if e.ckDirty[ci] != 0 {
+				total += e.chunkSpan(ci)
+			}
+		}
+		if cap(c.dvals) < int(total) {
+			c.dvals = make([]int64, 0, total)
+		}
+		c.dvals = c.dvals[:0]
+		c.ranges = c.ranges[:0]
+		for ci := 0; ci < len(e.ckDirty); ci++ {
+			if e.ckDirty[ci] == 0 {
+				continue
+			}
+			cj := ci
+			for cj+1 < len(e.ckDirty) && e.ckDirty[cj+1] != 0 {
+				cj++
+			}
+			start := int64(ci) << ckptDirtyShift
+			end := (int64(cj) + 1) << ckptDirtyShift
+			if end > int64(len(e.f)) {
+				end = int64(len(e.f))
+			}
+			off := len(c.dvals)
+			c.dvals = append(c.dvals, e.f[start:end]...)
+			c.ranges = append(c.ranges, ckpt.DeltaRange{Start: start, Values: c.dvals[off:len(c.dvals):len(c.dvals)]})
+			ci = cj
+		}
+		s.Delta = c.ranges
+	}
+	for i := range e.ckDirty {
+		e.ckDirty[i] = 0
+	}
+
+	c.workers = c.workers[:0]
 	for _, w := range e.workers {
 		ws := ckpt.WorkerState{Lo: w.lo, Hi: w.hi}
 		w.susp.forEach(func(idx int64, st suspState) {
@@ -166,17 +255,30 @@ func (e *engine) buildSnapshot() *ckpt.Snapshot {
 		w.remote.forEach(func(slot, t int64, e16 uint16) {
 			ws.Remote = append(ws.Remote, ckpt.WaiterRecord{Slot: slot, T: t, E: e16})
 		})
-		s.Workers = append(s.Workers, ws)
+		c.workers = append(c.workers, ws)
 		s.Stats.Retries += w.retries
 		s.Stats.QueuedWaits += w.queuedWaits
 		s.Stats.LocalWaits += w.localWaits
 	}
+	s.Workers = c.workers
+	c.out = c.out[:0]
 	for to := 0; to < e.p; to++ {
 		if frame := e.cm.BufferedFrame(to); frame != nil {
-			s.Outbound = append(s.Outbound, ckpt.OutboundBatch{To: to, Frame: frame})
+			c.out = append(c.out, ckpt.OutboundBatch{To: to, Frame: frame})
 		}
 	}
-	return s
+	s.Outbound = c.out
+}
+
+// chunkSpan returns the number of F slots dirty-bitmap chunk ci covers
+// (the last chunk may be partial).
+func (e *engine) chunkSpan(ci int) int64 {
+	start := int64(ci) << ckptDirtyShift
+	end := start + (1 << ckptDirtyShift)
+	if end > int64(len(e.f)) {
+		end = int64(len(e.f))
+	}
+	return end - start
 }
 
 // restoreChains rebuilds the hub cache's request-coalescing chains from
@@ -324,6 +426,11 @@ func (e *engine) restore() error {
 	if ck := e.ck; ck != nil {
 		ck.lastGood = s.Epoch
 		ck.epochNext = s.Epoch + 1
+		// The first epoch after a restore is always a full capture: the
+		// dirty bitmap starts empty in this process, and the restored
+		// epoch's file may be abandoned or pruned behind us — nothing on
+		// disk is a guaranteed delta base.
+		ck.forceFull = true
 		if e.rank == 0 && ck.every > 0 {
 			// Re-derive the trigger base: initiated nodes are exactly
 			// the complete-or-suspended ones (recv counters restart at

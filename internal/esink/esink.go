@@ -314,6 +314,35 @@ func (w *Writer) Cut() (Mark, error) {
 	return Mark{Offset: w.off, Blocks: w.blocks, Edges: w.edges}, nil
 }
 
+// Mark flushes the open block (a page-cache write) and returns the
+// shard mark at the complete-block boundary — Cut without the fsync.
+// The engine's fast capture uses it at a quiescent cut and defers the
+// fsync to its background writer (Sync), which must complete before a
+// snapshot naming the mark is published.
+func (w *Writer) Mark() (Mark, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return Mark{}, w.err
+	}
+	if err := w.flushLocked(); err != nil {
+		return Mark{}, err
+	}
+	return Mark{Offset: w.off, Blocks: w.blocks, Edges: w.edges}, nil
+}
+
+// Sync fsyncs the shard. Safe against concurrent Emit (the mutex orders
+// them); syncing bytes emitted after a Mark is harmless — a mark only
+// promises its prefix is durable, not that nothing follows it.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.syncLocked()
+}
+
 func (w *Writer) syncLocked() error {
 	t0 := time.Now()
 	err := w.f.Sync()

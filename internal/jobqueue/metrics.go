@@ -1,6 +1,12 @@
 package jobqueue
 
-import "pagen/internal/obs"
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pagen/internal/obs"
+)
 
 // metricCounters are the queue's monotone counters and latency
 // histograms, maintained under the queue lock. The histograms reuse
@@ -24,6 +30,47 @@ type metricCounters struct {
 	// RunTime each completed job's cumulative pool time (nanoseconds).
 	QueueWait obs.Histogram `json:"queue_wait_nanos"`
 	RunTime   obs.Histogram `json:"run_nanos"`
+	// CkptPause and CkptWrite aggregate the engine's per-epoch
+	// checkpoint distributions across every rank of every attempt the
+	// pool ran: the generation pause per epoch and the background
+	// publish per epoch (both nanoseconds; docs/OPERATIONS.md §2).
+	// Runners leave per-rank metrics drops in the job directory and
+	// the queue folds them in when the attempt returns.
+	CkptPause obs.Histogram `json:"ckpt_pause_per_epoch"`
+	CkptWrite obs.Histogram `json:"ckpt_write_per_epoch"`
+}
+
+// rankMetricsFile is the per-rank metrics drop a runner leaves in the
+// job directory for the queue to fold into its pool-wide telemetry.
+func rankMetricsFile(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("metrics-rank%d.json", rank))
+}
+
+// collectCkptTelemetry reads and removes the per-rank metrics drops of
+// a finished attempt, returning the merged per-epoch checkpoint pause
+// and publish histograms. Missing or damaged files are skipped without
+// error: a killed rank writes no metrics, and telemetry loss must
+// never change a job's outcome. Removing each file after the read
+// keeps a respawned attempt from double-counting its predecessor.
+func collectCkptTelemetry(job JobInfo) (pause, write obs.Histogram) {
+	for rank := 0; rank < job.Spec.Ranks; rank++ {
+		path := rankMetricsFile(job.Dir, rank)
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		m, err := obs.ReadJSON(f)
+		f.Close()
+		os.Remove(path)
+		if err != nil {
+			continue
+		}
+		for _, r := range m.PerRank {
+			pause.Merge(r.CkptPausePerEpoch)
+			write.Merge(r.CkptWritePerEpoch)
+		}
+	}
+	return pause, write
 }
 
 // MetricsSnapshot is the exported /metrics record of the control

@@ -12,6 +12,7 @@ import (
 
 	"pagen/internal/core"
 	"pagen/internal/model"
+	"pagen/internal/obs"
 	"pagen/internal/partition"
 )
 
@@ -104,8 +105,12 @@ func rankArgs(job JobInfo, addrs []string, rank int, resume bool) []string {
 		"-recompute-depth", strconv.Itoa(s.RecomputeDepth),
 		"-checkpoint-dir", job.CheckpointDir(),
 		"-checkpoint-every", strconv.FormatInt(s.CheckpointEvery, 10),
+		"-checkpoint-full-every", strconv.Itoa(s.CheckpointFullEvery),
 		"-stream-dir", job.ShardDir(),
 		"-stream-block-edges", strconv.Itoa(s.StreamBlockEdges),
+		// Each rank drops its metrics record in the job directory; the
+		// queue folds the checkpoint histograms into /metrics.
+		"-metrics", rankMetricsFile(job.Dir, rank),
 	}
 	if resume {
 		args = append(args, "-resume")
@@ -226,7 +231,7 @@ func (InProcessRunner) Run(ctx context.Context, job JobInfo, resume bool) error 
 	if err != nil {
 		return err
 	}
-	_, err = core.Run(core.Options{
+	res, err := core.Run(core.Options{
 		Params:         model.Params{N: s.N, X: s.X, P: s.P},
 		Part:           part,
 		Seed:           s.Seed,
@@ -235,12 +240,41 @@ func (InProcessRunner) Run(ctx context.Context, job JobInfo, resume bool) error 
 		Resolve:        mode,
 		RecomputeDepth: s.RecomputeDepth,
 		Checkpoint: &core.CheckpointOptions{
-			Dir:    job.CheckpointDir(),
-			Every:  s.CheckpointEvery,
-			Resume: resume,
+			Dir:       job.CheckpointDir(),
+			Every:     s.CheckpointEvery,
+			FullEvery: s.CheckpointFullEvery,
+			Resume:    resume,
 		},
 		StreamDir:        job.ShardDir(),
 		StreamBlockEdges: s.StreamBlockEdges,
 	}, false)
+	if res != nil {
+		writeRankMetricsFiles(job, res)
+	}
 	return err
+}
+
+// writeRankMetricsFiles leaves the same per-rank metrics drops a
+// pa-tcp cluster writes via -metrics, so the queue's checkpoint
+// telemetry merge is runner-agnostic. Best-effort: a drop that fails
+// to write is skipped (telemetry never fails a job).
+func writeRankMetricsFiles(job JobInfo, res *core.Result) {
+	s := job.Spec
+	for _, st := range res.Ranks {
+		m := &obs.RunMetrics{
+			N: s.N, X: s.X, P: s.P,
+			Ranks: s.Ranks, Scheme: s.Scheme, Seed: s.Seed,
+			ElapsedNanos: res.Elapsed.Nanoseconds(),
+			PerRank:      []obs.RankMetrics{st.Metrics()},
+		}
+		f, err := os.Create(rankMetricsFile(job.Dir, st.Rank))
+		if err != nil {
+			continue
+		}
+		if err := m.WriteJSON(f); err != nil {
+			f.Close()
+			continue
+		}
+		f.Close()
+	}
 }

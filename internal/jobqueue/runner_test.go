@@ -2,6 +2,7 @@ package jobqueue
 
 import (
 	"context"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -58,7 +59,8 @@ func TestRankArgs(t *testing.T) {
 	spec := Spec{
 		N: 50000, X: 4, P: 0.25, Seed: 99, Scheme: "CP", Ranks: 2,
 		Workers: 3, Resolve: "recompute", HubPrefix: 128,
-		RecomputeDepth: 7, CheckpointEvery: 5000, StreamBlockEdges: 1024,
+		RecomputeDepth: 7, CheckpointEvery: 5000, CheckpointFullEvery: 6,
+		StreamBlockEdges: 1024,
 	}
 	job := JobInfo{ID: "j000007", Spec: spec, Dir: "/data/jobs/j000007", Attempt: 2}
 	addrs := []string{"127.0.0.1:42000", "127.0.0.1:42001"}
@@ -77,8 +79,10 @@ func TestRankArgs(t *testing.T) {
 		"-recompute-depth", "7",
 		"-checkpoint-dir", filepath.Join("/data/jobs/j000007", "ck"),
 		"-checkpoint-every", "5000",
+		"-checkpoint-full-every", "6",
 		"-stream-dir", filepath.Join("/data/jobs/j000007", "shards"),
 		"-stream-block-edges", "1024",
+		"-metrics", filepath.Join("/data/jobs/j000007", "metrics-rank1.json"),
 		"-resume",
 	}
 	if !reflect.DeepEqual(got, want) {
@@ -115,6 +119,19 @@ func TestInProcessRunnerEndToEnd(t *testing.T) {
 		t.Fatalf("Submit: %v", err)
 	}
 	got := waitState(t, q, j.ID, StateDone)
+
+	// The attempt checkpointed (CheckpointEvery 1000 over 4000 nodes),
+	// so its per-epoch pause/publish telemetry must have reached the
+	// pool histograms, and the per-rank drops must be consumed.
+	if m := q.Metrics(); m.CkptPause.Count == 0 || m.CkptWrite.Count == 0 {
+		t.Errorf("queue checkpoint histograms empty after checkpointed job: pause=%d write=%d",
+			m.CkptPause.Count, m.CkptWrite.Count)
+	}
+	for rank := 0; rank < ranks; rank++ {
+		if _, err := os.Stat(rankMetricsFile(got.Dir, rank)); !os.IsNotExist(err) {
+			t.Errorf("metrics drop for rank %d not consumed (err=%v)", rank, err)
+		}
+	}
 
 	shardDir := filepath.Join(got.Dir, "shards")
 	dr, err := esink.OpenDir(shardDir, ranks)

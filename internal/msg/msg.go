@@ -84,8 +84,19 @@ const (
 	// when locally quiescent.
 	CkptProbe
 	// CkptCut (rank 0 -> all, itself included) declares global
-	// quiescence for epoch K: write the snapshot, then resume.
+	// quiescence for epoch K: capture the snapshot, then resume.
 	CkptCut
+	// CkptVote (any -> rank 0) is the sender's asynchronous commit vote
+	// for epoch K (V = 1 captured, 0 failed), sent at its cut just
+	// before generation resumes. Rank 0 tallies votes off the pause
+	// path; per-destination FIFO ordering guarantees a rank's vote for
+	// epoch K precedes anything it sends about epoch K+1.
+	CkptVote
+	// CkptAbandon (rank 0 -> others) declares epoch K abandoned: some
+	// rank voted 0 (capture or latched background-write failure).
+	// Receivers uncount the epoch, delete their snapshot file, and
+	// force their next epoch to be a full snapshot.
+	CkptAbandon
 )
 
 // Message is one protocol message. Field use by kind:

@@ -215,13 +215,19 @@ type RankMetrics struct {
 	// resolution time (Theorem 3.3's chains keep it shallow).
 	WaitChain Histogram `json:"wait_chain"`
 	// Checkpoint counters (zero unless checkpointing ran): committed
-	// epochs, abandoned epochs, snapshot bytes written, time spent
-	// writing snapshots, and total generation pause across epochs.
+	// epochs, abandoned epochs, snapshot bytes the background writer
+	// published, time it spent publishing them (off the pause path),
+	// and total generation pause across epochs (quiescence wait +
+	// capture — the publish overlaps generation).
 	CkptEpochs     int64 `json:"ckpt_epochs,omitempty"`
 	CkptFailed     int64 `json:"ckpt_failed,omitempty"`
 	CkptBytes      int64 `json:"ckpt_bytes,omitempty"`
 	CkptWriteNanos int64 `json:"ckpt_write_nanos,omitempty"`
 	CkptPauseNanos int64 `json:"ckpt_pause_nanos,omitempty"`
+	// Per-epoch distributions of the generation pause and the
+	// background publish (one observation per epoch).
+	CkptPausePerEpoch Histogram `json:"ckpt_pause_per_epoch"`
+	CkptWritePerEpoch Histogram `json:"ckpt_write_per_epoch"`
 	// Streaming edge-sink counters (zero unless -stream-dir ran): shard
 	// blocks flushed, compressed bytes written, fsync calls, and total
 	// time stalled in fsync (cut barriers plus final close).

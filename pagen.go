@@ -134,9 +134,17 @@ type Config struct {
 	// between checkpoint epochs. Zero with a CheckpointDir set means
 	// snapshots are only read (resume), never written.
 	CheckpointEvery int64
-	// CheckpointKeep is how many committed epochs to retain per rank
-	// (older ones are pruned after each commit; 0 = keep 2).
+	// CheckpointKeep is how many full epochs to retain per rank (older
+	// ones, and the delta chains based on them, are pruned after each
+	// publish; 0 = keep 2).
 	CheckpointKeep int
+	// CheckpointFullEvery is the full-snapshot cadence: every
+	// CheckpointFullEvery-th epoch writes a full snapshot and the
+	// epochs between write incremental deltas carrying only the
+	// attachment-table ranges dirtied since the previous epoch
+	// (docs/CHECKPOINT_FORMAT.md, format v5). 0 or 1 = every epoch is
+	// full.
+	CheckpointFullEvery int
 	// Resume loads the latest mutually-complete checkpoint epoch from
 	// CheckpointDir before generating, skipping all work committed up
 	// to that epoch. When no usable epoch exists the run starts fresh.
@@ -183,10 +191,11 @@ func (c Config) checkpoint() *core.CheckpointOptions {
 		return nil
 	}
 	return &core.CheckpointOptions{
-		Dir:    c.CheckpointDir,
-		Every:  c.CheckpointEvery,
-		Keep:   c.CheckpointKeep,
-		Resume: c.Resume,
+		Dir:       c.CheckpointDir,
+		Every:     c.CheckpointEvery,
+		Keep:      c.CheckpointKeep,
+		FullEvery: c.CheckpointFullEvery,
+		Resume:    c.Resume,
 	}
 }
 

@@ -16,6 +16,16 @@
 # snapshots. The resumed run's shards must be byte-identical to the
 # uninterrupted baseline.
 #
+# With "chaos" as the first argument it runs the kill-mid-epoch smoke:
+# a supervised run checkpointing a base+delta chain
+# (-checkpoint-full-every) where one rank is killed while the second
+# checkpoint epoch is only partially committed across the cluster —
+# i.e. mid-epoch, with delta publishes in flight in the background
+# writers. The supervisor restarts the cluster from whatever the
+# directory holds (committed chain prefix, possibly torn newest
+# members), and the resumed run's shards must be byte-identical to an
+# uninterrupted baseline.
+#
 # With "stream" as the first argument it runs the external-memory
 # smoke: a supervised run streaming compressed edge shards
 # (-stream-dir, docs/SHARD_FORMAT.md) is killed after the first
@@ -129,6 +139,68 @@ if [ "$MODE" = resume ]; then
         i=$((i + 1))
     done
     echo "pa-tcp resume smoke: killed rank restarted from checkpoint; all $RANKS shards byte-identical to uninterrupted baseline"
+    exit 0
+fi
+
+if [ "$MODE" = chaos ]; then
+    # Kill-mid-epoch smoke over a base+delta chain. The kill fires when
+    # the second epoch is partially committed (some ranks' snapshots on
+    # disk, others still capturing or mid-publish), so the restart must
+    # negotiate past an incomplete epoch and replay a delta chain.
+    RN=${RN:-800000}
+    EVERY=${EVERY:-40000}
+    FULL_EVERY=${FULL_EVERY:-4}
+    SEED=${SEED:-7}
+
+    echo "chaos smoke: baseline supervised run (n=$RN, x=3, full every $FULL_EVERY epochs)"
+    timeout "$TIMEOUT" "$workdir/pa-tcp" -supervise -addrs "$addrs" \
+        -n "$RN" -x 3 -seed "$SEED" -workers "$WORKERS" \
+        -checkpoint-dir "$workdir/ck-base" -checkpoint-every "$EVERY" \
+        -checkpoint-full-every "$FULL_EVERY" \
+        -shard-dir "$workdir/base" 2>"$workdir/base.log"
+
+    echo "chaos smoke: kill-mid-epoch supervised run"
+    timeout "$TIMEOUT" "$workdir/pa-tcp" -supervise -addrs "$addrs" \
+        -n "$RN" -x 3 -seed "$SEED" -workers "$WORKERS" \
+        -checkpoint-dir "$workdir/ck-chaos" -checkpoint-every "$EVERY" \
+        -checkpoint-full-every "$FULL_EVERY" \
+        -shard-dir "$workdir/chaos" 2>"$workdir/chaos.log" &
+    sup=$!
+
+    # Wait for the second epoch to be PARTIALLY committed: more
+    # snapshots than one full epoch's worth, fewer than two — the
+    # cluster is mid-epoch, with background publishes in flight. If the
+    # window is too narrow to observe, fall back to killing after the
+    # first epoch (still a valid chaos point; the run stays mid-chain).
+    polls=0
+    committed=0
+    while kill -0 "$sup" 2>/dev/null; do
+        committed=$(ls "$workdir/ck-chaos" 2>/dev/null | grep -c '\.ckpt$' || true)
+        [ "$committed" -gt "$RANKS" ] && [ "$committed" -lt $((2 * RANKS)) ] && break
+        [ "$committed" -ge $((2 * RANKS)) ] && break
+        polls=$((polls + 1))
+        sleep 0.02
+    done
+    if [ "$committed" -le "$RANKS" ]; then
+        echo "run finished before a second checkpoint epoch started;" >&2
+        echo "raise RN or lower EVERY so the kill lands mid-epoch" >&2
+        exit 1
+    fi
+    pkill -f -- "-rank [2] -addrs 127.0.0.1:$BASE_PORT" \
+        || { echo "failed to kill rank 2" >&2; exit 1; }
+    echo "chaos smoke: killed rank 2 mid-epoch at $committed snapshots ($polls polls)"
+
+    wait "$sup" || { echo "supervisor failed:" >&2; cat "$workdir/chaos.log" >&2; exit 1; }
+    grep -q 'restart 1/' "$workdir/chaos.log" \
+        || { echo "supervisor log records no restart" >&2; cat "$workdir/chaos.log" >&2; exit 1; }
+
+    i=0
+    while [ $i -lt $RANKS ]; do
+        cmp "$workdir/base/shard-$i-of-$RANKS.pag" "$workdir/chaos/shard-$i-of-$RANKS.pag" \
+            || { echo "shard $i differs between baseline and resumed run" >&2; exit 1; }
+        i=$((i + 1))
+    done
+    echo "pa-tcp chaos smoke: rank killed mid-epoch over a delta chain, restarted from the committed prefix; all $RANKS shards byte-identical to uninterrupted baseline"
     exit 0
 fi
 
